@@ -1,0 +1,359 @@
+// Package repro's root benchmarks: one testing.B benchmark per
+// experiment row of EXPERIMENTS.md (E-series fidelity checks appear as
+// correctness-verifying benchmarks; B-series scaling rows as parameter
+// sweeps via sub-benchmarks). Regenerate everything with
+//
+//	go test -bench=. -benchmem
+//
+// or through cmd/p2pbench, which prints the same series as tables.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/lp"
+	"repro/internal/lp/ground"
+	"repro/internal/lp/solve"
+	"repro/internal/peernet"
+	"repro/internal/program"
+	"repro/internal/rewrite"
+	"repro/internal/workload"
+)
+
+// BenchmarkE1SolutionsExample1 regenerates Example 1's two solutions.
+func BenchmarkE1SolutionsExample1(b *testing.B) {
+	s := core.Example1System()
+	for i := 0; i < b.N; i++ {
+		sols, err := core.SolutionsFor(s, "P1", core.SolveOptions{})
+		if err != nil || len(sols) != 2 {
+			b.Fatalf("solutions = %d, %v", len(sols), err)
+		}
+	}
+}
+
+// BenchmarkE2PCA regenerates Example 2's peer consistent answers, per
+// engine.
+func BenchmarkE2PCA(b *testing.B) {
+	s := core.Example1System()
+	q := foquery.MustParse("r1(X,Y)")
+	b.Run("repair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ans, err := core.PeerConsistentAnswers(s, "P1", q, []string{"X", "Y"}, core.SolveOptions{})
+			if err != nil || len(ans) != 3 {
+				b.Fatalf("%v %v", ans, err)
+			}
+		}
+	})
+	b.Run("lp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ans, err := program.PeerConsistentAnswersViaLP(s, "P1", q, []string{"X", "Y"}, program.RunOptions{})
+			if err != nil || len(ans) != 3 {
+				b.Fatalf("%v %v", ans, err)
+			}
+		}
+	})
+	b.Run("rewrite", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ans, err := rewrite.PCAByRewriting(s, "P1", "r1", []string{"X", "Y"}, rewrite.Options{})
+			if err != nil || len(ans) != 3 {
+				b.Fatalf("%v %v", ans, err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3DirectProgram regenerates the Section 3.1 answer sets.
+func BenchmarkE3DirectProgram(b *testing.B) {
+	s := core.Section31System()
+	for i := 0; i < b.N; i++ {
+		sols, err := program.SolutionsViaLP(s, "P", program.RunOptions{})
+		if err != nil || len(sols) != 3 {
+			b.Fatalf("solutions = %d, %v", len(sols), err)
+		}
+	}
+}
+
+// BenchmarkE4Shift regenerates the Example 3 shift equivalence.
+func BenchmarkE4Shift(b *testing.B) {
+	s := core.Section31System()
+	for i := 0; i < b.N; i++ {
+		sols, err := program.SolutionsViaLP(s, "P", program.RunOptions{UseShift: true})
+		if err != nil || len(sols) != 3 {
+			b.Fatalf("solutions = %d, %v", len(sols), err)
+		}
+	}
+}
+
+// BenchmarkE5LAV regenerates the appendix stable models.
+func BenchmarkE5LAV(b *testing.B) {
+	s := core.Section31System()
+	prog, _, err := program.BuildLAV(s, "P")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		models, err := program.Solve(prog, program.RunOptions{})
+		if err != nil || len(models) != 4 {
+			b.Fatalf("models = %d, %v", len(models), err)
+		}
+	}
+}
+
+// BenchmarkE6Transitive regenerates Example 4's combined program run.
+func BenchmarkE6Transitive(b *testing.B) {
+	s := core.Example4System()
+	for i := 0; i < b.N; i++ {
+		sols, err := program.SolutionsViaLP(s, "P", program.RunOptions{Transitive: true})
+		if err != nil || len(sols) != 3 {
+			b.Fatalf("solutions = %d, %v", len(sols), err)
+		}
+	}
+}
+
+// BenchmarkE7LocalIC regenerates the local-IC pruning experiment.
+func BenchmarkE7LocalIC(b *testing.B) {
+	p := core.NewPeer("P").Declare("r1", 2).Declare("r2", 2).
+		Fact("r1", "a", "b").Fact("r2", "a", "g").
+		SetTrust("Q", core.TrustLess).
+		AddDEC("Q", constraint.Referential("dec3", "r1", "s1", "r2", "s2")).
+		AddIC(constraint.FD("fd_r2", "r2"))
+	q := core.NewPeer("Q").Declare("s1", 2).Declare("s2", 2).
+		Fact("s1", "c", "b").Fact("s2", "c", "e").Fact("s2", "c", "f")
+	s := core.NewSystem().MustAddPeer(p).MustAddPeer(q)
+	for i := 0; i < b.N; i++ {
+		sols, err := program.SolutionsViaLP(s, "P", program.RunOptions{})
+		if err != nil || len(sols) != 1 {
+			b.Fatalf("solutions = %d, %v", len(sols), err)
+		}
+	}
+}
+
+// BenchmarkB1PCAVsSize sweeps instance size per engine.
+func BenchmarkB1PCAVsSize(b *testing.B) {
+	for _, n := range []int{5, 10, 20, 40} {
+		s := workload.Example1Shaped(n, 3, 2, 1)
+		q := foquery.MustParse("r1(X,Y)")
+		b.Run(fmt.Sprintf("rewrite/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rewrite.PCAByRewriting(s, "P1", "r1", []string{"X", "Y"}, rewrite.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("lp/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := program.PeerConsistentAnswersViaLP(s, "P1", q, []string{"X", "Y"}, program.RunOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("repair/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PeerConsistentAnswers(s, "P1", q, []string{"X", "Y"}, core.SolveOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkB2ConflictBlowup sweeps the number of independent conflicts.
+func BenchmarkB2ConflictBlowup(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		s := workload.IndependentConflicts(k)
+		b.Run(fmt.Sprintf("lp/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sols, err := program.SolutionsViaLP(s, "A", program.RunOptions{})
+				if err != nil || len(sols) != 1<<k {
+					b.Fatalf("solutions = %d, %v", len(sols), err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("repair/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sols, err := core.SolutionsFor(s, "A", core.SolveOptions{})
+				if err != nil || len(sols) != 1<<k {
+					b.Fatalf("solutions = %d, %v", len(sols), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkB3Crossover sweeps conflicts at fixed size across engines.
+func BenchmarkB3Crossover(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4} {
+		s := workload.Example1Shaped(10, 2, k, 1)
+		q := foquery.MustParse("r1(X,Y)")
+		b.Run(fmt.Sprintf("rewrite/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rewrite.PCAByRewriting(s, "P1", "r1", []string{"X", "Y"}, rewrite.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("lp/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := program.PeerConsistentAnswersViaLP(s, "P1", q, []string{"X", "Y"}, program.RunOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkB4ShiftAblation compares disjunctive and shifted solving.
+func BenchmarkB4ShiftAblation(b *testing.B) {
+	for _, k := range []int{2, 4, 6} {
+		s := workload.IndependentConflicts(k)
+		g := groundProgram(b, s, "A")
+		b.Run(fmt.Sprintf("disjunctive/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solve.StableModels(g, solve.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sh, err := solve.Shift(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shifted/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solve.StableModels(sh, solve.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkB5Grounding sweeps fact counts through the grounder.
+func BenchmarkB5Grounding(b *testing.B) {
+	for _, n := range []int{10, 25, 50, 100} {
+		s := workload.ReferentialShaped(1, 2, n, 1)
+		prog, _, err := program.BuildDirect(s, "P")
+		if err != nil {
+			b.Fatal(err)
+		}
+		unfolded, err := lp.UnfoldChoice(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("facts=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ground.Ground(unfolded); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkB6Network measures networked PCA per transport/latency.
+func BenchmarkB6Network(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		latency time.Duration
+	}{{"latency=0", 0}, {"latency=1ms", time.Millisecond}} {
+		sys := core.Example1System()
+		tr := peernet.NewInProc()
+		tr.Latency = cfg.latency
+		nodes := map[core.PeerID]*peernet.Node{}
+		for _, id := range sys.Peers() {
+			p, _ := sys.Peer(id)
+			n := peernet.NewNode(p, tr, nil)
+			if err := n.Start(":0"); err != nil {
+				b.Fatal(err)
+			}
+			defer n.Stop()
+			nodes[id] = n
+		}
+		for _, n := range nodes {
+			for _, m := range nodes {
+				if n != m {
+					n.SetNeighbor(m.Peer.ID, m.Addr)
+				}
+			}
+		}
+		q := foquery.MustParse("r1(X,Y)")
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ans, err := nodes["P1"].PeerConsistentAnswers(q, []string{"X", "Y"}, false)
+				if err != nil || len(ans) != 3 {
+					b.Fatalf("%v %v", ans, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkB7ChoiceUnfolding measures the choice-unfolding pipeline.
+func BenchmarkB7ChoiceUnfolding(b *testing.B) {
+	for _, v := range []int{1, 3, 5} {
+		s := workload.ReferentialShaped(v, 2, 0, 1)
+		prog, _, err := program.BuildDirect(s, "P")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("violations=%d", v), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				u, err := lp.UnfoldChoice(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := ground.Ground(u)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := solve.StableModels(g, solve.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkB8SupportPropagation ablates the solver's support pruning.
+func BenchmarkB8SupportPropagation(b *testing.B) {
+	for _, k := range []int{2, 4, 6} {
+		s := workload.IndependentConflicts(k)
+		g := groundProgram(b, s, "A")
+		b.Run(fmt.Sprintf("with/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solve.StableModels(g, solve.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("without/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solve.StableModels(g, solve.Options{NoSupportPropagation: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func groundProgram(b *testing.B, s *core.System, id core.PeerID) *ground.Program {
+	b.Helper()
+	prog, _, err := program.BuildDirect(s, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unfolded, err := lp.UnfoldChoice(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ground.Ground(unfolded)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,107 @@
+// Command asp is a stable-model (answer set) solver for disjunctive
+// logic programs with strong negation, default negation, comparison
+// built-ins and the choice operator — the engine the paper would run on
+// DLV (Section 3.2), built from scratch.
+//
+// Usage:
+//
+//	asp [flags] [program.lp]
+//
+// With no file the program is read from stdin. Flags:
+//
+//	-models N     stop after N models (0 = all)
+//	-shift        apply the HCF shift of Section 4.1 when applicable
+//	-cautious P   print the skeptical consequences for predicate P
+//	-brave P      print the brave consequences for predicate P
+//	-ground       print the ground program instead of solving
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lp"
+	"repro/internal/lp/ground"
+	"repro/internal/lp/parse"
+	"repro/internal/lp/solve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asp", flag.ContinueOnError)
+	maxModels := fs.Int("models", 0, "stop after N models (0 = all)")
+	shift := fs.Bool("shift", false, "apply the HCF shift before solving when the program is head-cycle free")
+	cautious := fs.String("cautious", "", "print skeptical consequences for this predicate")
+	brave := fs.String("brave", "", "print brave consequences for this predicate")
+	printGround := fs.Bool("ground", false, "print the ground program and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src []byte
+	var err error
+	switch fs.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(fs.Arg(0))
+	default:
+		return fmt.Errorf("at most one program file expected")
+	}
+	if err != nil {
+		return err
+	}
+
+	prog, err := parse.Program(string(src))
+	if err != nil {
+		return err
+	}
+	unfolded, err := lp.UnfoldChoice(prog)
+	if err != nil {
+		return err
+	}
+	g, err := ground.Ground(unfolded)
+	if err != nil {
+		return err
+	}
+	if *printGround {
+		fmt.Fprint(out, g.String())
+		return nil
+	}
+	if *shift {
+		if solve.HCF(g) {
+			g, err = solve.Shift(g)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "% program is head-cycle free: shifted to a normal program")
+		} else {
+			fmt.Fprintln(out, "% program is not head-cycle free: solving the disjunctive program")
+		}
+	}
+	models, err := solve.StableModels(g, solve.Options{MaxModels: *maxModels})
+	if err != nil {
+		return err
+	}
+	if len(models) == 0 {
+		fmt.Fprintln(out, "no stable models")
+		return nil
+	}
+	fmt.Fprint(out, solve.FormatModels(models))
+	if *cautious != "" {
+		atoms, _ := solve.Cautious(models, *cautious)
+		fmt.Fprintf(out, "cautious[%s]: %v\n", *cautious, atoms)
+	}
+	if *brave != "" {
+		fmt.Fprintf(out, "brave[%s]: %v\n", *brave, solve.Brave(models, *brave))
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.lp")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const section31 = `
+rp1(X,Y) :- r1(X,Y), not -rp1(X,Y).
+rp2(X,Y) :- r2(X,Y), not -rp2(X,Y).
+-rp1(X,Y) :- r1(X,Y), s1(Z,Y), not aux1(X,Z), not aux2(Z).
+aux1(X,Z) :- r2(X,W), s2(Z,W).
+aux2(Z) :- s2(Z,W).
+-rp1(X,Y) v rp2(X,W) :- r1(X,Y), s1(Z,Y), not aux1(X,Z), s2(Z,W), choice((X,Z),(W)).
+r1(a,b). s1(c,b). s2(c,e). s2(c,f).
+`
+
+func TestSolveSection31File(t *testing.T) {
+	path := writeTemp(t, section31)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "M4 =") || strings.Contains(s, "M5 =") {
+		t.Fatalf("expected exactly 4 models:\n%s", s)
+	}
+}
+
+func TestCautiousBraveFlags(t *testing.T) {
+	path := writeTemp(t, section31)
+	var out bytes.Buffer
+	if err := run([]string{"-cautious", "rp1", "-brave", "rp2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "cautious[rp1]: []") {
+		t.Fatalf("cautious output wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "brave[rp2]: [rp2(a,e) rp2(a,f)]") {
+		t.Fatalf("brave output wrong:\n%s", s)
+	}
+}
+
+func TestShiftFlag(t *testing.T) {
+	path := writeTemp(t, section31)
+	var out bytes.Buffer
+	if err := run([]string{"-shift", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "head-cycle free: shifted") {
+		t.Fatalf("shift note missing:\n%s", s)
+	}
+	if !strings.Contains(s, "M4 =") || strings.Contains(s, "M5 =") {
+		t.Fatalf("shifted solving changed the models:\n%s", s)
+	}
+}
+
+func TestGroundFlag(t *testing.T) {
+	path := writeTemp(t, "p(a). q(X) :- p(X).")
+	var out bytes.Buffer
+	if err := run([]string{"-ground", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "q(a) :- p(a).") {
+		t.Fatalf("ground output wrong:\n%s", out.String())
+	}
+}
+
+func TestNoModels(t *testing.T) {
+	path := writeTemp(t, "p :- not p.")
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no stable models") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestParseErrorSurfaces(t *testing.T) {
+	path := writeTemp(t, "p(X :- q(X).")
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err == nil {
+		t.Fatal("parse error should propagate")
+	}
+}
+
+func TestMaxModelsFlag(t *testing.T) {
+	path := writeTemp(t, "a v b. c v d.")
+	var out bytes.Buffer
+	if err := run([]string{"-models", "2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "M3 =") {
+		t.Fatalf("models flag ignored:\n%s", out.String())
+	}
+}

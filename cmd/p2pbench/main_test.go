@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun smoke-tests every experiment: each must run
+// without error and print its key fidelity line.
+func TestAllExperimentsRun(t *testing.T) {
+	wantFragments := map[string]string{
+		"E1": "paper-expected count: 2, measured: 2",
+		"E2": "Definition 4/5 engine : [(a,b) (a,e) (c,d)]",
+		"E3": "answer sets: 4",
+		"E4": "solutions (disjunctive) = 3, solutions (shifted) = 3, equal = true",
+		"E5": "stable models: 4 (paper: M1-M4)",
+		"E6": "transitive solutions: 3 (paper: r1, r2, r3)",
+		"E7": "denial-constraint layer (paper option 1): 1 solution(s)",
+		"B2": "5          32         32",
+		"B7": "27 answer-set solutions",
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := e.run(&out); err != nil {
+				t.Fatalf("%s: %v", e.id, err)
+			}
+			if frag, ok := wantFragments[e.id]; ok {
+				if !strings.Contains(out.String(), frag) {
+					t.Fatalf("%s output missing %q:\n%s", e.id, frag, out.String())
+				}
+			}
+			if out.Len() == 0 {
+				t.Fatalf("%s produced no output", e.id)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := lookup("E1"); !ok {
+		t.Fatal("E1 not found")
+	}
+	if _, ok := lookup("Z9"); ok {
+		t.Fatal("Z9 should not exist")
+	}
+}

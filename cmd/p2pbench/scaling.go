@@ -1,0 +1,365 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/lp"
+	"repro/internal/lp/ground"
+	"repro/internal/lp/solve"
+	"repro/internal/peernet"
+	"repro/internal/program"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/workload"
+)
+
+func timed(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// runB1 measures PCA latency vs instance size for the three engines on
+// Example-1-shaped systems with a fixed number of conflicts.
+func runB1(w io.Writer) error {
+	fmt.Fprintf(w, "%-8s %-12s %-12s %-12s\n", "facts", "rewrite", "lp", "repair")
+	for _, n := range []int{5, 10, 20, 40} {
+		s := workload.Example1Shaped(n, 3, 2, 1)
+		q := foquery.MustParse("r1(X,Y)")
+		dRW, err := timed(func() error {
+			_, e := rewrite.PCAByRewriting(s, "P1", "r1", []string{"X", "Y"}, rewrite.Options{})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		dLP, err := timed(func() error {
+			_, e := program.PeerConsistentAnswersViaLP(s, "P1", q, []string{"X", "Y"}, program.RunOptions{})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		dRep, err := timed(func() error {
+			_, e := core.PeerConsistentAnswers(s, "P1", q, []string{"X", "Y"}, core.SolveOptions{})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8d %-12v %-12v %-12v\n", n, dRW, dLP, dRep)
+	}
+	fmt.Fprintf(w, "expected shape: rewriting polynomial and fastest as n grows;\n")
+	fmt.Fprintf(w, "repair enumeration dominated by the number of solutions, not n.\n")
+	return nil
+}
+
+// runB2 shows the 2^k growth of solutions with independent conflicts.
+func runB2(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-10s %-10s %-12s %-12s\n", "conflicts", "expected", "solutions", "lp-time", "repair-time")
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		s := workload.IndependentConflicts(k)
+		var nLP int
+		dLP, err := timed(func() error {
+			sols, e := program.SolutionsViaLP(s, "A", program.RunOptions{})
+			nLP = len(sols)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		var nRep int
+		dRep, err := timed(func() error {
+			sols, e := core.SolutionsFor(s, "A", core.SolveOptions{})
+			nRep = len(sols)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		if nLP != nRep {
+			return fmt.Errorf("engines disagree at k=%d: %d vs %d", k, nLP, nRep)
+		}
+		fmt.Fprintf(w, "%-10d %-10d %-10d %-12v %-12v\n", k, 1<<k, nLP, dLP, dRep)
+	}
+	fmt.Fprintf(w, "expected shape: solutions double per conflict (Pi^p_2 blow-up).\n")
+	return nil
+}
+
+// runB3 finds the crossover between the engines as conflicts grow with
+// fixed clean data.
+func runB3(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-12s\n", "conflicts", "rewrite", "lp", "repair")
+	for _, k := range []int{1, 2, 3, 4} {
+		s := workload.Example1Shaped(10, 2, k, 1)
+		q := foquery.MustParse("r1(X,Y)")
+		dRW, err := timed(func() error {
+			_, e := rewrite.PCAByRewriting(s, "P1", "r1", []string{"X", "Y"}, rewrite.Options{})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		dLP, err := timed(func() error {
+			_, e := program.PeerConsistentAnswersViaLP(s, "P1", q, []string{"X", "Y"}, program.RunOptions{})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		dRep, err := timed(func() error {
+			_, e := core.PeerConsistentAnswers(s, "P1", q, []string{"X", "Y"}, core.SolveOptions{})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10d %-12v %-12v %-12v\n", k, dRW, dLP, dRep)
+	}
+	fmt.Fprintf(w, "expected shape: rewrite flat in k; lp and repair grow with 2^k.\n")
+	return nil
+}
+
+// runB4 compares disjunctive solving against HCF-shifted solving
+// (Section 4.1's optimization).
+func runB4(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-14s %-14s %-8s\n", "conflicts", "disjunctive", "shifted", "models")
+	for _, k := range []int{2, 4, 6} {
+		s := workload.IndependentConflicts(k)
+		prog, _, err := program.BuildDirect(s, "A")
+		if err != nil {
+			return err
+		}
+		unfolded, err := lp.UnfoldChoice(prog)
+		if err != nil {
+			return err
+		}
+		g, err := ground.Ground(unfolded)
+		if err != nil {
+			return err
+		}
+		if !solve.HCF(g) {
+			return fmt.Errorf("expected HCF program at k=%d", k)
+		}
+		var nPlain int
+		dPlain, err := timed(func() error {
+			ms, e := solve.StableModels(g, solve.Options{})
+			nPlain = len(ms)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		sh, err := solve.Shift(g)
+		if err != nil {
+			return err
+		}
+		var nShift int
+		dShift, err := timed(func() error {
+			ms, e := solve.StableModels(sh, solve.Options{})
+			nShift = len(ms)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		if nPlain != nShift {
+			return fmt.Errorf("shift changed model count at k=%d: %d vs %d", k, nPlain, nShift)
+		}
+		fmt.Fprintf(w, "%-10d %-14v %-14v %-8d\n", k, dPlain, dShift, nPlain)
+	}
+	fmt.Fprintf(w, "expected shape: shifted never slower (avoids minimality search).\n")
+	return nil
+}
+
+// runB5 measures grounding cost vs facts on referential programs.
+func runB5(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-12s %-10s %-10s\n", "satisfied", "ground-time", "atoms", "rules")
+	for _, n := range []int{10, 25, 50, 100} {
+		s := workload.ReferentialShaped(1, 2, n, 1)
+		prog, _, err := program.BuildDirect(s, "P")
+		if err != nil {
+			return err
+		}
+		unfolded, err := lp.UnfoldChoice(prog)
+		if err != nil {
+			return err
+		}
+		var g *ground.Program
+		d, err := timed(func() error {
+			var e error
+			g, e = ground.Ground(unfolded)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10d %-12v %-10d %-10d\n", n, d, len(g.Atoms), len(g.Rules))
+	}
+	fmt.Fprintf(w, "expected shape: near-linear in the relevant instantiations.\n")
+	return nil
+}
+
+// runB6 measures networked PCA over transports and latencies.
+func runB6(w io.Writer) error {
+	fmt.Fprintf(w, "%-16s %-14s\n", "transport", "pca-time")
+	for _, cfg := range []struct {
+		name    string
+		latency time.Duration
+		tcp     bool
+	}{
+		{"inproc(0ms)", 0, false},
+		{"inproc(1ms)", time.Millisecond, false},
+		{"inproc(5ms)", 5 * time.Millisecond, false},
+		{"tcp(loopback)", 0, true},
+	} {
+		sys := core.Example1System()
+		var tr peernet.Transport
+		if cfg.tcp {
+			tr = &peernet.TCP{}
+		} else {
+			ip := peernet.NewInProc()
+			ip.Latency = cfg.latency
+			tr = ip
+		}
+		nodes := map[core.PeerID]*peernet.Node{}
+		for _, id := range sys.Peers() {
+			p, _ := sys.Peer(id)
+			n := peernet.NewNode(p, tr, nil)
+			if err := n.Start(":0"); err != nil {
+				return err
+			}
+			defer n.Stop()
+			nodes[id] = n
+		}
+		for _, n := range nodes {
+			for _, m := range nodes {
+				if n != m {
+					n.SetNeighbor(m.Peer.ID, m.Addr)
+				}
+			}
+		}
+		var got []relation.Tuple
+		d, err := timed(func() error {
+			var e error
+			got, e = nodes["P1"].PeerConsistentAnswers(foquery.MustParse("r1(X,Y)"), []string{"X", "Y"}, false)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		if len(got) != 3 {
+			return fmt.Errorf("networked PCA wrong: %v", got)
+		}
+		fmt.Fprintf(w, "%-16s %-14v\n", cfg.name, d)
+	}
+	fmt.Fprintf(w, "expected shape: per-neighbour fetch cost = 1 export round trip.\n")
+	return nil
+}
+
+// runB7 contrasts violations sharing a choice key (one shared witness)
+// with independent keys (independent witness choices).
+func runB7(w io.Writer) error {
+	// Shared key: v r1-tuples joined to the same s1 key; the paper's
+	// choice((x,z),w) then picks one witness for all of them.
+	shared := core.NewPeer("P").Declare("r1", 2).Declare("r2", 2).
+		SetTrust("Q", core.TrustLess).
+		AddDEC("Q", constraint.Referential("dec3", "r1", "s1", "r2", "s2"))
+	q1 := core.NewPeer("Q").Declare("s1", 2).Declare("s2", 2)
+	for i := 0; i < 3; i++ {
+		shared.Fact("r1", "x", fmt.Sprintf("y%d", i))
+		q1.Fact("s1", "z", fmt.Sprintf("y%d", i))
+	}
+	q1.Fact("s2", "z", "w0")
+	q1.Fact("s2", "z", "w1")
+	sysShared := core.NewSystem().MustAddPeer(shared).MustAddPeer(q1)
+
+	sols, err := program.SolutionsViaLP(sysShared, "P", program.RunOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "3 violations, shared key (x,z), 2 witnesses: %d answer-set solutions\n", len(sols))
+
+	indep := workload.ReferentialShaped(3, 2, 0, 1)
+	sols2, err := program.SolutionsViaLP(indep, "P", program.RunOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "3 violations, independent keys, 2 witnesses: %d answer-set solutions\n", len(sols2))
+	fmt.Fprintf(w, "expected shape: shared keys collapse the witness choices (one choice\n")
+	fmt.Fprintf(w, "per key), independent keys multiply them ((1+2)^3 = 27).\n")
+	return nil
+}
+
+// runB8 ablates support propagation in the solver.
+func runB8(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-14s %-14s\n", "conflicts", "with-support", "without")
+	for _, k := range []int{2, 4, 6} {
+		s := workload.IndependentConflicts(k)
+		prog, _, err := program.BuildDirect(s, "A")
+		if err != nil {
+			return err
+		}
+		unfolded, err := lp.UnfoldChoice(prog)
+		if err != nil {
+			return err
+		}
+		g, err := ground.Ground(unfolded)
+		if err != nil {
+			return err
+		}
+		var nWith, nWithout int
+		dWith, err := timed(func() error {
+			ms, e := solve.StableModels(g, solve.Options{})
+			nWith = len(ms)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		dWithout, err := timed(func() error {
+			ms, e := solve.StableModels(g, solve.Options{NoSupportPropagation: true})
+			nWithout = len(ms)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		if nWith != nWithout {
+			return fmt.Errorf("ablation changed models at k=%d", k)
+		}
+		fmt.Fprintf(w, "%-10d %-14v %-14v\n", k, dWith, dWithout)
+	}
+	fmt.Fprintf(w, "expected shape: identical models; support propagation prunes search.\n")
+	return nil
+}
+
+func sameKeys(a, b []*relation.Instance) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// section31WithFD mirrors the E7 fixture from the program tests.
+func section31WithFD() *core.System {
+	p := core.NewPeer("P").Declare("r1", 2).Declare("r2", 2).
+		Fact("r1", "a", "b").Fact("r2", "a", "g").
+		SetTrust("Q", core.TrustLess).
+		AddDEC("Q", constraint.Referential("dec3", "r1", "s1", "r2", "s2")).
+		AddIC(constraint.FD("fd_r2", "r2"))
+	q := core.NewPeer("Q").Declare("s1", 2).Declare("s2", 2).
+		Fact("s1", "c", "b").
+		Fact("s2", "c", "e").Fact("s2", "c", "f")
+	return core.NewSystem().MustAddPeer(p).MustAddPeer(q)
+}

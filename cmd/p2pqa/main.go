@@ -1,0 +1,232 @@
+// Command p2pqa loads a P2P data exchange system (sysdsl format) and
+// answers queries posed to a peer under the paper's peer-consistent
+// semantics, with every engine the repository implements:
+//
+//	p2pqa -system sys.p2p -peer P1 -query "r1(X,Y)" -vars X,Y
+//	p2pqa -system sys.p2p -peer P1 -query "r1(X,Y)" -vars X,Y -engine lp
+//	p2pqa -system sys.p2p -peer P1 -solutions
+//
+// Engines: repair (Definition 4/5 via minimal repairs, default),
+// lp (Section 3 answer set program), lav (Section 4.2 annotated
+// program), rewrite (Section 2 first-order rewriting; atomic queries
+// in its applicability class only). -transitive switches the lp engine
+// to the combined program of Section 4.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/program"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/sysdsl"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "p2pqa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("p2pqa", flag.ContinueOnError)
+	sysFile := fs.String("system", "", "system description file (sysdsl format; '-' for stdin)")
+	peer := fs.String("peer", "", "peer to pose the query to")
+	query := fs.String("query", "", "first-order query in L(peer)")
+	vars := fs.String("vars", "", "comma-separated answer variables")
+	engine := fs.String("engine", "repair", "engine: repair | lp | lav | rewrite")
+	transitive := fs.Bool("transitive", false, "use the transitive (Section 4.3) semantics with the lp engine")
+	possible := fs.Bool("possible", false, "compute possible (brave) answers instead of peer consistent (certain) ones; repair engine only")
+	solutions := fs.Bool("solutions", false, "print the peer's solutions instead of answering a query")
+	showProgram := fs.Bool("program", false, "print the specification program instead of solving (lp/lav engines)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sysFile == "" || *peer == "" {
+		return fmt.Errorf("-system and -peer are required")
+	}
+	var src []byte
+	var err error
+	if *sysFile == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*sysFile)
+	}
+	if err != nil {
+		return err
+	}
+	sys, err := sysdsl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	id := core.PeerID(*peer)
+
+	if *showProgram {
+		var p fmt.Stringer
+		switch *engine {
+		case "lav":
+			p, _, err = program.BuildLAV(sys, id)
+		default:
+			if *transitive {
+				p, _, err = program.BuildTransitive(sys, id)
+			} else {
+				p, _, err = program.BuildDirect(sys, id)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, p.String())
+		return nil
+	}
+
+	if *solutions {
+		var sols []*relation.Instance
+		switch *engine {
+		case "repair":
+			sols, err = core.SolutionsFor(sys, id, core.SolveOptions{})
+		case "lp":
+			sols, err = program.SolutionsViaLP(sys, id, program.RunOptions{Transitive: *transitive})
+		case "lav":
+			sols, err = program.SolutionsViaLAV(sys, id, program.RunOptions{})
+		default:
+			return fmt.Errorf("engine %q cannot enumerate solutions", *engine)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d solution(s) for peer %s:\n", len(sols), id)
+		for i, s := range sols {
+			fmt.Fprintf(out, "S%d = %s\n", i+1, s)
+		}
+		return nil
+	}
+
+	if *query == "" || *vars == "" {
+		return fmt.Errorf("-query and -vars are required (or use -solutions)")
+	}
+	varList := strings.Split(*vars, ",")
+	for i := range varList {
+		varList[i] = strings.TrimSpace(varList[i])
+	}
+
+	var ans []relation.Tuple
+	switch *engine {
+	case "repair":
+		f, perr := foquery.Parse(*query)
+		if perr != nil {
+			return perr
+		}
+		if *possible {
+			ans, err = core.PossibleAnswers(sys, id, f, varList, core.SolveOptions{})
+		} else {
+			ans, err = core.PeerConsistentAnswers(sys, id, f, varList, core.SolveOptions{})
+		}
+	case "lp":
+		f, perr := foquery.Parse(*query)
+		if perr != nil {
+			return perr
+		}
+		ans, err = program.PeerConsistentAnswersViaLP(sys, id, f, varList, program.RunOptions{Transitive: *transitive})
+	case "lav":
+		f, perr := foquery.Parse(*query)
+		if perr != nil {
+			return perr
+		}
+		ans, err = lavAnswers(sys, id, f, varList)
+	case "rewrite":
+		rel, rerr := atomicQueryRel(*query, varList)
+		if rerr != nil {
+			return rerr
+		}
+		var f foquery.Formula
+		f, err = rewrite.RewriteAtom(sys, id, rel, varList, rewrite.Options{})
+		if err == nil {
+			fmt.Fprintf(out, "rewritten query: %s\n", f)
+			ans, err = foquery.Answers(sys.Global(), f, varList)
+		}
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		return err
+	}
+	kind := "peer consistent"
+	if *possible {
+		kind = "possible"
+	}
+	fmt.Fprintf(out, "%d %s answer(s):\n", len(ans), kind)
+	for _, t := range ans {
+		fmt.Fprintln(out, t)
+	}
+	return nil
+}
+
+// lavAnswers computes peer consistent answers through the LAV program
+// of Section 4.2: solutions from the tss projections, restricted to the
+// peer's schema, intersected.
+func lavAnswers(sys *core.System, id core.PeerID, q foquery.Formula, vars []string) ([]relation.Tuple, error) {
+	p, ok := sys.Peer(id)
+	if !ok {
+		return nil, fmt.Errorf("unknown peer %s", id)
+	}
+	sols, err := program.SolutionsViaLAV(sys, id, program.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if len(sols) == 0 {
+		return nil, core.ErrNoSolutions
+	}
+	restricted := make([]*relation.Instance, len(sols))
+	for i, s := range sols {
+		restricted[i] = s.Restrict(p.Schema)
+	}
+	counts := map[string]int{}
+	keep := map[string]relation.Tuple{}
+	for _, in := range restricted {
+		ans, err := foquery.Answers(in, q, vars)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		for _, t := range ans {
+			if !seen[t.Key()] {
+				seen[t.Key()] = true
+				counts[t.Key()]++
+				keep[t.Key()] = t
+			}
+		}
+	}
+	var out []relation.Tuple
+	for k, c := range counts {
+		if c == len(restricted) {
+			out = append(out, keep[k])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// atomicQueryRel extracts the relation of an atomic query rel(V1,...).
+func atomicQueryRel(q string, vars []string) (string, error) {
+	f, err := foquery.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	a, ok := f.(foquery.Atom)
+	if !ok {
+		return "", fmt.Errorf("the rewrite engine requires an atomic query, got %s", f)
+	}
+	if len(a.A.Args) != len(vars) {
+		return "", fmt.Errorf("query arity %d does not match %d answer variables", len(a.A.Args), len(vars))
+	}
+	return a.A.Pred, nil
+}

@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of Bertossi & Bravo,
+// "Query Answering in Peer-to-Peer Data Exchange Systems" (EDBT 2004
+// Workshops, arXiv:cs/0401015).
+//
+// The implementation lives under internal/ (see README.md for the
+// architecture): the model-theoretic semantics of Definitions 1-5
+// (internal/core, internal/repair), the answer-set-programming route of
+// Sections 3-4 with a full disjunctive stable-model solver
+// (internal/program, internal/lp), the first-order rewriting of Section
+// 2 (internal/rewrite), and the substrates: relational storage
+// (internal/relation), FO query evaluation (internal/foquery),
+// constraints (internal/constraint), networking (internal/peernet), a
+// system-description format (internal/sysdsl) and workload generators
+// (internal/workload).
+//
+// Command-line tools: cmd/p2pqa (query answering over system
+// descriptions), cmd/asp (the stable-model solver), cmd/p2pbench
+// (regenerates every experiment in EXPERIMENTS.md). Runnable examples
+// are under examples/. The root package holds the benchmark suite
+// (bench_test.go), one benchmark per experiment row.
+package repro

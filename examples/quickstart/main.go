@@ -1,0 +1,76 @@
+// Quickstart: build the paper's Example 1 system, inspect its two
+// solutions, and ask for peer consistent answers with every engine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/program"
+	"repro/internal/rewrite"
+)
+
+func main() {
+	// A P2P data exchange system (Definition 2): three peers, each
+	// owning its schema and instance.
+	p1 := core.NewPeer("P1").Declare("r1", 2).
+		Fact("r1", "a", "b").Fact("r1", "s", "t").
+		// P1 trusts P2 more than itself and P3 the same (Definition 2(f)).
+		SetTrust("P2", core.TrustLess).
+		SetTrust("P3", core.TrustSame).
+		// Σ(P1,P2): everything in r2 must be in r1 (an import DEC).
+		AddDEC("P2", constraint.Inclusion("sigma(P1,P2)", "r2", "r1", 2)).
+		// Σ(P1,P3): r1 and r3 agree on keys (an equality-generating DEC).
+		AddDEC("P3", constraint.KeyEGD("sigma(P1,P3)", "r1", "r3"))
+	p2 := core.NewPeer("P2").Declare("r2", 2).
+		Fact("r2", "c", "d").Fact("r2", "a", "e")
+	p3 := core.NewPeer("P3").Declare("r3", 2).
+		Fact("r3", "a", "f").Fact("r3", "s", "u")
+
+	sys := core.NewSystem().MustAddPeer(p1).MustAddPeer(p2).MustAddPeer(p3)
+
+	fmt.Println("global instance:", sys.Global())
+
+	// The solutions for P1 (Definition 4): minimal virtual repairs that
+	// satisfy the DECs while respecting trust.
+	sols, err := core.SolutionsFor(sys, "P1", core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P1 has %d solutions:\n", len(sols))
+	for i, s := range sols {
+		fmt.Printf("  S%d = %s\n", i+1, s)
+	}
+
+	// Peer consistent answers (Definition 5): true in every solution.
+	q := foquery.MustParse("r1(X,Y)")
+	ans, err := core.PeerConsistentAnswers(sys, "P1", q, []string{"X", "Y"}, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PCAs via repair semantics:", ans)
+
+	// Same answers through the answer-set program of Section 3 ...
+	ans2, err := program.PeerConsistentAnswersViaLP(sys, "P1", q, []string{"X", "Y"}, program.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PCAs via stable models:   ", ans2)
+
+	// ... and through the first-order rewriting of Section 2.
+	f, err := rewrite.RewriteAtom(sys, "P1", "r1", []string{"X", "Y"}, rewrite.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rewritten query:", f)
+	ans3, err := rewrite.PCAByRewriting(sys, "P1", "r1", []string{"X", "Y"}, rewrite.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PCAs via rewriting:       ", ans3)
+}

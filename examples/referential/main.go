@@ -1,0 +1,102 @@
+// Referential exchange constraints (Section 3): a clinical-trials peer
+// imports patient-measurement links from a more trusted lab peer under
+// the DEC (3) pattern, and answers queries through the specification
+// program — both in the direct GAV style and in the annotated LAV
+// style of the appendix.
+//
+//	go run ./examples/referential
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/program"
+	"repro/internal/term"
+)
+
+func main() {
+	// Peer "trials" records enrolment(patient, cohort) and
+	// assay(patient, sample). Peer "lab" records cohortplan(site,
+	// cohort) and samples(site, sample). The exchange constraint says:
+	// an enrolled patient in a cohort planned at a site must have an
+	// assay sample that the site actually produced:
+	//
+	//   ∀p,c,s ∃m (enrolment(p,c) ∧ cohortplan(s,c)
+	//               → assay(p,m) ∧ samples(s,m))
+	dec := &constraint.Dependency{
+		Name: "trial_lab",
+		Body: []term.Atom{
+			term.NewAtom("enrolment", term.V("P"), term.V("C")),
+			term.NewAtom("cohortplan", term.V("S"), term.V("C")),
+		},
+		ExVars: []string{"M"},
+		Head: []term.Atom{
+			term.NewAtom("assay", term.V("P"), term.V("M")),
+			term.NewAtom("samples", term.V("S"), term.V("M")),
+		},
+	}
+
+	trials := core.NewPeer("trials").
+		Declare("enrolment", 2).Declare("assay", 2).
+		Fact("enrolment", "pat7", "cohortA").
+		SetTrust("lab", core.TrustLess).
+		AddDEC("lab", dec)
+	lab := core.NewPeer("lab").
+		Declare("cohortplan", 2).Declare("samples", 2).
+		Fact("cohortplan", "site1", "cohortA").
+		Fact("samples", "site1", "m42").
+		Fact("samples", "site1", "m43")
+	sys := core.NewSystem().MustAddPeer(trials).MustAddPeer(lab)
+
+	// The GAV specification program (Section 3.1 pattern).
+	prog, _, err := program.BuildDirect(sys, "trials")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("direct specification program:")
+	fmt.Print(prog)
+
+	// Its stable models are the solutions: drop the enrolment, or
+	// adopt one of the lab's samples as the assay witness.
+	sols, err := program.SolutionsViaLP(sys, "trials", program.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d solutions:\n", len(sols))
+	for i, s := range sols {
+		fmt.Printf("  S%d = %s\n", i+1, s)
+	}
+
+	// The LAV route (Section 4.2) agrees.
+	lav, err := program.SolutionsViaLAV(sys, "trials", program.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLAV route solutions: %d (must agree)\n", len(lav))
+
+	// Skeptical query answering via a query program (Section 3.2):
+	// which patients certainly have an assay in every solution?
+	qp, err := program.ConjunctiveQueryProgram(prog, mustNaming(sys), []term.Atom{
+		term.NewAtom("assay", term.V("P"), term.V("M")),
+	}, nil, []string{"P"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, has, err := program.CautiousAnswers(qp, program.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncertain assay patients (has solutions: %v): %v\n", has, ans)
+	fmt.Println("(none: one solution drops the enrolment instead of inserting)")
+}
+
+func mustNaming(sys *core.System) *program.Naming {
+	_, naming, err := program.BuildDirect(sys, "trials")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return naming
+}

@@ -1,0 +1,73 @@
+package constraint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+// TestInclusionSatisfiedIffSubset (testing/quick): the inclusion
+// dependency holds exactly when the source relation is a subset of the
+// destination.
+func TestInclusionSatisfiedIffSubset(t *testing.T) {
+	d := Inclusion("inc", "src", "dst", 1)
+	f := func(src, dst []uint8) bool {
+		in := relation.NewInstance()
+		for _, v := range src {
+			in.Insert("src", relation.Tuple{name(v)})
+		}
+		for _, v := range dst {
+			in.Insert("dst", relation.Tuple{name(v)})
+		}
+		ok, err := d.Satisfied(in)
+		if err != nil {
+			return false
+		}
+		subset := true
+		for _, tup := range in.Tuples("src") {
+			if !in.Has("dst", tup) {
+				subset = false
+				break
+			}
+		}
+		return ok == subset
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViolationsCountMatchesUnsatisfiedMatches (testing/quick): for
+// the key EGD, the number of violations equals the number of joined
+// pairs with differing values.
+func TestViolationsCountMatchesUnsatisfiedMatches(t *testing.T) {
+	d := KeyEGD("egd", "r", "s")
+	f := func(rp, sp [][2]uint8) bool {
+		in := relation.NewInstance()
+		for _, p := range rp {
+			in.Insert("r", relation.Tuple{name(p[0]), name(p[1])})
+		}
+		for _, p := range sp {
+			in.Insert("s", relation.Tuple{name(p[0]), name(p[1])})
+		}
+		vs, err := d.Violations(in)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, rt := range in.Tuples("r") {
+			for _, st := range in.Tuples("s") {
+				if rt[0] == st[0] && rt[1] != st[1] {
+					want++
+				}
+			}
+		}
+		return len(vs) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func name(b uint8) string { return string(rune('a' + int(b)%4)) }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"repro/internal/constraint"
+)
+
+// Fixtures reproducing the paper's running examples. They are used by
+// tests, by cmd/p2pbench and by the examples; keeping them here keeps
+// the experiment inputs identical everywhere.
+
+// Example1System builds the system of the paper's Example 1:
+//
+//	peers P1, P2, P3 with instances
+//	  r1 = {R1(a,b), R1(s,t)}, r2 = {R2(c,d), R2(a,e)},
+//	  r3 = {R3(a,f), R3(s,u)};
+//	trust = {(P1, less, P2), (P1, same, P3)};
+//	Σ(P1,P2) = { ∀xy (R2(x,y) → R1(x,y)) };
+//	Σ(P1,P3) = { ∀xyz (R1(x,y) ∧ R3(x,z) → y = z) }.
+func Example1System() *System {
+	p1 := NewPeer("P1").Declare("r1", 2).
+		Fact("r1", "a", "b").Fact("r1", "s", "t").
+		SetTrust("P2", TrustLess).SetTrust("P3", TrustSame).
+		AddDEC("P2", constraint.Inclusion("sigma(P1,P2)", "r2", "r1", 2)).
+		AddDEC("P3", constraint.KeyEGD("sigma(P1,P3)", "r1", "r3"))
+	p2 := NewPeer("P2").Declare("r2", 2).
+		Fact("r2", "c", "d").Fact("r2", "a", "e")
+	p3 := NewPeer("P3").Declare("r3", 2).
+		Fact("r3", "a", "f").Fact("r3", "s", "u")
+	return NewSystem().MustAddPeer(p1).MustAddPeer(p2).MustAddPeer(p3)
+}
+
+// Section31System builds the two-peer system of Section 3.1: peer P
+// with schema {R1, R2}, peer Q with {S1, S2}, the referential DEC (3)
+//
+//	∀x∀y∀z∃w (R1(x,y) ∧ S1(z,y) → R2(x,w) ∧ S2(z,w))
+//
+// owned by P, and (P, less, Q) ∈ trust. The instance is the one used in
+// the paper's appendix: r1 = {(a,b)}, s1 = {(c,b)}, r2 = {},
+// s2 = {(c,e),(c,f)}.
+func Section31System() *System {
+	p := NewPeer("P").Declare("r1", 2).Declare("r2", 2).
+		Fact("r1", "a", "b").
+		SetTrust("Q", TrustLess).
+		AddDEC("Q", constraint.Referential("dec3", "r1", "s1", "r2", "s2"))
+	q := NewPeer("Q").Declare("s1", 2).Declare("s2", 2).
+		Fact("s1", "c", "b").
+		Fact("s2", "c", "e").Fact("s2", "c", "f")
+	return NewSystem().MustAddPeer(p).MustAddPeer(q)
+}
+
+// Example4System builds the three-peer system of Example 4 (the
+// transitive case): the Section 3.1 peers P and Q plus peer C with
+// relation U, ΣQ,C = { ∀xy (U(x,y) → S1(x,y)) }, (Q, less, C) ∈ trust,
+// and instances r1 = {(a,b)}, s1 = {}, r2 = {}, s2 = {(c,e),(c,f)},
+// u = {(c,b)}.
+func Example4System() *System {
+	p := NewPeer("P").Declare("r1", 2).Declare("r2", 2).
+		Fact("r1", "a", "b").
+		SetTrust("Q", TrustLess).
+		AddDEC("Q", constraint.Referential("dec3", "r1", "s1", "r2", "s2"))
+	q := NewPeer("Q").Declare("s1", 2).Declare("s2", 2).
+		Fact("s2", "c", "e").Fact("s2", "c", "f").
+		SetTrust("C", TrustLess).
+		AddDEC("C", constraint.Inclusion("sigma(Q,C)", "u", "s1", 2))
+	c := NewPeer("C").Declare("u", 2).Fact("u", "c", "b")
+	return NewSystem().MustAddPeer(p).MustAddPeer(q).MustAddPeer(c)
+}

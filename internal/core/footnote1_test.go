@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/foquery"
+	"repro/internal/relation"
+)
+
+// TestLocallyInconsistentPeer exercises the extension sketched in the
+// paper's footnote 1: a peer whose own instance violates IC(P). The
+// paper assumes r(P) ⊨ IC(P) but notes the scenario "would not be
+// difficult to extend ... techniques as those described in [8]".
+// Because the solution semantics includes IC(P) in the repair
+// constraints, the engine already tolerates local violations: the
+// solutions repair them CQA-style.
+func TestLocallyInconsistentPeer(t *testing.T) {
+	p1 := NewPeer("P1").Declare("r1", 2).
+		Fact("r1", "k", "v1").Fact("r1", "k", "v2"). // violates the FD
+		AddIC(constraint.FD("fd", "r1")).
+		SetTrust("P2", TrustLess).
+		AddDEC("P2", constraint.Inclusion("inc", "r2", "r1", 2))
+	p2 := NewPeer("P2").Declare("r2", 2).Fact("r2", "x", "y")
+	s := NewSystem().MustAddPeer(p1).MustAddPeer(p2)
+
+	sols, err := SolutionsFor(s, "P1", SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two repairs of the local FD conflict, each with the import.
+	if len(sols) != 2 {
+		t.Fatalf("solutions = %d: %v", len(sols), sols)
+	}
+	for _, sol := range sols {
+		if !sol.Has("r1", relation.Tuple{"x", "y"}) {
+			t.Fatalf("import missing in %v", sol)
+		}
+		if sol.Has("r1", relation.Tuple{"k", "v1"}) == sol.Has("r1", relation.Tuple{"k", "v2"}) {
+			t.Fatalf("FD not repaired in %v", sol)
+		}
+	}
+	// The imported tuple is certain; the conflicting pair is not.
+	ans, err := PeerConsistentAnswers(s, "P1", foquery.MustParse("r1(X,Y)"), []string{"X", "Y"}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || !ans[0].Equal(relation.Tuple{"x", "y"}) {
+		t.Fatalf("PCAs = %v", ans)
+	}
+	// Both conflicting tuples are possible answers.
+	poss, err := PossibleAnswers(s, "P1", foquery.MustParse("r1(X,Y)"), []string{"X", "Y"}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poss) != 3 {
+		t.Fatalf("possible = %v", poss)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/foquery"
+	"repro/internal/relation"
+)
+
+// PossibleAnswers computes the brave counterpart of Definition 5: the
+// tuples t̄ with r'|P ⊨ Q(t̄) for *some* solution r' for the peer. The
+// paper computes PCAs under the skeptical answer set semantics; the
+// brave modality is the standard dual in consistent query answering
+// and is exposed here as an extension (the same solutions are used,
+// answers are unioned instead of intersected).
+func PossibleAnswers(s *System, id PeerID, q foquery.Formula, vars []string, opt SolveOptions) ([]relation.Tuple, error) {
+	p, ok := s.peers[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown peer %s", id)
+	}
+	if err := checkQuerySchema(p, q); err != nil {
+		return nil, err
+	}
+	sols, err := SolutionsFor(s, id, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(sols) == 0 {
+		return nil, ErrNoSolutions
+	}
+	seen := map[string]bool{}
+	var out []relation.Tuple
+	for _, r := range sols {
+		ans, err := foquery.Answers(r.Restrict(p.Schema), q, vars)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ans {
+			if !seen[t.Key()] {
+				seen[t.Key()] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/foquery"
+	"repro/internal/relation"
+)
+
+// TestPossibleAnswersExample1: brave answers include everything true in
+// some solution — here also r1(s,t) and r3-protected content, unlike
+// the certain (skeptical) answers of Example 2.
+func TestPossibleAnswersExample1(t *testing.T) {
+	s := Example1System()
+	q := foquery.MustParse("r1(X,Y)")
+	possible, err := PossibleAnswers(s, "P1", q, []string{"X", "Y"}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []relation.Tuple{{"a", "b"}, {"a", "e"}, {"c", "d"}, {"s", "t"}}
+	if !reflect.DeepEqual(possible, want) {
+		t.Fatalf("possible = %v, want %v", possible, want)
+	}
+	certain, err := PeerConsistentAnswers(s, "P1", q, []string{"X", "Y"}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Certain ⊆ possible, strictly here.
+	if len(certain) >= len(possible) {
+		t.Fatalf("certain %v should be a strict subset of possible %v", certain, possible)
+	}
+}
+
+func TestPossibleAnswersSection31(t *testing.T) {
+	s := Section31System()
+	q := foquery.MustParse("r2(X,Y)")
+	possible, err := PossibleAnswers(s, "P", q, []string{"X", "Y"}, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some solution inserts (a,e), another (a,f).
+	want := []relation.Tuple{{"a", "e"}, {"a", "f"}}
+	if !reflect.DeepEqual(possible, want) {
+		t.Fatalf("possible = %v, want %v", possible, want)
+	}
+}
+
+func TestPossibleAnswersErrors(t *testing.T) {
+	s := Example1System()
+	if _, err := PossibleAnswers(s, "ZZ", foquery.MustParse("r1(X,Y)"), []string{"X", "Y"}, SolveOptions{}); err == nil {
+		t.Fatal("unknown peer must fail")
+	}
+	if _, err := PossibleAnswers(s, "P1", foquery.MustParse("r2(X,Y)"), []string{"X", "Y"}, SolveOptions{}); err == nil {
+		t.Fatal("query outside L(P1) must fail")
+	}
+}

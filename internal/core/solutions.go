@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/foquery"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+// SolveOptions configures solution computation.
+type SolveOptions struct {
+	// MaxDelta and MaxRepairs are passed to the repair engine per stage.
+	MaxDelta   int
+	MaxRepairs int
+}
+
+// SolutionsFor computes the solutions for peer P (Definition 4, direct
+// case) on the system's current global instance:
+//
+//	stage 1: repair r̄ w.r.t. ⋃{Σ(P,Q) | (P,less,Q)} ∪ IC(P), holding
+//	         every relation not owned by P fixed;
+//	stage 2: repair each stage-1 result w.r.t. the same-trust DECs
+//	         (keeping the less-trust DECs and IC(P) satisfied), with
+//	         P's and the same-trusted peers' relations mutable and the
+//	         more-trusted peers' relations fixed.
+//
+// Relations of peers that appear in no DEC of P are untouched
+// (condition (b) of Definition 4). The result is deduplicated and
+// deterministic.
+func SolutionsFor(s *System, id PeerID, opt SolveOptions) ([]*relation.Instance, error) {
+	p, ok := s.peers[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown peer %s", id)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+
+	var lessDeps, sameDeps []*constraint.Dependency
+	for _, q := range s.TrustedPeers(id, TrustLess) {
+		lessDeps = append(lessDeps, p.DECs[q]...)
+	}
+	for _, q := range s.TrustedPeers(id, TrustSame) {
+		sameDeps = append(sameDeps, p.DECs[q]...)
+	}
+
+	global := s.Global()
+
+	// Stage 1: only P's own relations are mutable.
+	fixed1 := map[string]bool{}
+	for rel, owner := range s.owner {
+		if owner != id {
+			fixed1[rel] = true
+		}
+	}
+	stage1Deps := append(append([]*constraint.Dependency{}, lessDeps...), p.ICs...)
+	stage1, err := repair.Repairs(global, stage1Deps, repair.Options{
+		Fixed:      fixed1,
+		MaxDelta:   opt.MaxDelta,
+		MaxRepairs: opt.MaxRepairs,
+	})
+	if err != nil && err != repair.ErrBound {
+		return nil, fmt.Errorf("core: stage-1 repairs for %s: %w", id, err)
+	}
+
+	if len(sameDeps) == 0 {
+		return dedupSorted(stage1), nil
+	}
+
+	// Stage 2: P's and the same-trusted peers' relations are mutable;
+	// less-trust DECs and local ICs must be preserved.
+	fixed2 := map[string]bool{}
+	mutableOwners := map[PeerID]bool{id: true}
+	for _, q := range s.TrustedPeers(id, TrustSame) {
+		mutableOwners[q] = true
+	}
+	for rel, owner := range s.owner {
+		if !mutableOwners[owner] {
+			fixed2[rel] = true
+		}
+	}
+	stage2Deps := append(append([]*constraint.Dependency{}, sameDeps...), lessDeps...)
+	stage2Deps = append(stage2Deps, p.ICs...)
+
+	var out []*relation.Instance
+	for _, r1 := range stage1 {
+		reps, err := repair.Repairs(r1, stage2Deps, repair.Options{
+			Fixed:      fixed2,
+			MaxDelta:   opt.MaxDelta,
+			MaxRepairs: opt.MaxRepairs,
+		})
+		if err != nil && err != repair.ErrBound {
+			return nil, fmt.Errorf("core: stage-2 repairs for %s: %w", id, err)
+		}
+		out = append(out, reps...)
+	}
+	return dedupSorted(out), nil
+}
+
+func dedupSorted(insts []*relation.Instance) []*relation.Instance {
+	seen := map[string]bool{}
+	var out []*relation.Instance
+	for _, in := range insts {
+		k := in.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, in)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// ErrNoSolutions is returned when a peer admits no solution (e.g. a
+// violated DEC whose relations are all fixed); the paper reflects this
+// as the non-existence of answer sets.
+var ErrNoSolutions = fmt.Errorf("core: peer has no solutions")
+
+// PeerConsistentAnswers computes the PCAs of Definition 5: the tuples
+// t̄ with r'|P ⊨ Q(t̄) for every solution r' for the peer — the query is
+// evaluated on the restriction of each solution to the peer's own
+// schema R(P).
+func PeerConsistentAnswers(s *System, id PeerID, q foquery.Formula, vars []string, opt SolveOptions) ([]relation.Tuple, error) {
+	p, ok := s.peers[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown peer %s", id)
+	}
+	// The query must be in L(P).
+	if err := checkQuerySchema(p, q); err != nil {
+		return nil, err
+	}
+	sols, err := SolutionsFor(s, id, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(sols) == 0 {
+		return nil, ErrNoSolutions
+	}
+	restricted := make([]*relation.Instance, len(sols))
+	for i, r := range sols {
+		restricted[i] = r.Restrict(p.Schema)
+	}
+	return repair.IntersectAnswers(restricted, q, vars)
+}
+
+func checkQuerySchema(p *Peer, q foquery.Formula) error {
+	for _, pred := range formulaPreds(q) {
+		if !p.Schema.Has(pred) {
+			return fmt.Errorf("core: query uses relation %s outside L(%s)", pred, p.ID)
+		}
+	}
+	return nil
+}
+
+func formulaPreds(f foquery.Formula) []string {
+	seen := map[string]bool{}
+	var walk func(foquery.Formula)
+	walk = func(f foquery.Formula) {
+		switch g := f.(type) {
+		case foquery.Atom:
+			seen[g.A.Pred] = true
+		case foquery.Not:
+			walk(g.F)
+		case foquery.And:
+			for _, h := range g.Fs {
+				walk(h)
+			}
+		case foquery.Or:
+			for _, h := range g.Fs {
+				walk(h)
+			}
+		case foquery.Implies:
+			walk(g.A)
+			walk(g.B)
+		case foquery.Quant:
+			walk(g.Body)
+		}
+	}
+	walk(f)
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsPCA reports whether a specific ground tuple is a peer consistent
+// answer for the query (Definition 5 membership test).
+func IsPCA(s *System, id PeerID, q foquery.Formula, vars []string, tup relation.Tuple, opt SolveOptions) (bool, error) {
+	ans, err := PeerConsistentAnswers(s, id, q, vars, opt)
+	if err != nil {
+		return false, err
+	}
+	for _, a := range ans {
+		if a.Equal(tup) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,360 @@
+package foquery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/term"
+)
+
+// Env is an evaluation environment: the instance queried and the
+// quantification domain (active-domain semantics; the domain is the
+// active domain of the instance extended with the query constants,
+// which makes evaluation generic in the sense of Section 2, footnote 3).
+type Env struct {
+	Inst   *relation.Instance
+	Domain []string
+}
+
+// NewEnv builds an evaluation environment for a formula over an
+// instance, using the instance's active domain extended with the
+// formula's constants.
+func NewEnv(inst *relation.Instance, f Formula) *Env {
+	dom := inst.ActiveDomain()
+	seen := make(map[string]bool, len(dom))
+	for _, d := range dom {
+		seen[d] = true
+	}
+	for _, c := range Constants(f) {
+		if !seen[c] {
+			seen[c] = true
+			dom = append(dom, c)
+		}
+	}
+	sort.Strings(dom)
+	return &Env{Inst: inst, Domain: dom}
+}
+
+// Eval evaluates a formula under a (total, for the formula's free
+// variables) assignment. It returns an error if a free variable is
+// unbound.
+func (e *Env) Eval(f Formula, s term.Subst) (bool, error) {
+	switch g := f.(type) {
+	case Atom:
+		a := s.Apply(g.A)
+		for _, t := range a.Args {
+			if t.IsVar {
+				return false, fmt.Errorf("foquery: unbound variable %s in atom %s", t.Name, g.A)
+			}
+		}
+		return e.Inst.HasAtom(a), nil
+	case Cmp:
+		l := s.ApplyTerm(g.L)
+		r := s.ApplyTerm(g.R)
+		if l.IsVar || r.IsVar {
+			return false, fmt.Errorf("foquery: unbound variable in comparison %s", g)
+		}
+		return evalCmp(g.Op, l.Name, r.Name)
+	case Not:
+		v, err := e.Eval(g.F, s)
+		return !v, err
+	case And:
+		for _, h := range g.Fs {
+			v, err := e.Eval(h, s)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case Or:
+		for _, h := range g.Fs {
+			v, err := e.Eval(h, s)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Implies:
+		a, err := e.Eval(g.A, s)
+		if err != nil {
+			return false, err
+		}
+		if !a {
+			return true, nil
+		}
+		return e.Eval(g.B, s)
+	case Quant:
+		return e.evalQuant(g, s)
+	}
+	return false, fmt.Errorf("foquery: unknown formula type %T", f)
+}
+
+func (e *Env) evalQuant(q Quant, s term.Subst) (bool, error) {
+	return e.quantRec(q, s, 0)
+}
+
+func (e *Env) quantRec(q Quant, s term.Subst, i int) (bool, error) {
+	if i == len(q.Vars) {
+		return e.Eval(q.Body, s)
+	}
+	v := q.Vars[i]
+	saved, had := s[v]
+	defer func() {
+		if had {
+			s[v] = saved
+		} else {
+			delete(s, v)
+		}
+	}()
+	for _, d := range e.Domain {
+		s[v] = term.C(d)
+		ok, err := e.quantRec(q, s, i+1)
+		if err != nil {
+			return false, err
+		}
+		if q.Forall && !ok {
+			return false, nil
+		}
+		if !q.Forall && ok {
+			return true, nil
+		}
+	}
+	return q.Forall, nil
+}
+
+// Answers evaluates a query with free variables and returns the
+// satisfying assignments projected onto vars, as tuples in the order of
+// vars, sorted and de-duplicated. It uses a generator/filter planner:
+// positive atoms generate candidate bindings by matching against the
+// instance; residual subformulas act as filters; any variable not bound
+// by a generator falls back to active-domain enumeration.
+func Answers(inst *relation.Instance, f Formula, vars []string) ([]relation.Tuple, error) {
+	env := NewEnv(inst, f)
+	free := FreeVars(f)
+	freeSet := make(map[string]bool, len(free))
+	for _, v := range free {
+		freeSet[v] = true
+	}
+	for _, v := range vars {
+		if !freeSet[v] {
+			// Requested variable does not occur; it ranges over the
+			// whole domain, which is almost always a query bug.
+			return nil, fmt.Errorf("foquery: requested variable %s is not free in the query", v)
+		}
+	}
+	subs, err := env.bindings(f, []term.Subst{term.NewSubst()})
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []relation.Tuple
+	for _, s := range subs {
+		tup := make(relation.Tuple, len(vars))
+		for i, v := range vars {
+			t := s.Lookup(term.V(v))
+			if t.IsVar {
+				return nil, fmt.Errorf("foquery: variable %s unbound in answer", v)
+			}
+			tup[i] = t.Name
+		}
+		k := tup.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, tup)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// Holds evaluates a sentence (no free variables) over the instance.
+func Holds(inst *relation.Instance, f Formula) (bool, error) {
+	if fv := FreeVars(f); len(fv) > 0 {
+		return false, fmt.Errorf("foquery: Holds on open formula with free vars %v", fv)
+	}
+	env := NewEnv(inst, f)
+	return env.Eval(f, term.NewSubst())
+}
+
+// bindings computes, for each input assignment, the set of extensions
+// that satisfy f, binding f's free variables.
+func (e *Env) bindings(f Formula, in []term.Subst) ([]term.Subst, error) {
+	switch g := f.(type) {
+	case Atom:
+		var out []term.Subst
+		for _, s := range in {
+			pat := s.Apply(g.A)
+			for _, tup := range e.Inst.Tuples(pat.Pred) {
+				fact := tupleAtom(pat.Pred, tup)
+				s2 := s.Clone()
+				if term.Match(pat, fact, s2) {
+					out = append(out, s2)
+				}
+			}
+		}
+		return out, nil
+	case And:
+		// Plan: generator conjuncts (atoms, existential wrappers of
+		// generators, nested And/Or of generators) first, in an order
+		// that maximizes early binding; filters afterwards, with
+		// domain-enumeration fallback for still-unbound variables.
+		return e.bindAnd(g.Fs, in)
+	case Or:
+		var out []term.Subst
+		for _, h := range g.Fs {
+			bs, err := e.bindings(h, in)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bs...)
+		}
+		return out, nil
+	case Quant:
+		if !g.Forall {
+			// Bind the body, then forget the quantified variables.
+			bs, err := e.bindings(g.Body, in)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]term.Subst, 0, len(bs))
+			for _, s := range bs {
+				s2 := s.Clone()
+				for _, v := range g.Vars {
+					delete(s2, v)
+				}
+				out = append(out, s2)
+			}
+			return out, nil
+		}
+		return e.filter(f, in)
+	default:
+		return e.filter(f, in)
+	}
+}
+
+// bindAnd evaluates a conjunction with generator-first planning.
+func (e *Env) bindAnd(fs []Formula, in []term.Subst) ([]term.Subst, error) {
+	gens, filters := splitGenerators(fs)
+	cur := in
+	var err error
+	for _, g := range gens {
+		cur, err = e.bindings(g, cur)
+		if err != nil {
+			return nil, err
+		}
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	for _, f := range filters {
+		cur, err = e.filter(f, cur)
+		if err != nil {
+			return nil, err
+		}
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	return cur, nil
+}
+
+// splitGenerators separates conjuncts that can generate bindings from
+// pure filters.
+func splitGenerators(fs []Formula) (gens, filters []Formula) {
+	for _, f := range fs {
+		if isGenerator(f) {
+			gens = append(gens, f)
+		} else {
+			filters = append(filters, f)
+		}
+	}
+	return gens, filters
+}
+
+func isGenerator(f Formula) bool {
+	switch g := f.(type) {
+	case Atom:
+		return true
+	case And:
+		for _, h := range g.Fs {
+			if isGenerator(h) {
+				return true
+			}
+		}
+		return false
+	case Or:
+		for _, h := range g.Fs {
+			if !isGenerator(h) {
+				return false
+			}
+		}
+		return true
+	case Quant:
+		return !g.Forall && isGenerator(g.Body)
+	default:
+		return false
+	}
+}
+
+// filter keeps the assignments under which f holds, enumerating the
+// domain for any of f's free variables that are still unbound.
+func (e *Env) filter(f Formula, in []term.Subst) ([]term.Subst, error) {
+	var out []term.Subst
+	fv := FreeVars(f)
+	for _, s := range in {
+		var unbound []string
+		for _, v := range fv {
+			if s.Lookup(term.V(v)).IsVar {
+				unbound = append(unbound, v)
+			}
+		}
+		if len(unbound) == 0 {
+			ok, err := e.Eval(f, s)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, s)
+			}
+			continue
+		}
+		// Fallback: enumerate unbound variables over the domain.
+		var enum func(i int, s term.Subst) error
+		enum = func(i int, s term.Subst) error {
+			if i == len(unbound) {
+				ok, err := e.Eval(f, s)
+				if err != nil {
+					return err
+				}
+				if ok {
+					out = append(out, s.Clone())
+				}
+				return nil
+			}
+			for _, d := range e.Domain {
+				s[unbound[i]] = term.C(d)
+				if err := enum(i+1, s); err != nil {
+					return err
+				}
+			}
+			delete(s, unbound[i])
+			return nil
+		}
+		if err := enum(0, s.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func tupleAtom(pred string, t relation.Tuple) term.Atom {
+	args := make([]term.Term, len(t))
+	for i, v := range t {
+		args[i] = term.C(v)
+	}
+	return term.Atom{Pred: pred, Args: args}
+}

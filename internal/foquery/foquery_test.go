@@ -1,0 +1,280 @@
+package foquery
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func mkInst(facts map[string][]relation.Tuple) *relation.Instance {
+	in := relation.NewInstance()
+	for rel, ts := range facts {
+		for _, t := range ts {
+			in.Insert(rel, t)
+		}
+	}
+	return in
+}
+
+// example1Instance is the global instance r of the paper's Example 1.
+func example1Instance() *relation.Instance {
+	return mkInst(map[string][]relation.Tuple{
+		"r1": {{"a", "b"}, {"s", "t"}},
+		"r2": {{"c", "d"}, {"a", "e"}},
+		"r3": {{"a", "f"}, {"s", "u"}},
+	})
+}
+
+func answers(t *testing.T, in *relation.Instance, q string, vars ...string) []relation.Tuple {
+	t.Helper()
+	f, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	out, err := Answers(in, f, vars)
+	if err != nil {
+		t.Fatalf("answers %q: %v", q, err)
+	}
+	return out
+}
+
+func TestParseRendering(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"r1(X,Y)", "r1(X,Y)"},
+		{"r1(X,Y) | r2(X,Y)", "r1(X,Y) | r2(X,Y)"},
+		{"!r1(X,a)", "!r1(X,a)"},
+		{"exists Y (r1(X,Y) & r2(Y,Z))", "exists Y (r1(X,Y) & r2(Y,Z))"},
+		{"forall Z (r3(X,Z) -> Z = Y)", "forall Z (r3(X,Z) -> Z = Y)"},
+		{"X != Y", "X != Y"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.in, err)
+		}
+		if f.String() != c.out {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, f.String(), c.out)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"r1(X,",
+		"r1(X) &",
+		"exists x r1(x)", // quantified name must be a variable
+		"r1(X)) extra",
+		"X ~ Y",
+		"-> r1(X)",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := MustParse("exists Y (r1(X,Y) & r2(Y,Z)) & forall W (r3(W) -> W = X)")
+	got := FreeVars(f)
+	want := []string{"X", "Z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FreeVars = %v, want %v", got, want)
+	}
+}
+
+func TestSimpleAtomAnswers(t *testing.T) {
+	in := example1Instance()
+	got := answers(t, in, "r1(X,Y)", "X", "Y")
+	want := []relation.Tuple{{"a", "b"}, {"s", "t"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestUnionQuery(t *testing.T) {
+	// Q': R1(x,y) ∨ R2(x,y) — the first rewriting step of Example 2.
+	in := example1Instance()
+	got := answers(t, in, "r1(X,Y) | r2(X,Y)", "X", "Y")
+	want := []relation.Tuple{{"a", "b"}, {"a", "e"}, {"c", "d"}, {"s", "t"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestExample2RewrittenQuery(t *testing.T) {
+	// Q'' — formula (1) of the paper:
+	//   [R1(x,y) ∧ ∀z1(R3(x,z1) ∧ ¬∃z2 R2(x,z2) → z1 = y)] ∨ R2(x,y)
+	// over Example 1's instance must yield exactly (a,b),(c,d),(a,e).
+	in := example1Instance()
+	q := "(r1(X,Y) & forall Z1 (r3(X,Z1) & !(exists Z2 r2(X,Z2)) -> Z1 = Y)) | r2(X,Y)"
+	got := answers(t, in, q, "X", "Y")
+	want := []relation.Tuple{{"a", "b"}, {"a", "e"}, {"c", "d"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v (paper Example 2)", got, want)
+	}
+}
+
+func TestJoinQuery(t *testing.T) {
+	in := mkInst(map[string][]relation.Tuple{
+		"r": {{"a", "b"}, {"b", "c"}},
+		"s": {{"b", "x"}, {"c", "y"}},
+	})
+	got := answers(t, in, "exists Y (r(X,Y) & s(Y,Z))", "X", "Z")
+	want := []relation.Tuple{{"a", "x"}, {"b", "y"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestNegationFilter(t *testing.T) {
+	in := mkInst(map[string][]relation.Tuple{
+		"r": {{"a"}, {"b"}},
+		"s": {{"a"}},
+	})
+	got := answers(t, in, "r(X) & !s(X)", "X")
+	want := []relation.Tuple{{"b"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestComparisonFilters(t *testing.T) {
+	in := mkInst(map[string][]relation.Tuple{
+		"r": {{"1"}, {"2"}, {"10"}},
+	})
+	got := answers(t, in, "r(X) & X < 10", "X")
+	want := []relation.Tuple{{"1"}, {"2"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("numeric compare: got %v, want %v", got, want)
+	}
+	got = answers(t, in, "r(X) & X != 2", "X")
+	want = []relation.Tuple{{"1"}, {"10"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("!=: got %v, want %v", got, want)
+	}
+}
+
+func TestHolds(t *testing.T) {
+	in := example1Instance()
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		// Σ(P1,P2) is violated by r: R2(c,d) has no R1(c,d).
+		{"forall X,Y (r2(X,Y) -> r1(X,Y))", false},
+		// Σ(P1,P3) is violated by r: R1(a,b) and R3(a,f) with b ≠ f.
+		{"forall X,Y,Z (r1(X,Y) & r3(X,Z) -> Y = Z)", false},
+		{"exists X,Y r1(X,Y)", true},
+		{"forall X,Y (r1(X,Y) -> r1(X,Y))", true},
+		{"exists X (r1(X,b) & r3(X,f))", true},
+	}
+	for _, c := range cases {
+		f := MustParse(c.q)
+		got, err := Holds(in, f)
+		if err != nil {
+			t.Fatalf("Holds(%q): %v", c.q, err)
+		}
+		if got != c.want {
+			t.Errorf("Holds(%q) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHoldsOpenFormulaError(t *testing.T) {
+	in := example1Instance()
+	if _, err := Holds(in, MustParse("r1(X,Y)")); err == nil {
+		t.Fatal("Holds on open formula should error")
+	}
+}
+
+func TestAnswersUnknownVarError(t *testing.T) {
+	in := example1Instance()
+	f := MustParse("r1(X,Y)")
+	if _, err := Answers(in, f, []string{"Z"}); err == nil {
+		t.Fatal("Answers with non-free variable should error")
+	}
+}
+
+func TestFilterFallbackUnboundVar(t *testing.T) {
+	// A pure-filter query: the variable is bound only by domain
+	// enumeration. X ranges over the active domain.
+	in := mkInst(map[string][]relation.Tuple{"r": {{"a"}, {"b"}}})
+	got := answers(t, in, "!r(X) | r(X)", "X")
+	if len(got) != 2 {
+		t.Fatalf("domain enumeration: got %v", got)
+	}
+	got = answers(t, in, "!r(X) & X = a", "X")
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestImplicationEval(t *testing.T) {
+	in := mkInst(map[string][]relation.Tuple{"r": {{"a"}}, "s": {{"a"}}})
+	ok, err := Holds(in, MustParse("forall X (r(X) -> s(X))"))
+	if err != nil || !ok {
+		t.Fatalf("implication eval: %v %v", ok, err)
+	}
+	in2 := mkInst(map[string][]relation.Tuple{"r": {{"a"}, {"b"}}, "s": {{"a"}}})
+	ok, err = Holds(in2, MustParse("forall X (r(X) -> s(X))"))
+	if err != nil || ok {
+		t.Fatalf("implication should fail: %v %v", ok, err)
+	}
+}
+
+func TestConstantsExtendDomain(t *testing.T) {
+	// The constant q appears only in the query; active-domain semantics
+	// must extend the domain with it for the existential to see it.
+	in := mkInst(map[string][]relation.Tuple{"r": {{"a"}}})
+	ok, err := Holds(in, MustParse("exists X (X = q)"))
+	if err != nil || !ok {
+		t.Fatalf("query constants must join the domain: %v %v", ok, err)
+	}
+}
+
+func TestNestedQuantifiers(t *testing.T) {
+	in := mkInst(map[string][]relation.Tuple{
+		"edge": {{"a", "b"}, {"b", "c"}, {"a", "c"}},
+	})
+	// Every node with an outgoing edge reaches c in ≤ 2 steps.
+	ok, err := Holds(in, MustParse(
+		"forall X,Y (edge(X,Y) -> (edge(X,c) | exists Z (edge(X,Z) & edge(Z,c))))"))
+	if err != nil || !ok {
+		t.Fatalf("nested quantifiers: %v %v", ok, err)
+	}
+}
+
+func TestOrAnswersWithSharedVars(t *testing.T) {
+	in := mkInst(map[string][]relation.Tuple{
+		"r": {{"a", "b"}},
+		"s": {{"c", "d"}},
+	})
+	got := answers(t, in, "r(X,Y) | s(X,Y)", "X", "Y")
+	want := []relation.Tuple{{"a", "b"}, {"c", "d"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestConstantInAtomPattern(t *testing.T) {
+	in := example1Instance()
+	got := answers(t, in, "r1(a,Y)", "Y")
+	want := []relation.Tuple{{"b"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	in := mkInst(map[string][]relation.Tuple{
+		"r": {{"a", "a"}, {"a", "b"}},
+	})
+	got := answers(t, in, "r(X,X)", "X")
+	want := []relation.Tuple{{"a"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,249 @@
+// Package foquery implements first-order queries over relational
+// instances: formula ASTs, a parser, an active-domain evaluator, and
+// answer enumeration for queries with free variables. It realizes the
+// query languages L(P) of Definition 2 and evaluates both user queries
+// and the rewritten queries of Section 2 (e.g. formula (1) in the
+// paper, which mixes conjunction, disjunction, negation and a
+// universally quantified guard).
+package foquery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Formula is a first-order formula over a relational signature with
+// equality and comparison built-ins.
+type Formula interface {
+	// String renders the formula in the package's concrete syntax.
+	String() string
+	// freeVars adds the free variables of the formula to the set.
+	freeVars(bound map[string]bool, out map[string]bool)
+}
+
+// Atom is an atomic formula R(t1,...,tn).
+type Atom struct{ A term.Atom }
+
+// Cmp is a comparison between two terms. Op is one of
+// "=", "!=", "<", "<=", ">", ">=". Constants compare as strings.
+type Cmp struct {
+	Op   string
+	L, R term.Term
+}
+
+// Not is negation.
+type Not struct{ F Formula }
+
+// And is n-ary conjunction.
+type And struct{ Fs []Formula }
+
+// Or is n-ary disjunction.
+type Or struct{ Fs []Formula }
+
+// Implies is material implication.
+type Implies struct{ A, B Formula }
+
+// Quant is a quantified formula; Forall selects between ∀ and ∃.
+type Quant struct {
+	Forall bool
+	Vars   []string
+	Body   Formula
+}
+
+func (f Atom) String() string { return f.A.String() }
+func (f Cmp) String() string  { return f.L.String() + " " + f.Op + " " + f.R.String() }
+func (f Not) String() string  { return "!" + paren(f.F) }
+func (f And) String() string  { return joinFs(f.Fs, " & ") }
+func (f Or) String() string   { return joinFs(f.Fs, " | ") }
+func (f Implies) String() string {
+	return paren(f.A) + " -> " + paren(f.B)
+}
+func (f Quant) String() string {
+	q := "exists"
+	if f.Forall {
+		q = "forall"
+	}
+	return q + " " + strings.Join(f.Vars, ",") + " " + paren(f.Body)
+}
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case Atom, Cmp, Not:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+func joinFs(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = paren(f)
+	}
+	return strings.Join(parts, sep)
+}
+
+func (f Atom) freeVars(bound, out map[string]bool) {
+	for _, t := range f.A.Args {
+		if t.IsVar && !bound[t.Name] {
+			out[t.Name] = true
+		}
+	}
+}
+func (f Cmp) freeVars(bound, out map[string]bool) {
+	if f.L.IsVar && !bound[f.L.Name] {
+		out[f.L.Name] = true
+	}
+	if f.R.IsVar && !bound[f.R.Name] {
+		out[f.R.Name] = true
+	}
+}
+func (f Not) freeVars(bound, out map[string]bool) { f.F.freeVars(bound, out) }
+func (f And) freeVars(bound, out map[string]bool) {
+	for _, g := range f.Fs {
+		g.freeVars(bound, out)
+	}
+}
+func (f Or) freeVars(bound, out map[string]bool) {
+	for _, g := range f.Fs {
+		g.freeVars(bound, out)
+	}
+}
+func (f Implies) freeVars(bound, out map[string]bool) {
+	f.A.freeVars(bound, out)
+	f.B.freeVars(bound, out)
+}
+func (f Quant) freeVars(bound, out map[string]bool) {
+	inner := make(map[string]bool, len(bound)+len(f.Vars))
+	for k := range bound {
+		inner[k] = true
+	}
+	for _, v := range f.Vars {
+		inner[v] = true
+	}
+	f.Body.freeVars(inner, out)
+}
+
+// FreeVars returns the sorted free variables of the formula.
+func FreeVars(f Formula) []string {
+	out := make(map[string]bool)
+	f.freeVars(map[string]bool{}, out)
+	vars := make([]string, 0, len(out))
+	for v := range out {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// Constants returns the constants mentioned in the formula.
+func Constants(f Formula) []string {
+	seen := make(map[string]bool)
+	collectConsts(f, seen)
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectConsts(f Formula, seen map[string]bool) {
+	switch g := f.(type) {
+	case Atom:
+		for _, t := range g.A.Args {
+			if !t.IsVar {
+				seen[t.Name] = true
+			}
+		}
+	case Cmp:
+		if !g.L.IsVar {
+			seen[g.L.Name] = true
+		}
+		if !g.R.IsVar {
+			seen[g.R.Name] = true
+		}
+	case Not:
+		collectConsts(g.F, seen)
+	case And:
+		for _, h := range g.Fs {
+			collectConsts(h, seen)
+		}
+	case Or:
+		for _, h := range g.Fs {
+			collectConsts(h, seen)
+		}
+	case Implies:
+		collectConsts(g.A, seen)
+		collectConsts(g.B, seen)
+	case Quant:
+		collectConsts(g.Body, seen)
+	}
+}
+
+// evalCmp evaluates a ground comparison.
+func evalCmp(op, l, r string) (bool, error) {
+	switch op {
+	case "=":
+		return l == r, nil
+	case "!=":
+		return l != r, nil
+	case "<":
+		return cmpConst(l, r) < 0, nil
+	case "<=":
+		return cmpConst(l, r) <= 0, nil
+	case ">":
+		return cmpConst(l, r) > 0, nil
+	case ">=":
+		return cmpConst(l, r) >= 0, nil
+	}
+	return false, fmt.Errorf("foquery: unknown comparison operator %q", op)
+}
+
+// cmpConst orders constants numerically when both parse as integers,
+// lexicographically otherwise.
+func cmpConst(l, r string) int {
+	li, lok := atoi(l)
+	ri, rok := atoi(r)
+	if lok && rok {
+		switch {
+		case li < ri:
+			return -1
+		case li > ri:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(l, r)
+}
+
+func atoi(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if s[0] == '-' {
+		neg = true
+		i = 1
+		if len(s) == 1 {
+			return 0, false
+		}
+	}
+	var n int64
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}

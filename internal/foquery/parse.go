@@ -1,0 +1,337 @@
+package foquery
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Parse parses a first-order formula in the package's concrete syntax.
+//
+// Grammar (precedence from weakest to strongest):
+//
+//	formula := or ('->' formula)?            right-associative implication
+//	or      := and ('|' and)*
+//	and     := unary ('&' unary)*
+//	unary   := '!' unary
+//	        | 'exists' var (',' var)* unary
+//	        | 'forall' var (',' var)* unary
+//	        | '(' formula ')'
+//	        | atom | comparison
+//	atom    := ident '(' term (',' term)* ')'
+//	cmp     := term ('='|'!='|'<'|'<='|'>'|'>=') term
+//
+// Identifiers starting with an upper-case letter or '_' are variables;
+// all other identifiers and numbers are constants. 'exists' and
+// 'forall' are reserved words.
+func Parse(input string) (Formula, error) {
+	p := &parser{toks: lex(input)}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("foquery: trailing input at %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed queries.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type token struct {
+	text string
+	pos  int
+}
+
+func lex(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			toks = append(toks, token{s[i:j], i})
+			i = j
+		case c == '-' && i+1 < len(s) && s[i+1] == '>':
+			toks = append(toks, token{"->", i})
+			i += 2
+		case c == '!' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, token{"!=", i})
+			i += 2
+		case c == '<' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, token{"<=", i})
+			i += 2
+		case c == '>' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, token{">=", i})
+			i += 2
+		case strings.ContainsRune("(),&|!=<>", rune(c)):
+			toks = append(toks, token{string(c), i})
+			i++
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i + 1
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{s[i:j], i})
+			i = j
+		default:
+			toks = append(toks, token{"\x00" + string(c), i})
+			i++
+		}
+	}
+	return toks
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.atEOF() {
+		return token{"", -1}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("foquery: expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) formula() (Formula, error) {
+	left, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().text == "->" {
+		p.next()
+		right, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		return Implies{A: left, B: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) orExpr() (Formula, error) {
+	first, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{first}
+	for p.peek().text == "|" {
+		p.next()
+		f, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return Or{Fs: fs}, nil
+}
+
+func (p *parser) andExpr() (Formula, error) {
+	first, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{first}
+	for p.peek().text == "&" {
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return And{Fs: fs}, nil
+}
+
+func (p *parser) unary() (Formula, error) {
+	t := p.peek()
+	switch {
+	case t.text == "!":
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: f}, nil
+	case t.text == "exists" || t.text == "forall":
+		p.next()
+		vars, err := p.varList()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Quant{Forall: t.text == "forall", Vars: vars, Body: body}, nil
+	case t.text == "(":
+		p.next()
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		return p.atomOrCmp()
+	}
+}
+
+func (p *parser) varList() ([]string, error) {
+	var vars []string
+	for {
+		t := p.next()
+		if !isIdent(t.text) {
+			return nil, fmt.Errorf("foquery: expected variable, got %q", t.text)
+		}
+		if !IsVarName(t.text) {
+			return nil, fmt.Errorf("foquery: quantified name %q must be a variable (start with upper-case or '_')", t.text)
+		}
+		vars = append(vars, t.text)
+		if p.peek().text != "," {
+			return vars, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) atomOrCmp() (Formula, error) {
+	t := p.next()
+	if t.text == "" {
+		return nil, fmt.Errorf("foquery: unexpected end of input")
+	}
+	if !isIdent(t.text) && !isNumber(t.text) {
+		return nil, fmt.Errorf("foquery: unexpected token %q", t.text)
+	}
+	if p.peek().text == "(" && isIdent(t.text) && !IsVarName(t.text) {
+		p.next()
+		var args []term.Term
+		if p.peek().text != ")" {
+			for {
+				tt := p.next()
+				if !isIdent(tt.text) && !isNumber(tt.text) {
+					return nil, fmt.Errorf("foquery: bad term %q in atom %s", tt.text, t.text)
+				}
+				args = append(args, MkTerm(tt.text))
+				if p.peek().text != "," {
+					break
+				}
+				p.next()
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Atom{A: term.Atom{Pred: t.text, Args: args}}, nil
+	}
+	// Comparison.
+	op := p.next().text
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("foquery: expected comparison operator after %q, got %q", t.text, op)
+	}
+	rt := p.next()
+	if !isIdent(rt.text) && !isNumber(rt.text) {
+		return nil, fmt.Errorf("foquery: bad right operand %q", rt.text)
+	}
+	return Cmp{Op: op, L: MkTerm(t.text), R: MkTerm(rt.text)}, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '-' {
+		i = 1
+		if len(s) == 1 {
+			return false
+		}
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// IsVarName reports whether an identifier denotes a variable under the
+// repository-wide convention: variables start with an upper-case letter
+// or underscore.
+func IsVarName(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c == '_' || (c >= 'A' && c <= 'Z')
+}
+
+// MkTerm converts an identifier or number to a term using the variable
+// naming convention.
+func MkTerm(s string) term.Term {
+	if IsVarName(s) {
+		return term.V(s)
+	}
+	return term.C(s)
+}

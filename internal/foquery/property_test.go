@@ -1,0 +1,154 @@
+package foquery
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/term"
+)
+
+// bruteAnswers enumerates all assignments of the free variables over
+// the evaluation domain and keeps those satisfying the formula —
+// the definitional active-domain semantics, used as an oracle for the
+// generator/filter planner in Answers.
+func bruteAnswers(t *testing.T, inst *relation.Instance, f Formula, vars []string) []relation.Tuple {
+	t.Helper()
+	env := NewEnv(inst, f)
+	free := FreeVars(f)
+	var out []relation.Tuple
+	seen := map[string]bool{}
+	var rec func(i int, s term.Subst)
+	rec = func(i int, s term.Subst) {
+		if i == len(free) {
+			ok, err := env.Eval(f, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return
+			}
+			tup := make(relation.Tuple, len(vars))
+			for j, v := range vars {
+				tup[j] = s.Lookup(term.V(v)).Name
+			}
+			if !seen[tup.Key()] {
+				seen[tup.Key()] = true
+				out = append(out, tup)
+			}
+			return
+		}
+		for _, d := range env.Domain {
+			s[free[i]] = term.C(d)
+			rec(i+1, s)
+		}
+		delete(s, free[i])
+	}
+	rec(0, term.NewSubst())
+	sortTuples(out)
+	return out
+}
+
+func sortTuples(ts []relation.Tuple) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Key() < ts[j-1].Key(); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// randomFormula builds a random safe-ish formula over r/2, s/2 with
+// free variables X, Y.
+func randomFormula(rng *rand.Rand, depth int) Formula {
+	if depth == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Atom{A: term.NewAtom("r", term.V("X"), term.V("Y"))}
+		case 1:
+			return Atom{A: term.NewAtom("s", term.V("X"), term.V("Y"))}
+		default:
+			return Cmp{Op: "!=", L: term.V("X"), R: term.V("Y")}
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return And{Fs: []Formula{randomFormula(rng, depth-1), randomFormula(rng, depth-1)}}
+	case 1:
+		return Or{Fs: []Formula{randomFormula(rng, depth-1), randomFormula(rng, depth-1)}}
+	case 2:
+		return Not{F: randomFormula(rng, depth-1)}
+	case 3:
+		// exists Z (r(X,Z) & sub) keeps X, Y free.
+		return And{Fs: []Formula{
+			Quant{Vars: []string{"Z"}, Body: Atom{A: term.NewAtom("r", term.V("X"), term.V("Z"))}},
+			randomFormula(rng, depth-1),
+		}}
+	default:
+		return Quant{Forall: true, Vars: []string{"W"},
+			Body: Implies{
+				A: Atom{A: term.NewAtom("s", term.V("X"), term.V("W"))},
+				B: randomFormula(rng, depth-1),
+			}}
+	}
+}
+
+// TestAnswersAgainstBruteForce cross-checks the planner against the
+// definitional evaluation on random instances and formulas.
+func TestAnswersAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	dom := []string{"a", "b", "c"}
+	for trial := 0; trial < 150; trial++ {
+		inst := relation.NewInstance()
+		for _, rel := range []string{"r", "s"} {
+			for i := 0; i < rng.Intn(4); i++ {
+				inst.Insert(rel, relation.Tuple{dom[rng.Intn(3)], dom[rng.Intn(3)]})
+			}
+		}
+		f := randomFormula(rng, 1+rng.Intn(2))
+		vars := []string{}
+		for _, v := range FreeVars(f) {
+			vars = append(vars, v)
+		}
+		if len(vars) == 0 {
+			continue
+		}
+		got, err := Answers(inst, f, vars)
+		if err != nil {
+			t.Fatalf("trial %d: %v (formula %s)", trial, err, f)
+		}
+		want := bruteAnswers(t, inst, f, vars)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: formula %s over %s\nplanner: %v\nbrute:   %v",
+				trial, f, inst, got, want)
+		}
+	}
+}
+
+// TestHoldsMatchesAnswersEmptiness uses testing/quick: for the atomic
+// query, Answers is non-empty iff the existential closure Holds.
+func TestHoldsMatchesAnswersEmptiness(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		inst := relation.NewInstance()
+		for _, p := range pairs {
+			inst.Insert("r", relation.Tuple{cname(p[0]), cname(p[1])})
+		}
+		q := MustParse("r(X,Y)")
+		ans, err := Answers(inst, q, []string{"X", "Y"})
+		if err != nil {
+			return false
+		}
+		closed := MustParse("exists X,Y r(X,Y)")
+		ok, err := Holds(inst, closed)
+		if err != nil {
+			return false
+		}
+		return (len(ans) > 0) == ok && len(ans) == inst.Count("r")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cname(b uint8) string { return string(rune('a' + int(b)%5)) }

@@ -1,0 +1,385 @@
+// Package lp defines disjunctive logic programs with strong and default
+// negation, built-in comparisons and the non-deterministic choice
+// operator — the language the paper uses in Section 3 to specify the
+// solutions of a peer ("disjunctive extended logic programs with answer
+// set (stable model) semantics [16]", plus the choice operator of
+// Giannotti et al. [17]).
+//
+// Subpackages implement parsing (lp/parse), grounding (lp/ground) and
+// stable-model solving, head-cycle-freeness analysis and shifting
+// (lp/solve).
+package lp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Literal is a classical literal: an atom or a strongly negated atom
+// (¬A, written -A in the concrete syntax).
+type Literal struct {
+	Neg  bool
+	Atom term.Atom
+}
+
+// Pos returns a positive literal.
+func Pos(a term.Atom) Literal { return Literal{Atom: a} }
+
+// NegL returns a strongly negated literal.
+func NegL(a term.Atom) Literal { return Literal{Neg: true, Atom: a} }
+
+// String renders the literal.
+func (l Literal) String() string {
+	if l.Neg {
+		return "-" + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Key renders a ground literal canonically (strong negation is part of
+// the key, so p(a) and -p(a) are distinct atoms for the solver).
+func (l Literal) Key() string { return l.String() }
+
+// Apply applies a substitution to the literal.
+func (l Literal) Apply(s term.Subst) Literal {
+	return Literal{Neg: l.Neg, Atom: s.Apply(l.Atom)}
+}
+
+// IsGround reports whether the literal is variable-free.
+func (l Literal) IsGround() bool { return l.Atom.IsGround() }
+
+// Cmp is a built-in comparison in a rule body.
+type Cmp struct {
+	Op   string // "=", "!=", "<", "<=", ">", ">="
+	L, R term.Term
+}
+
+// String renders the comparison.
+func (c Cmp) String() string { return c.L.String() + " " + c.Op + " " + c.R.String() }
+
+// Eval evaluates a ground comparison (constants compare as strings,
+// numerically if both sides are integers).
+func (c Cmp) Eval(s term.Subst) (bool, error) {
+	l := s.ApplyTerm(c.L)
+	r := s.ApplyTerm(c.R)
+	if l.IsVar || r.IsVar {
+		return false, fmt.Errorf("lp: unbound variable in comparison %s", c)
+	}
+	cv := compareConst(l.Name, r.Name)
+	switch c.Op {
+	case "=":
+		return cv == 0, nil
+	case "!=":
+		return cv != 0, nil
+	case "<":
+		return cv < 0, nil
+	case "<=":
+		return cv <= 0, nil
+	case ">":
+		return cv > 0, nil
+	case ">=":
+		return cv >= 0, nil
+	}
+	return false, fmt.Errorf("lp: unknown comparison operator %q", c.Op)
+}
+
+func compareConst(l, r string) int {
+	li, lok := parseInt(l)
+	ri, rok := parseInt(r)
+	if lok && rok {
+		switch {
+		case li < ri:
+			return -1
+		case li > ri:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(l, r)
+}
+
+func parseInt(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	if s[0] == '-' {
+		if len(s) == 1 {
+			return 0, false
+		}
+		neg = true
+		i = 1
+	}
+	var n int64
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(s[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// ChoiceGoal is the choice operator choice((x̄),(w̄)) of [17]: for each
+// binding of the key variables x̄ admitted by the rest of the body, a
+// unique value for w̄ is chosen non-deterministically. It is compiled
+// away by UnfoldChoice into its "stable version" with chosen/diffchoice
+// predicates, exactly as in the paper's appendix.
+type ChoiceGoal struct {
+	Keys []term.Term
+	Outs []term.Term
+}
+
+// String renders the choice goal.
+func (c ChoiceGoal) String() string {
+	return "choice((" + termList(c.Keys) + "),(" + termList(c.Outs) + "))"
+}
+
+func termList(ts []term.Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Rule is a (possibly disjunctive) rule
+//
+//	h1 v ... v hk :- p1, ..., pm, not n1, ..., not nj, cmps, choices.
+//
+// An empty head makes it a denial (program) constraint; an empty body
+// with a ground singleton head makes it a fact.
+type Rule struct {
+	Head   []Literal
+	PosB   []Literal
+	NegB   []Literal
+	Cmps   []Cmp
+	Choice []ChoiceGoal
+}
+
+// Fact builds a ground fact rule.
+func Fact(l Literal) Rule { return Rule{Head: []Literal{l}} }
+
+// IsFact reports whether the rule is a ground fact.
+func (r Rule) IsFact() bool {
+	return len(r.Head) == 1 && len(r.PosB) == 0 && len(r.NegB) == 0 &&
+		len(r.Cmps) == 0 && len(r.Choice) == 0 && r.Head[0].IsGround()
+}
+
+// IsConstraint reports whether the rule is a denial constraint.
+func (r Rule) IsConstraint() bool { return len(r.Head) == 0 }
+
+// IsDisjunctive reports whether the rule has more than one head literal.
+func (r Rule) IsDisjunctive() bool { return len(r.Head) > 1 }
+
+// String renders the rule in the concrete syntax.
+func (r Rule) String() string {
+	var b strings.Builder
+	for i, h := range r.Head {
+		if i > 0 {
+			b.WriteString(" v ")
+		}
+		b.WriteString(h.String())
+	}
+	body := r.bodyStrings()
+	if len(body) > 0 {
+		if len(r.Head) > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(":- ")
+		b.WriteString(strings.Join(body, ", "))
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+func (r Rule) bodyStrings() []string {
+	var body []string
+	for _, p := range r.PosB {
+		body = append(body, p.String())
+	}
+	for _, n := range r.NegB {
+		body = append(body, "not "+n.String())
+	}
+	for _, c := range r.Cmps {
+		body = append(body, c.String())
+	}
+	for _, c := range r.Choice {
+		body = append(body, c.String())
+	}
+	return body
+}
+
+// Vars returns the variables of the rule in order of first occurrence.
+func (r Rule) Vars() []string {
+	var vs []string
+	for _, h := range r.Head {
+		vs = h.Atom.Vars(vs)
+	}
+	for _, p := range r.PosB {
+		vs = p.Atom.Vars(vs)
+	}
+	for _, n := range r.NegB {
+		vs = n.Atom.Vars(vs)
+	}
+	collect := func(t term.Term) {
+		if t.IsVar {
+			found := false
+			for _, v := range vs {
+				if v == t.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				vs = append(vs, t.Name)
+			}
+		}
+	}
+	for _, c := range r.Cmps {
+		collect(c.L)
+		collect(c.R)
+	}
+	for _, c := range r.Choice {
+		for _, t := range c.Keys {
+			collect(t)
+		}
+		for _, t := range c.Outs {
+			collect(t)
+		}
+	}
+	return vs
+}
+
+// Safe checks rule safety: every variable occurring in the head, in a
+// default-negated literal, in a comparison or in a choice goal must
+// occur in a positive body literal.
+func (r Rule) Safe() error {
+	posVars := map[string]bool{}
+	for _, p := range r.PosB {
+		for _, v := range p.Atom.Vars(nil) {
+			posVars[v] = true
+		}
+	}
+	for _, v := range r.Vars() {
+		if !posVars[v] {
+			return fmt.Errorf("lp: unsafe variable %s in rule %s", v, r)
+		}
+	}
+	return nil
+}
+
+// Apply applies a substitution to the whole rule.
+func (r Rule) Apply(s term.Subst) Rule {
+	out := Rule{
+		Head: make([]Literal, len(r.Head)),
+		PosB: make([]Literal, len(r.PosB)),
+		NegB: make([]Literal, len(r.NegB)),
+		Cmps: make([]Cmp, len(r.Cmps)),
+	}
+	for i, h := range r.Head {
+		out.Head[i] = h.Apply(s)
+	}
+	for i, p := range r.PosB {
+		out.PosB[i] = p.Apply(s)
+	}
+	for i, n := range r.NegB {
+		out.NegB[i] = n.Apply(s)
+	}
+	for i, c := range r.Cmps {
+		out.Cmps[i] = Cmp{Op: c.Op, L: s.ApplyTerm(c.L), R: s.ApplyTerm(c.R)}
+	}
+	for _, c := range r.Choice {
+		nc := ChoiceGoal{Keys: make([]term.Term, len(c.Keys)), Outs: make([]term.Term, len(c.Outs))}
+		for i, t := range c.Keys {
+			nc.Keys[i] = s.ApplyTerm(t)
+		}
+		for i, t := range c.Outs {
+			nc.Outs[i] = s.ApplyTerm(t)
+		}
+		out.Choice = append(out.Choice, nc)
+	}
+	return out
+}
+
+// Program is a list of rules.
+type Program struct {
+	Rules []Rule
+}
+
+// Add appends rules.
+func (p *Program) Add(rules ...Rule) { p.Rules = append(p.Rules, rules...) }
+
+// AddFactAtom appends a positive ground fact.
+func (p *Program) AddFactAtom(a term.Atom) { p.Add(Fact(Pos(a))) }
+
+// String renders the program, one rule per line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Preds returns the set of predicate names used in the program.
+func (p *Program) Preds() map[string]bool {
+	out := map[string]bool{}
+	add := func(ls []Literal) {
+		for _, l := range ls {
+			out[l.Atom.Pred] = true
+		}
+	}
+	for _, r := range p.Rules {
+		add(r.Head)
+		add(r.PosB)
+		add(r.NegB)
+	}
+	return out
+}
+
+// Validate checks safety of every rule.
+func (p *Program) Validate() error {
+	for _, r := range p.Rules {
+		if err := r.Safe(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasChoice reports whether any rule uses a choice goal.
+func (p *Program) HasChoice() bool {
+	for _, r := range p.Rules {
+		if len(r.Choice) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	q := &Program{Rules: make([]Rule, len(p.Rules))}
+	copy(q.Rules, p.Rules)
+	return q
+}
+
+// Merge returns a new program with the rules of all arguments, in
+// order. It implements the program combination of Section 4.3 (the
+// transitive case integrates the peers' local specification programs).
+func Merge(progs ...*Program) *Program {
+	out := &Program{}
+	for _, p := range progs {
+		out.Rules = append(out.Rules, p.Rules...)
+	}
+	return out
+}

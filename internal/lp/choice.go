@@ -1,0 +1,126 @@
+package lp
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// UnfoldChoice compiles every choice goal into its "stable version"
+// [17], producing a plain disjunctive program. For a rule
+//
+//	H :- B, choice((x̄),(w̄)).
+//
+// it generates (with a fresh predicate pair per choice occurrence):
+//
+//	H :- B, chosen_i(x̄,w̄).
+//	chosen_i(x̄,w̄) :- B, not diffchoice_i(x̄,w̄).
+//	diffchoice_i(x̄,w̄) :- B, chosen_i(x̄,ū), ū != w̄.
+//
+// which is exactly the unfolding the paper performs in its appendix
+// (rules chosen/diffchoice). The ū != w̄ condition is a disjunction of
+// per-position inequalities; for the common single-output case it is a
+// single comparison.
+func UnfoldChoice(p *Program) (*Program, error) {
+	out := &Program{}
+	n := 0
+	for _, r := range p.Rules {
+		if len(r.Choice) == 0 {
+			out.Add(r)
+			continue
+		}
+		rules, err := unfoldRule(r, &n)
+		if err != nil {
+			return nil, err
+		}
+		out.Add(rules...)
+	}
+	return out, nil
+}
+
+func unfoldRule(r Rule, counter *int) ([]Rule, error) {
+	// Unfold one choice goal; recurse for the rest.
+	c := r.Choice[0]
+	rest := r.Choice[1:]
+	if len(c.Outs) == 0 {
+		return nil, fmt.Errorf("lp: choice goal with no output variables in rule %s", r)
+	}
+	*counter++
+	id := *counter
+	chosenPred := fmt.Sprintf("chosen_%d", id)
+	diffPred := fmt.Sprintf("diffchoice_%d", id)
+
+	args := append(append([]term.Term{}, c.Keys...), c.Outs...)
+	chosenAtom := term.Atom{Pred: chosenPred, Args: args}
+	diffAtom := term.Atom{Pred: diffPred, Args: args}
+
+	// Body B = r's body without choice goals.
+	base := Rule{PosB: r.PosB, NegB: r.NegB, Cmps: r.Cmps}
+
+	// H :- B, chosen(x̄,w̄)   (remaining choice goals carried along).
+	main := Rule{
+		Head:   r.Head,
+		PosB:   append(append([]Literal{}, r.PosB...), Pos(chosenAtom)),
+		NegB:   r.NegB,
+		Cmps:   r.Cmps,
+		Choice: rest,
+	}
+
+	// chosen(x̄,w̄) :- B, not diffchoice(x̄,w̄).
+	chosenRule := Rule{
+		Head: []Literal{Pos(chosenAtom)},
+		PosB: base.PosB,
+		NegB: append(append([]Literal{}, base.NegB...), Pos(diffAtom)),
+		Cmps: base.Cmps,
+	}
+
+	// diffchoice(x̄,w̄) :- B, chosen(x̄,ū), ū != w̄.
+	// For multi-output choices the inequality ū != w̄ is a disjunction,
+	// so one diffchoice rule is emitted per output position.
+	var diffRules []Rule
+	for i := range c.Outs {
+		u := term.V(fmt.Sprintf("U_choice_%d_%d", id, i))
+		otherArgs := append([]term.Term{}, c.Keys...)
+		for j := range c.Outs {
+			if j == i {
+				otherArgs = append(otherArgs, u)
+			} else {
+				otherArgs = append(otherArgs, term.V(fmt.Sprintf("Uany_choice_%d_%d", id, j)))
+			}
+		}
+		dr := Rule{
+			Head: []Literal{Pos(diffAtom)},
+			PosB: append(append([]Literal{}, base.PosB...), Pos(term.Atom{Pred: chosenPred, Args: otherArgs})),
+			NegB: base.NegB,
+			Cmps: append(append([]Cmp{}, base.Cmps...), Cmp{Op: "!=", L: u, R: c.Outs[i]}),
+		}
+		diffRules = append(diffRules, dr)
+	}
+
+	rules := []Rule{chosenRule}
+	rules = append(rules, diffRules...)
+	if len(rest) > 0 {
+		more, err := unfoldRule(main, counter)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, more...)
+	} else {
+		rules = append(rules, main)
+	}
+	return rules, nil
+}
+
+// StripChoice returns the program with all choice goals removed from
+// rule bodies. Section 4.1 of the paper uses this: "a disjunctive
+// choice program Π is HCF when the program obtained from Π by removing
+// its choice goals is HCF".
+func StripChoice(p *Program) *Program {
+	out := &Program{}
+	for _, r := range p.Rules {
+		r2 := r
+		r2.Choice = nil
+		out.Add(r2)
+	}
+	return out
+}

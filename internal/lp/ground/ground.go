@@ -1,0 +1,250 @@
+// Package ground instantiates logic programs over their Herbrand
+// universe. Rules are grounded by matching their positive bodies
+// against an over-approximation of the derivable atoms (a least
+// fixpoint that ignores default negation), which keeps the ground
+// program close to the relevant instantiations instead of the full
+// cross-product of the domain.
+package ground
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/term"
+)
+
+// Program is a ground program over interned atoms. Atom 0..n-1 are
+// identified by their canonical literal keys; strongly negated atoms
+// are distinct atoms whose key starts with '-', and coherence
+// constraints (:- a, -a) are added for every complementary pair.
+type Program struct {
+	// Atoms maps atom index to its canonical key.
+	Atoms []string
+	// Index maps canonical key to atom index.
+	Index map[string]int
+	// Rules are the ground rules.
+	Rules []Rule
+}
+
+// Rule is a ground rule over atom indices.
+type Rule struct {
+	Head []int
+	Pos  []int
+	Neg  []int
+}
+
+// AtomID interns a key.
+func (g *Program) AtomID(key string) int {
+	if id, ok := g.Index[key]; ok {
+		return id
+	}
+	id := len(g.Atoms)
+	g.Atoms = append(g.Atoms, key)
+	g.Index[key] = id
+	return id
+}
+
+// String renders the ground program for debugging.
+func (g *Program) String() string {
+	var out string
+	for _, r := range g.Rules {
+		out += g.RuleString(r) + "\n"
+	}
+	return out
+}
+
+// RuleString renders one ground rule.
+func (g *Program) RuleString(r Rule) string {
+	s := ""
+	for i, h := range r.Head {
+		if i > 0 {
+			s += " v "
+		}
+		s += g.Atoms[h]
+	}
+	if len(r.Pos)+len(r.Neg) > 0 {
+		if len(r.Head) > 0 {
+			s += " "
+		}
+		s += ":- "
+		first := true
+		for _, p := range r.Pos {
+			if !first {
+				s += ", "
+			}
+			first = false
+			s += g.Atoms[p]
+		}
+		for _, n := range r.Neg {
+			if !first {
+				s += ", "
+			}
+			first = false
+			s += "not " + g.Atoms[n]
+		}
+	}
+	return s + "."
+}
+
+// Ground instantiates the program. Choice goals must have been
+// unfolded first (lp.UnfoldChoice); Ground returns an error otherwise.
+func Ground(p *lp.Program) (*Program, error) {
+	if p.HasChoice() {
+		return nil, fmt.Errorf("ground: program contains choice goals; run lp.UnfoldChoice first")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Possible-atom fixpoint: treat every 'not' as satisfiable and
+	// collect all head atoms derivable through positive bodies.
+	possible := newAtomSet()
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			err := matchPos(r, possible, func(s term.Subst) error {
+				for _, h := range r.Head {
+					g := h.Apply(s)
+					if !g.IsGround() {
+						return fmt.Errorf("ground: ungrounded head %s in rule %s", g, r)
+					}
+					if possible.add(g) {
+						changed = true
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	gp := &Program{Index: make(map[string]int)}
+	seenRules := make(map[string]bool)
+	for _, r := range p.Rules {
+		err := matchPos(r, possible, func(s term.Subst) error {
+			gr := Rule{}
+			for _, h := range r.Head {
+				gr.Head = append(gr.Head, gp.AtomID(h.Apply(s).Key()))
+			}
+			for _, pl := range r.PosB {
+				gr.Pos = append(gr.Pos, gp.AtomID(pl.Apply(s).Key()))
+			}
+			for _, nl := range r.NegB {
+				g := nl.Apply(s)
+				if !g.IsGround() {
+					return fmt.Errorf("ground: ungrounded negative literal %s in rule %s", g, r)
+				}
+				// A negated atom that can never be derived is simply
+				// true; drop it from the rule.
+				if !possible.has(g) {
+					continue
+				}
+				gr.Neg = append(gr.Neg, gp.AtomID(g.Key()))
+			}
+			key := gp.RuleString(gr)
+			if !seenRules[key] {
+				seenRules[key] = true
+				gp.Rules = append(gp.Rules, gr)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	addCoherence(gp)
+	return gp, nil
+}
+
+// addCoherence adds ":- a, -a" for every complementary pair of interned
+// atoms, implementing the consistency requirement of extended programs.
+func addCoherence(gp *Program) {
+	for key, id := range gp.Index {
+		if len(key) > 0 && key[0] == '-' {
+			if pid, ok := gp.Index[key[1:]]; ok {
+				gp.Rules = append(gp.Rules, Rule{Pos: []int{id, pid}})
+			}
+		}
+	}
+}
+
+// atomSet stores ground literals by predicate (with strong negation
+// folded into the predicate name) for fast matching.
+type atomSet struct {
+	byPred map[string][]term.Atom
+	keys   map[string]bool
+}
+
+func newAtomSet() *atomSet {
+	return &atomSet{byPred: make(map[string][]term.Atom), keys: make(map[string]bool)}
+}
+
+func litPred(l lp.Literal) string {
+	if l.Neg {
+		return "-" + l.Atom.Pred
+	}
+	return l.Atom.Pred
+}
+
+func (s *atomSet) add(l lp.Literal) bool {
+	k := l.Key()
+	if s.keys[k] {
+		return false
+	}
+	s.keys[k] = true
+	p := litPred(l)
+	s.byPred[p] = append(s.byPred[p], l.Atom)
+	return true
+}
+
+func (s *atomSet) has(l lp.Literal) bool { return s.keys[l.Key()] }
+
+// matchPos enumerates all substitutions grounding the rule's positive
+// body against the possible-atom set, with comparisons checked as soon
+// as both sides are bound.
+func matchPos(r lp.Rule, possible *atomSet, fn func(term.Subst) error) error {
+	var rec func(i int, s term.Subst) error
+	rec = func(i int, s term.Subst) error {
+		if i == len(r.PosB) {
+			for _, c := range r.Cmps {
+				ok, err := c.Eval(s)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			return fn(s)
+		}
+		l := r.PosB[i]
+		pat := s.Apply(l.Atom)
+		for _, cand := range possible.byPred[litPred(l)] {
+			s2 := s.Clone()
+			if term.Match(pat, cand, s2) {
+				if err := rec(i+1, s2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return rec(0, term.NewSubst())
+}
+
+// Facts extracts the ground atoms of a ground program that occur as
+// heads of body-less singleton rules.
+func (g *Program) Facts() []string {
+	var out []string
+	for _, r := range g.Rules {
+		if len(r.Head) == 1 && len(r.Pos) == 0 && len(r.Neg) == 0 {
+			out = append(out, g.Atoms[r.Head[0]])
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,159 @@
+package ground
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/lp/parse"
+)
+
+func mustGround(t *testing.T, src string) *Program {
+	t.Helper()
+	p := parse.MustProgram(src)
+	u, err := lp.UnfoldChoice(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Ground(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGroundFacts(t *testing.T) {
+	g := mustGround(t, "p(a). p(b). q(X) :- p(X).")
+	facts := g.Facts()
+	if len(facts) != 2 || facts[0] != "p(a)" || facts[1] != "p(b)" {
+		t.Fatalf("facts = %v", facts)
+	}
+	// Rules: 2 facts + 2 instantiations of q(X) :- p(X).
+	if len(g.Rules) != 4 {
+		t.Fatalf("rules:\n%s", g)
+	}
+	if _, ok := g.Index["q(a)"]; !ok {
+		t.Fatalf("q(a) not interned: %v", g.Atoms)
+	}
+}
+
+func TestGroundRelevance(t *testing.T) {
+	// Grounding is restricted to derivable atoms: r(X,Y) :- p(X), p(Y)
+	// over 3 constants yields 9 instantiations, not |domain|^arity of
+	// every predicate.
+	g := mustGround(t, "p(a). p(b). p(c). r(X,Y) :- p(X), p(Y).")
+	count := 0
+	for _, r := range g.Rules {
+		if len(r.Pos) == 2 {
+			count++
+		}
+	}
+	if count != 9 {
+		t.Fatalf("instantiations = %d", count)
+	}
+}
+
+func TestGroundComparisonPruning(t *testing.T) {
+	g := mustGround(t, "p(a). p(b). r(X,Y) :- p(X), p(Y), X != Y.")
+	count := 0
+	for _, r := range g.Rules {
+		if len(r.Pos) == 2 {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("X != Y instantiations = %d, want 2", count)
+	}
+}
+
+func TestGroundNegationHandling(t *testing.T) {
+	// A negated atom that is never derivable is dropped from the rule;
+	// a derivable one is kept.
+	g := mustGround(t, "p(a). q(X) :- p(X), not r(X). r(a) :- p(a), not q(a).")
+	var qRule *Rule
+	for i := range g.Rules {
+		r := &g.Rules[i]
+		if len(r.Head) == 1 && g.Atoms[r.Head[0]] == "q(a)" {
+			qRule = r
+		}
+	}
+	if qRule == nil {
+		t.Fatalf("q(a) rule missing:\n%s", g)
+	}
+	if len(qRule.Neg) != 1 || g.Atoms[qRule.Neg[0]] != "r(a)" {
+		t.Fatalf("q rule neg = %v", qRule.Neg)
+	}
+}
+
+func TestGroundDropsUnderivableNegation(t *testing.T) {
+	g := mustGround(t, "p(a). q(X) :- p(X), not zzz(X).")
+	for _, r := range g.Rules {
+		for _, n := range r.Neg {
+			if strings.HasPrefix(g.Atoms[n], "zzz") {
+				t.Fatalf("underivable negated atom kept:\n%s", g)
+			}
+		}
+	}
+}
+
+func TestGroundCoherenceConstraints(t *testing.T) {
+	g := mustGround(t, "p(a). -p(a).")
+	// Expect a constraint :- -p(a), p(a).
+	found := false
+	for _, r := range g.Rules {
+		if len(r.Head) == 0 && len(r.Pos) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no coherence constraint:\n%s", g)
+	}
+}
+
+func TestGroundRejectsChoice(t *testing.T) {
+	p := parse.MustProgram("h(X,W) :- b(X,W), choice(X,W). b(a,c).")
+	if _, err := Ground(p); err == nil {
+		t.Fatal("grounding with choice goals should fail")
+	}
+}
+
+func TestGroundDisjunctiveHeads(t *testing.T) {
+	g := mustGround(t, "a(x) v b(x) :- c(x). c(x).")
+	found := false
+	for _, r := range g.Rules {
+		if len(r.Head) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("disjunctive rule lost:\n%s", g)
+	}
+	// Both head atoms must be possible.
+	if _, ok := g.Index["a(x)"]; !ok {
+		t.Fatal("a(x) missing")
+	}
+	if _, ok := g.Index["b(x)"]; !ok {
+		t.Fatal("b(x) missing")
+	}
+}
+
+func TestGroundChainDerivation(t *testing.T) {
+	// The possible-atom fixpoint must follow chains.
+	g := mustGround(t, "p(a). q(X) :- p(X). r(X) :- q(X). s(X) :- r(X).")
+	if _, ok := g.Index["s(a)"]; !ok {
+		t.Fatalf("chained atom s(a) not derived:\n%s", g)
+	}
+}
+
+func TestGroundDeduplicatesRules(t *testing.T) {
+	g := mustGround(t, "p(a). q(a) :- p(a). q(X) :- p(X).")
+	count := 0
+	for _, r := range g.Rules {
+		if len(r.Head) == 1 && g.Atoms[r.Head[0]] == "q(a)" && len(r.Pos) == 1 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("duplicate ground rules kept: %d\n%s", count, g)
+	}
+}

@@ -1,0 +1,236 @@
+package lp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Head: []Literal{NegL(term.NewAtom("rp", term.V("X"), term.V("Y"))), Pos(term.NewAtom("rq", term.V("X"), term.V("W")))},
+		PosB: []Literal{Pos(term.NewAtom("r1", term.V("X"), term.V("Y")))},
+		NegB: []Literal{Pos(term.NewAtom("aux", term.V("X")))},
+		Cmps: []Cmp{{Op: "!=", L: term.V("X"), R: term.V("Y")}},
+	}
+	got := r.String()
+	want := "-rp(X,Y) v rq(X,W) :- r1(X,Y), not aux(X), X != Y."
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFactAndConstraint(t *testing.T) {
+	f := Fact(Pos(term.NewAtom("r1", term.C("a"), term.C("b"))))
+	if !f.IsFact() || f.String() != "r1(a,b)." {
+		t.Fatalf("fact = %q", f)
+	}
+	c := Rule{PosB: []Literal{Pos(term.NewAtom("p", term.V("X"))), NegL(term.NewAtom("p", term.V("X")))}}
+	if !c.IsConstraint() {
+		t.Fatal("IsConstraint")
+	}
+	if got := c.String(); got != ":- p(X), -p(X)." {
+		t.Fatalf("constraint = %q", got)
+	}
+}
+
+func TestSafety(t *testing.T) {
+	ok := Rule{
+		Head: []Literal{Pos(term.NewAtom("q", term.V("X")))},
+		PosB: []Literal{Pos(term.NewAtom("p", term.V("X")))},
+	}
+	if err := ok.Safe(); err != nil {
+		t.Fatalf("safe rule rejected: %v", err)
+	}
+	bad := Rule{
+		Head: []Literal{Pos(term.NewAtom("q", term.V("Y")))},
+		PosB: []Literal{Pos(term.NewAtom("p", term.V("X")))},
+	}
+	if err := bad.Safe(); err == nil {
+		t.Fatal("unsafe head variable accepted")
+	}
+	badNeg := Rule{
+		Head: []Literal{Pos(term.NewAtom("q", term.V("X")))},
+		PosB: []Literal{Pos(term.NewAtom("p", term.V("X")))},
+		NegB: []Literal{Pos(term.NewAtom("r", term.V("Z")))},
+	}
+	if err := badNeg.Safe(); err == nil {
+		t.Fatal("unsafe negated variable accepted")
+	}
+}
+
+func TestCmpEval(t *testing.T) {
+	s := term.Subst{"X": term.C("2"), "Y": term.C("10")}
+	lt := Cmp{Op: "<", L: term.V("X"), R: term.V("Y")}
+	got, err := lt.Eval(s)
+	if err != nil || !got {
+		t.Fatalf("numeric 2 < 10: %v %v", got, err)
+	}
+	sx := term.Subst{"X": term.C("b"), "Y": term.C("a")}
+	got, err = Cmp{Op: ">", L: term.V("X"), R: term.V("Y")}.Eval(sx)
+	if err != nil || !got {
+		t.Fatalf("lexicographic b > a: %v %v", got, err)
+	}
+	if _, err := lt.Eval(term.NewSubst()); err == nil {
+		t.Fatal("unbound comparison should error")
+	}
+}
+
+func TestUnfoldChoiceShape(t *testing.T) {
+	// Rule (9) of Section 3.1:
+	// -rp1(X,Y) v rp2(X,W) :- r1(X,Y), s1(Z,Y), not aux1(X,Z), s2(Z,W),
+	//                         choice((X,Z),(W)).
+	r := Rule{
+		Head: []Literal{
+			NegL(term.NewAtom("rp1", term.V("X"), term.V("Y"))),
+			Pos(term.NewAtom("rp2", term.V("X"), term.V("W"))),
+		},
+		PosB: []Literal{
+			Pos(term.NewAtom("r1", term.V("X"), term.V("Y"))),
+			Pos(term.NewAtom("s1", term.V("Z"), term.V("Y"))),
+			Pos(term.NewAtom("s2", term.V("Z"), term.V("W"))),
+		},
+		NegB: []Literal{Pos(term.NewAtom("aux1", term.V("X"), term.V("Z")))},
+		Choice: []ChoiceGoal{{
+			Keys: []term.Term{term.V("X"), term.V("Z")},
+			Outs: []term.Term{term.V("W")},
+		}},
+	}
+	p := &Program{Rules: []Rule{r}}
+	u, err := UnfoldChoice(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// chosen rule + diffchoice rule + main rule.
+	if len(u.Rules) != 3 {
+		t.Fatalf("unfolded into %d rules:\n%s", len(u.Rules), u)
+	}
+	s := u.String()
+	if !strings.Contains(s, "chosen_1(X,Z,W) :- r1(X,Y), s1(Z,Y), s2(Z,W), not aux1(X,Z), not diffchoice_1(X,Z,W).") {
+		t.Errorf("missing chosen rule:\n%s", s)
+	}
+	if !strings.Contains(s, "diffchoice_1") || !strings.Contains(s, "!= W") {
+		t.Errorf("missing diffchoice rule:\n%s", s)
+	}
+	if !strings.Contains(s, "-rp1(X,Y) v rp2(X,W) :- r1(X,Y), s1(Z,Y), s2(Z,W), chosen_1(X,Z,W), not aux1(X,Z).") {
+		t.Errorf("missing main rule:\n%s", s)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatalf("unfolded program unsafe: %v", err)
+	}
+}
+
+func TestUnfoldChoiceNoChoicePassThrough(t *testing.T) {
+	p := &Program{}
+	p.AddFactAtom(term.NewAtom("p", term.C("a")))
+	u, err := UnfoldChoice(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Rules) != 1 || u.Rules[0].String() != "p(a)." {
+		t.Fatalf("pass-through failed: %s", u)
+	}
+}
+
+func TestStripChoice(t *testing.T) {
+	r := Rule{
+		Head:   []Literal{Pos(term.NewAtom("h", term.V("X")))},
+		PosB:   []Literal{Pos(term.NewAtom("b", term.V("X"), term.V("W")))},
+		Choice: []ChoiceGoal{{Keys: []term.Term{term.V("X")}, Outs: []term.Term{term.V("W")}}},
+	}
+	p := &Program{Rules: []Rule{r}}
+	s := StripChoice(p)
+	if len(s.Rules[0].Choice) != 0 {
+		t.Fatal("choice goal not stripped")
+	}
+	if len(p.Rules[0].Choice) != 1 {
+		t.Fatal("StripChoice mutated input")
+	}
+}
+
+func TestShiftProgramExample3(t *testing.T) {
+	// Example 3: shifting rule (9) yields two rules, each with the
+	// other head literal default-negated and the choice goal kept.
+	r := Rule{
+		Head: []Literal{
+			NegL(term.NewAtom("rp1", term.V("X"), term.V("Y"))),
+			Pos(term.NewAtom("rp2", term.V("X"), term.V("W"))),
+		},
+		PosB: []Literal{
+			Pos(term.NewAtom("r1", term.V("X"), term.V("Y"))),
+			Pos(term.NewAtom("s1", term.V("Z"), term.V("Y"))),
+			Pos(term.NewAtom("s2", term.V("Z"), term.V("W"))),
+		},
+		NegB: []Literal{Pos(term.NewAtom("aux1", term.V("X"), term.V("Z")))},
+		Choice: []ChoiceGoal{{
+			Keys: []term.Term{term.V("X"), term.V("Z")},
+			Outs: []term.Term{term.V("W")},
+		}},
+	}
+	p := &Program{Rules: []Rule{r}}
+	sh := ShiftProgram(p)
+	if len(sh.Rules) != 2 {
+		t.Fatalf("shift produced %d rules", len(sh.Rules))
+	}
+	s := sh.String()
+	if !strings.Contains(s, "-rp1(X,Y) :- r1(X,Y), s1(Z,Y), s2(Z,W), not aux1(X,Z), not rp2(X,W), choice((X,Z),(W)).") {
+		t.Errorf("first shifted rule wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "rp2(X,W) :- r1(X,Y), s1(Z,Y), s2(Z,W), not aux1(X,Z), not -rp1(X,Y), choice((X,Z),(W)).") {
+		t.Errorf("second shifted rule wrong:\n%s", s)
+	}
+}
+
+func TestPredHCF(t *testing.T) {
+	// The Section 3.1 program (choice removed) is HCF: -rp1 and rp2 do
+	// not depend on each other positively.
+	hcf := &Program{Rules: []Rule{
+		{
+			Head: []Literal{
+				NegL(term.NewAtom("rp1", term.V("X"), term.V("Y"))),
+				Pos(term.NewAtom("rp2", term.V("X"), term.V("W"))),
+			},
+			PosB: []Literal{Pos(term.NewAtom("r1", term.V("X"), term.V("Y"))), Pos(term.NewAtom("s2", term.V("X"), term.V("W")))},
+		},
+	}}
+	if !PredHCF(hcf) {
+		t.Fatal("Section 3.1 shape should be HCF")
+	}
+	// a v b with mutual positive recursion is not HCF.
+	nonHCF := &Program{Rules: []Rule{
+		{Head: []Literal{Pos(term.NewAtom("a")), Pos(term.NewAtom("b"))}},
+		{Head: []Literal{Pos(term.NewAtom("a"))}, PosB: []Literal{Pos(term.NewAtom("b"))}},
+		{Head: []Literal{Pos(term.NewAtom("b"))}, PosB: []Literal{Pos(term.NewAtom("a"))}},
+	}}
+	if PredHCF(nonHCF) {
+		t.Fatal("cyclic disjunctive program reported HCF")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	p1 := &Program{}
+	p1.AddFactAtom(term.NewAtom("p", term.C("a")))
+	p2 := &Program{}
+	p2.AddFactAtom(term.NewAtom("q", term.C("b")))
+	m := Merge(p1, p2)
+	if len(m.Rules) != 2 {
+		t.Fatalf("merged rules = %d", len(m.Rules))
+	}
+	if !m.Preds()["p"] || !m.Preds()["q"] {
+		t.Fatalf("Preds = %v", m.Preds())
+	}
+}
+
+func TestApplySubst(t *testing.T) {
+	r := Rule{
+		Head: []Literal{Pos(term.NewAtom("q", term.V("X")))},
+		PosB: []Literal{Pos(term.NewAtom("p", term.V("X"), term.V("Y")))},
+		Cmps: []Cmp{{Op: "!=", L: term.V("X"), R: term.V("Y")}},
+	}
+	s := term.Subst{"X": term.C("a"), "Y": term.C("b")}
+	g := r.Apply(s)
+	if g.String() != "q(a) :- p(a,b), a != b." {
+		t.Fatalf("Apply = %q", g.String())
+	}
+}

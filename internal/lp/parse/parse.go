@@ -1,0 +1,427 @@
+// Package parse reads logic programs in a DLV-like concrete syntax:
+//
+//	% facts
+//	r1(a,b).
+//	% rules; 'v' (or '|') separates head disjuncts, '-' is strong
+//	% negation, 'not' is default negation
+//	rp(X,Y) :- r1(X,Y), not -rp(X,Y).
+//	-rp(X,Y) v rq(X,W) :- r1(X,Y), s1(Z,Y), not aux(X,Z), s2(Z,W),
+//	                      choice((X,Z),(W)).
+//	% denial constraint
+//	:- rp(X,Y), rp(X,Z), Y != Z.
+//
+// Identifiers starting with an upper-case letter or '_' are variables;
+// everything else (including numbers) is a constant. 'not', 'v' and
+// 'choice' are reserved words.
+package parse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lp"
+	"repro/internal/term"
+)
+
+// Program parses a whole program.
+func Program(input string) (*lp.Program, error) {
+	p := &parser{toks: lex(input)}
+	prog := &lp.Program{}
+	for !p.atEOF() {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Add(r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustProgram parses a program, panicking on error; for tests and
+// fixed program text.
+func MustProgram(input string) *lp.Program {
+	prog, err := Program(input)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Rule parses a single rule (must end with '.').
+func Rule(input string) (lp.Rule, error) {
+	p := &parser{toks: lex(input)}
+	r, err := p.rule()
+	if err != nil {
+		return lp.Rule{}, err
+	}
+	if !p.atEOF() {
+		return lp.Rule{}, fmt.Errorf("lp/parse: trailing input after rule")
+	}
+	return r, nil
+}
+
+type token struct {
+	text string
+	line int
+}
+
+func lex(s string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '%': // comment to end of line
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			toks = append(toks, token{s[i:j], line})
+			i = j
+		case c == ':' && i+1 < len(s) && s[i+1] == '-':
+			toks = append(toks, token{":-", line})
+			i += 2
+		case c == '!' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, token{"!=", line})
+			i += 2
+		case c == '<' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, token{"<=", line})
+			i += 2
+		case c == '>' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, token{">=", line})
+			i += 2
+		case c >= '0' && c <= '9':
+			j := i + 1
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{s[i:j], line})
+			i = j
+		case strings.ContainsRune("().,|-=<>", rune(c)):
+			toks = append(toks, token{string(c), line})
+			i++
+		default:
+			toks = append(toks, token{"\x00" + string(c), line})
+			i++
+		}
+	}
+	return toks
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.atEOF() {
+		return token{"", -1}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := -1
+	if p.pos < len(p.toks) {
+		line = p.toks[p.pos].line
+	} else if len(p.toks) > 0 {
+		line = p.toks[len(p.toks)-1].line
+	}
+	return fmt.Errorf("lp/parse: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return p.errf("expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) rule() (lp.Rule, error) {
+	var r lp.Rule
+	// Head (may be empty for constraints).
+	if p.peek().text != ":-" {
+		for {
+			l, err := p.literal()
+			if err != nil {
+				return r, err
+			}
+			r.Head = append(r.Head, l)
+			t := p.peek().text
+			if t == "v" || t == "|" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	switch p.peek().text {
+	case ".":
+		p.next()
+		return r, nil
+	case ":-":
+		p.next()
+	default:
+		return r, p.errf("expected ':-' or '.', got %q", p.peek().text)
+	}
+	// Body.
+	for {
+		if err := p.bodyElem(&r); err != nil {
+			return r, err
+		}
+		switch p.peek().text {
+		case ",":
+			p.next()
+		case ".":
+			p.next()
+			return r, nil
+		default:
+			return r, p.errf("expected ',' or '.', got %q", p.peek().text)
+		}
+	}
+}
+
+func (p *parser) bodyElem(r *lp.Rule) error {
+	t := p.peek()
+	switch t.text {
+	case "not":
+		p.next()
+		l, err := p.literal()
+		if err != nil {
+			return err
+		}
+		r.NegB = append(r.NegB, l)
+		return nil
+	case "choice":
+		p.next()
+		c, err := p.choiceGoal()
+		if err != nil {
+			return err
+		}
+		r.Choice = append(r.Choice, c)
+		return nil
+	}
+	// Atom, strong negation, or comparison. Look ahead: an identifier
+	// followed by '(' that is not a variable is an atom; otherwise a
+	// term followed by a comparison operator.
+	if t.text == "-" || (isIdentName(t.text) && !isVarName(t.text) && p.lookAheadIs(1, "(")) {
+		l, err := p.literal()
+		if err != nil {
+			return err
+		}
+		r.PosB = append(r.PosB, l)
+		return nil
+	}
+	// Nullary positive atom (identifier not followed by comparison)?
+	if isIdentName(t.text) && !isVarName(t.text) && !p.lookAheadIsCmp(1) {
+		p.next()
+		r.PosB = append(r.PosB, lp.Pos(term.Atom{Pred: t.text}))
+		return nil
+	}
+	// Comparison.
+	lt, err := p.term()
+	if err != nil {
+		return err
+	}
+	op := p.next().text
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return p.errf("expected comparison operator, got %q", op)
+	}
+	rt, err := p.term()
+	if err != nil {
+		return err
+	}
+	r.Cmps = append(r.Cmps, lp.Cmp{Op: op, L: lt, R: rt})
+	return nil
+}
+
+func (p *parser) lookAheadIs(k int, text string) bool {
+	if p.pos+k >= len(p.toks) {
+		return false
+	}
+	return p.toks[p.pos+k].text == text
+}
+
+func (p *parser) lookAheadIsCmp(k int) bool {
+	if p.pos+k >= len(p.toks) {
+		return false
+	}
+	switch p.toks[p.pos+k].text {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) literal() (lp.Literal, error) {
+	neg := false
+	if p.peek().text == "-" {
+		p.next()
+		neg = true
+	}
+	t := p.next()
+	if !isIdentName(t.text) {
+		return lp.Literal{}, p.errf("expected predicate name, got %q", t.text)
+	}
+	if isVarName(t.text) {
+		return lp.Literal{}, p.errf("predicate name %q may not be a variable", t.text)
+	}
+	if t.text == "not" || t.text == "v" || t.text == "choice" {
+		return lp.Literal{}, p.errf("reserved word %q used as predicate", t.text)
+	}
+	a := term.Atom{Pred: t.text}
+	if p.peek().text == "(" {
+		p.next()
+		if p.peek().text != ")" {
+			for {
+				tt, err := p.term()
+				if err != nil {
+					return lp.Literal{}, err
+				}
+				a.Args = append(a.Args, tt)
+				if p.peek().text != "," {
+					break
+				}
+				p.next()
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return lp.Literal{}, err
+		}
+	}
+	return lp.Literal{Neg: neg, Atom: a}, nil
+}
+
+func (p *parser) term() (term.Term, error) {
+	t := p.next()
+	if t.text == "-" {
+		// Negative number constant.
+		n := p.next()
+		if !isNumber(n.text) {
+			return term.Term{}, p.errf("expected number after '-', got %q", n.text)
+		}
+		return term.C("-" + n.text), nil
+	}
+	if !isIdentName(t.text) && !isNumber(t.text) {
+		return term.Term{}, p.errf("expected term, got %q", t.text)
+	}
+	if isVarName(t.text) {
+		return term.V(t.text), nil
+	}
+	return term.C(t.text), nil
+}
+
+func (p *parser) choiceGoal() (lp.ChoiceGoal, error) {
+	var c lp.ChoiceGoal
+	if err := p.expect("("); err != nil {
+		return c, err
+	}
+	keys, err := p.termTuple()
+	if err != nil {
+		return c, err
+	}
+	c.Keys = keys
+	if err := p.expect(","); err != nil {
+		return c, err
+	}
+	outs, err := p.termTuple()
+	if err != nil {
+		return c, err
+	}
+	c.Outs = outs
+	if err := p.expect(")"); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// termTuple parses (t1,...,tn) or a single term.
+func (p *parser) termTuple() ([]term.Term, error) {
+	if p.peek().text == "(" {
+		p.next()
+		var out []term.Term
+		for {
+			t, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+			if p.peek().text != "," {
+				break
+			}
+			p.next()
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	t, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return []term.Term{t}, nil
+}
+
+func isIdentName(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isVarName(s string) bool {
+	if s == "" {
+		return false
+	}
+	return s[0] == '_' || (s[0] >= 'A' && s[0] <= 'Z')
+}

@@ -1,0 +1,133 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFacts(t *testing.T) {
+	p, err := Program("r1(a,b). s1(c,b).\n% comment\ns2(c,e). s2(c,f).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 4 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	for _, r := range p.Rules {
+		if !r.IsFact() {
+			t.Fatalf("%s not a fact", r)
+		}
+	}
+}
+
+func TestParseRuleRoundTrip(t *testing.T) {
+	cases := []string{
+		"rp1(X,Y) :- r1(X,Y), not -rp1(X,Y).",
+		"-rp1(X,Y) :- r1(X,Y), s1(Z,Y), not aux1(X,Z), not aux2(Z).",
+		"aux1(X,Z) :- rp2(X,W), sp2(Z,W).",
+		":- r1(X,Y), r1(X,Z), Y != Z.",
+		"p(X) v q(X) :- r(X).",
+		"p(X) :- r(X,Y), Y = a.",
+		"p :- q.",
+	}
+	for _, c := range cases {
+		r, err := Rule(c)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c, err)
+		}
+		if r.String() != c {
+			t.Errorf("round trip: %q -> %q", c, r.String())
+		}
+	}
+}
+
+func TestParsePipeDisjunction(t *testing.T) {
+	r, err := Rule("p(X) | q(X) :- r(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "p(X) v q(X) :- r(X)." {
+		t.Fatalf("got %q", r.String())
+	}
+}
+
+func TestParseChoice(t *testing.T) {
+	in := "-rp1(X,Y) v rp2(X,W) :- r1(X,Y), s1(Z,Y), not aux1(X,Z), s2(Z,W), choice((X,Z),(W))."
+	r, err := Rule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Choice) != 1 || len(r.Choice[0].Keys) != 2 || len(r.Choice[0].Outs) != 1 {
+		t.Fatalf("choice = %+v", r.Choice)
+	}
+	// The renderer canonicalizes body order: positives, negations,
+	// comparisons, choice goals.
+	want := "-rp1(X,Y) v rp2(X,W) :- r1(X,Y), s1(Z,Y), s2(Z,W), not aux1(X,Z), choice((X,Z),(W))."
+	if r.String() != want {
+		t.Fatalf("canonical rendering %q, want %q", r.String(), want)
+	}
+	// Single-term tuples without parens.
+	r2, err := Rule("h(X,W) :- b(X,W), choice(X,W).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Choice[0].Keys) != 1 || len(r2.Choice[0].Outs) != 1 {
+		t.Fatalf("choice = %+v", r2.Choice)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"p(X)",                 // missing period
+		"p(X) :- q(X), .",      // dangling comma
+		"p(X) :- q(Y).",        // unsafe
+		":- X != Y.",           // unsafe comparison
+		"p(X) :- not q(X).",    // unsafe: X only in negated literal
+		"P(x) :- q(x).",        // variable as predicate
+		"p(X) :- q(X) r(X).",   // missing comma
+		"p(X) :- q(X), X ~ Y.", // bad operator
+	}
+	for _, c := range bad {
+		if _, err := Program(c); err == nil {
+			t.Errorf("Program(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseNumbersAndNegatives(t *testing.T) {
+	r, err := Rule("p(X) :- q(X), X < 10.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.String(), "X < 10") {
+		t.Fatalf("got %q", r.String())
+	}
+}
+
+func TestParseSection31Program(t *testing.T) {
+	// The full program of Section 3.1 (rules 4–9), written in the
+	// concrete syntax, must parse and validate.
+	src := `
+% default persistence (4), (5)
+rp1(X,Y) :- r1(X,Y), not -rp1(X,Y).
+rp2(X,Y) :- r2(X,Y), not -rp2(X,Y).
+% deletion when no repair by insertion exists (6), (7), (8)
+-rp1(X,Y) :- r1(X,Y), s1(Z,Y), not aux1(X,Z), not aux2(Z).
+aux1(X,Z) :- r2(X,W), s2(Z,W).
+aux2(Z) :- s2(Z,W).
+% delete-or-insert alternative (9)
+-rp1(X,Y) v rp2(X,W) :- r1(X,Y), s1(Z,Y), not aux1(X,Z), s2(Z,W), choice((X,Z),(W)).
+% facts
+r1(a,b). s1(c,b). s2(c,e). s2(c,f).
+`
+	p, err := Program(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 10 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if !p.HasChoice() {
+		t.Fatal("choice goal lost")
+	}
+}

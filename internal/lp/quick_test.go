@@ -1,0 +1,119 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/term"
+)
+
+// randomSafeRule builds a random safe rule over small predicate and
+// variable pools.
+func randomSafeRule(rng *rand.Rand) Rule {
+	vars := []term.Term{term.V("X"), term.V("Y")}
+	consts := []term.Term{term.C("a"), term.C("b")}
+	pickT := func() term.Term {
+		if rng.Intn(2) == 0 {
+			return vars[rng.Intn(len(vars))]
+		}
+		return consts[rng.Intn(len(consts))]
+	}
+	atom := func(pred string) term.Atom {
+		return term.NewAtom(pred, pickT(), pickT())
+	}
+	r := Rule{
+		// The positive body binds both variables, guaranteeing safety.
+		PosB: []Literal{Pos(term.NewAtom("base", vars[0], vars[1]))},
+	}
+	for i := 0; i < rng.Intn(2); i++ {
+		r.PosB = append(r.PosB, Pos(atom("p")))
+	}
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		r.Head = append(r.Head, Literal{Neg: rng.Intn(2) == 0, Atom: atom("h")})
+	}
+	for i := 0; i < rng.Intn(2); i++ {
+		r.NegB = append(r.NegB, Pos(atom("q")))
+	}
+	if rng.Intn(2) == 0 {
+		r.Choice = append(r.Choice, ChoiceGoal{
+			Keys: []term.Term{vars[0]},
+			Outs: []term.Term{vars[1]},
+		})
+	}
+	return r
+}
+
+// TestUnfoldChoicePreservesSafety: unfolding random safe choice rules
+// always yields safe, choice-free programs.
+func TestUnfoldChoicePreservesSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		p := &Program{Rules: []Rule{randomSafeRule(rng)}}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced unsafe rule: %v", trial, err)
+		}
+		u, err := UnfoldChoice(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if u.HasChoice() {
+			t.Fatalf("trial %d: choice goal survived unfolding:\n%s", trial, u)
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatalf("trial %d: unfolded program unsafe: %v\n%s", trial, err, u)
+		}
+	}
+}
+
+// TestShiftPreservesRuleCountAndBodies (testing/quick): shifting a
+// k-headed rule yields k rules, each with the full original body plus
+// k-1 extra negated literals.
+func TestShiftPreservesRuleCountAndBodies(t *testing.T) {
+	f := func(nHeads uint8, nPos uint8) bool {
+		k := int(nHeads)%3 + 1
+		np := int(nPos) % 3
+		r := Rule{}
+		for i := 0; i < k; i++ {
+			r.Head = append(r.Head, Pos(term.NewAtom("h", term.C(string(rune('a'+i))))))
+		}
+		for i := 0; i < np; i++ {
+			r.PosB = append(r.PosB, Pos(term.NewAtom("b", term.C(string(rune('a'+i))))))
+		}
+		sh := ShiftProgram(&Program{Rules: []Rule{r}})
+		if k == 1 {
+			return len(sh.Rules) == 1 && len(sh.Rules[0].NegB) == len(r.NegB)
+		}
+		if len(sh.Rules) != k {
+			return false
+		}
+		for _, nr := range sh.Rules {
+			if len(nr.Head) != 1 || len(nr.PosB) != np || len(nr.NegB) != k-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergePreservesRules (testing/quick).
+func TestMergePreservesRules(t *testing.T) {
+	f := func(a, b uint8) bool {
+		p1 := &Program{}
+		for i := 0; i < int(a)%5; i++ {
+			p1.AddFactAtom(term.NewAtom("p", term.C(string(rune('a'+i)))))
+		}
+		p2 := &Program{}
+		for i := 0; i < int(b)%5; i++ {
+			p2.AddFactAtom(term.NewAtom("q", term.C(string(rune('a'+i)))))
+		}
+		m := Merge(p1, p2)
+		return len(m.Rules) == len(p1.Rules)+len(p2.Rules)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

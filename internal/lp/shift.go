@@ -1,0 +1,138 @@
+package lp
+
+// ShiftProgram applies the head-cycle-free shift of Section 4.1 at the
+// rule level: every disjunctive rule h1 v ... v hk :- B becomes k
+// normal rules hi :- B, not hj (j != i), with choice goals carried
+// along — exactly the transformation shown in the paper's Example 3,
+// where rule (9) is replaced by two rules. The caller is responsible
+// for the program being HCF (use solve.HCF on the grounding, with
+// choice goals removed per the paper's Proposition in Section 4.1).
+func ShiftProgram(p *Program) *Program {
+	out := &Program{}
+	for _, r := range p.Rules {
+		if len(r.Head) <= 1 {
+			out.Add(r)
+			continue
+		}
+		for i := range r.Head {
+			nr := Rule{
+				Head:   []Literal{r.Head[i]},
+				PosB:   append([]Literal{}, r.PosB...),
+				NegB:   append([]Literal{}, r.NegB...),
+				Cmps:   append([]Cmp{}, r.Cmps...),
+				Choice: append([]ChoiceGoal{}, r.Choice...),
+			}
+			for j, h := range r.Head {
+				if j != i {
+					nr.NegB = append(nr.NegB, h)
+				}
+			}
+			out.Add(nr)
+		}
+	}
+	return out
+}
+
+// PredHCF is a sound predicate-level approximation of head-cycle
+// freeness for non-ground programs: if no two head predicates of a
+// disjunctive rule share a strongly connected component of the
+// predicate dependency graph (edges head-pred → positive-body-pred),
+// every grounding of the program is HCF. Choice goals are ignored,
+// per the paper's observation that a disjunctive choice program is HCF
+// when its choice-free version is.
+func PredHCF(p *Program) bool {
+	// Build predicate graph.
+	idx := map[string]int{}
+	id := func(name string) int {
+		if i, ok := idx[name]; ok {
+			return i
+		}
+		i := len(idx)
+		idx[name] = i
+		return i
+	}
+	type edge struct{ from, to int }
+	var edges []edge
+	litKey := func(l Literal) string {
+		if l.Neg {
+			return "-" + l.Atom.Pred
+		}
+		return l.Atom.Pred
+	}
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			hi := id(litKey(h))
+			for _, b := range r.PosB {
+				edges = append(edges, edge{hi, id(litKey(b))})
+			}
+		}
+	}
+	n := len(idx)
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	comp := predSCC(n, adj)
+	for _, r := range p.Rules {
+		for i := 0; i < len(r.Head); i++ {
+			for j := i + 1; j < len(r.Head); j++ {
+				ci := comp[idx[litKey(r.Head[i])]]
+				cj := comp[idx[litKey(r.Head[j])]]
+				if litKey(r.Head[i]) != litKey(r.Head[j]) && ci == cj {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// predSCC is a small recursive Tarjan over the predicate graph (the
+// number of predicates is small, so recursion depth is not a concern).
+func predSCC(n int, adj [][]int) []int {
+	comp := make([]int, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	next, nComp := 0, 0
+	var visit func(v int)
+	visit = func(v int) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == -1 {
+				visit(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			visit(v)
+		}
+	}
+	return comp
+}

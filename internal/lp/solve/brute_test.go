@@ -1,0 +1,249 @@
+package solve
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lp/ground"
+)
+
+// bruteStableModels enumerates all stable models by definition: every
+// subset M of the atoms is tested for being a minimal model of the
+// GL-reduct P^M. Exponential, used only as an oracle on tiny programs.
+func bruteStableModels(gp *ground.Program) []Model {
+	n := len(gp.Atoms)
+	if n > 16 {
+		panic("brute force limited to 16 atoms")
+	}
+	var out []Model
+	for bits := 0; bits < (1 << n); bits++ {
+		m := make(map[int]bool)
+		for a := 0; a < n; a++ {
+			if bits&(1<<a) != 0 {
+				m[a] = true
+			}
+		}
+		if bruteIsStable(gp, m) {
+			var keys []string
+			for a := range m {
+				keys = append(keys, gp.Atoms[a])
+			}
+			sort.Strings(keys)
+			out = append(out, Model(keys))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], "\x1f") < strings.Join(out[j], "\x1f")
+	})
+	return out
+}
+
+func bruteIsStable(gp *ground.Program, m map[int]bool) bool {
+	reduct := bruteReduct(gp, m)
+	if !bruteModels(reduct, m) {
+		return false
+	}
+	// Minimality: no proper subset is a model of the reduct.
+	atoms := make([]int, 0, len(m))
+	for a := range m {
+		atoms = append(atoms, a)
+	}
+	for bits := 0; bits < (1<<len(atoms))-1; bits++ {
+		sub := make(map[int]bool)
+		for i, a := range atoms {
+			if bits&(1<<i) != 0 {
+				sub[a] = true
+			}
+		}
+		if bruteModels(reduct, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+type bruteRule struct{ head, pos []int }
+
+func bruteReduct(gp *ground.Program, m map[int]bool) []bruteRule {
+	var out []bruteRule
+	for _, r := range gp.Rules {
+		blocked := false
+		for _, nb := range r.Neg {
+			if m[nb] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			out = append(out, bruteRule{head: r.Head, pos: r.Pos})
+		}
+	}
+	return out
+}
+
+func bruteModels(rules []bruteRule, m map[int]bool) bool {
+	for _, r := range rules {
+		body := true
+		for _, p := range r.pos {
+			if !m[p] {
+				body = false
+				break
+			}
+		}
+		if !body {
+			continue
+		}
+		sat := false
+		for _, h := range r.head {
+			if m[h] {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// randomGroundProgram builds a small random ground program over nAtoms
+// propositional atoms with a mix of facts, normal rules, disjunctive
+// rules, negation and constraints.
+func randomGroundProgram(rng *rand.Rand, nAtoms, nRules int) *ground.Program {
+	gp := &ground.Program{Index: map[string]int{}}
+	for i := 0; i < nAtoms; i++ {
+		gp.AtomID(atomName(i))
+	}
+	pick := func() int { return rng.Intn(nAtoms) }
+	for i := 0; i < nRules; i++ {
+		var r ground.Rule
+		switch rng.Intn(10) {
+		case 0: // fact
+			r.Head = []int{pick()}
+		case 1: // constraint
+			r.Pos = []int{pick()}
+			if rng.Intn(2) == 0 {
+				r.Neg = []int{pick()}
+			}
+		case 2, 3: // disjunctive rule
+			r.Head = []int{pick(), pick()}
+			if rng.Intn(2) == 0 {
+				r.Pos = []int{pick()}
+			}
+			if rng.Intn(2) == 0 {
+				r.Neg = []int{pick()}
+			}
+		default: // normal rule
+			r.Head = []int{pick()}
+			for j := 0; j < rng.Intn(3); j++ {
+				r.Pos = append(r.Pos, pick())
+			}
+			for j := 0; j < rng.Intn(2); j++ {
+				r.Neg = append(r.Neg, pick())
+			}
+		}
+		gp.Rules = append(gp.Rules, r)
+	}
+	return gp
+}
+
+func atomName(i int) string { return "a" + string(rune('0'+i)) }
+
+// TestSolverAgainstBruteForce cross-checks the DPLL solver against the
+// definitional oracle on hundreds of random small programs.
+func TestSolverAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		gp := randomGroundProgram(rng, 2+rng.Intn(5), 1+rng.Intn(8))
+		want := bruteStableModels(gp)
+		got, err := StableModels(gp, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Fatalf("trial %d: models differ\nprogram:\n%s\nsolver: %v\nbrute:  %v",
+				trial, gp, got, want)
+		}
+	}
+}
+
+// TestSolverAblationAgainstBruteForce repeats the oracle check with
+// support propagation disabled.
+func TestSolverAblationAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		gp := randomGroundProgram(rng, 2+rng.Intn(4), 1+rng.Intn(7))
+		want := bruteStableModels(gp)
+		got, err := StableModels(gp, Options{NoSupportPropagation: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Fatalf("trial %d: models differ\nprogram:\n%s\nsolver: %v\nbrute:  %v",
+				trial, gp, got, want)
+		}
+	}
+}
+
+// TestShiftAgainstBruteForce checks that shifting random HCF programs
+// preserves the stable models exactly.
+func TestShiftAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for trial := 0; trial < 600 && checked < 150; trial++ {
+		gp := randomGroundProgram(rng, 2+rng.Intn(4), 1+rng.Intn(7))
+		if !HCF(gp) {
+			continue
+		}
+		checked++
+		sh, err := Shift(gp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteStableModels(gp)
+		got, err := StableModels(sh, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Fatalf("trial %d: shift changed models\nprogram:\n%s\nshifted: %v\nbrute:   %v",
+				trial, gp, got, want)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("too few HCF programs checked: %d", checked)
+	}
+}
+
+// TestShiftRejectsNonHCF: shifting a head-cycle program must error (it
+// would change the models: a v b with mutual support has models {a},{b}
+// but the shifted program has none... actually the classic example).
+func TestShiftRejectsNonHCF(t *testing.T) {
+	gp := &ground.Program{Index: map[string]int{}}
+	a := gp.AtomID("a")
+	b := gp.AtomID("b")
+	gp.Rules = []ground.Rule{
+		{Head: []int{a, b}},
+		{Head: []int{a}, Pos: []int{b}},
+		{Head: []int{b}, Pos: []int{a}},
+	}
+	if HCF(gp) {
+		t.Fatal("program should not be HCF")
+	}
+	if _, err := Shift(gp); err == nil {
+		t.Fatal("Shift must reject non-HCF programs")
+	}
+}
+
+func normalize(ms []Model) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = strings.Join(m, ",")
+	}
+	sort.Strings(out)
+	return out
+}

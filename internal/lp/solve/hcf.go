@@ -1,0 +1,158 @@
+package solve
+
+import (
+	"fmt"
+
+	"repro/internal/lp/ground"
+)
+
+// HCF reports whether the ground program is head-cycle free (Section
+// 4.1 of the paper, after Ben-Eliyahu & Dechter [4]): no rule has two
+// head atoms lying in the same strongly connected component of the
+// positive dependency graph (edges from head atoms to positive body
+// atoms of the same rule).
+func HCF(gp *ground.Program) bool {
+	scc := sccOf(gp)
+	for _, r := range gp.Rules {
+		for i := 0; i < len(r.Head); i++ {
+			for j := i + 1; j < len(r.Head); j++ {
+				if r.Head[i] != r.Head[j] && scc[r.Head[i]] == scc[r.Head[j]] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Shift rewrites every disjunctive rule h1 v ... v hk :- B into the k
+// normal rules hi :- B, not h1, ..., not h(i-1), not h(i+1), ..., not hk.
+// For HCF programs the shifted program has exactly the same stable
+// models [4,22]; Shift returns an error if the program is not HCF, as
+// the transformation is unsound there.
+func Shift(gp *ground.Program) (*ground.Program, error) {
+	if !HCF(gp) {
+		return nil, fmt.Errorf("solve: program is not head-cycle free; shifting would change its stable models")
+	}
+	out := &ground.Program{Index: make(map[string]int)}
+	// Preserve atom interning.
+	out.Atoms = append(out.Atoms, gp.Atoms...)
+	for k, v := range gp.Index {
+		out.Index[k] = v
+	}
+	for _, r := range gp.Rules {
+		head := dedupe(r.Head)
+		if len(head) <= 1 {
+			out.Rules = append(out.Rules, ground.Rule{Head: head, Pos: r.Pos, Neg: r.Neg})
+			continue
+		}
+		for i := range head {
+			nr := ground.Rule{
+				Head: []int{head[i]},
+				Pos:  append([]int{}, r.Pos...),
+				Neg:  append([]int{}, r.Neg...),
+			}
+			for j, h := range head {
+				if j != i {
+					nr.Neg = append(nr.Neg, h)
+				}
+			}
+			out.Rules = append(out.Rules, nr)
+		}
+	}
+	return out, nil
+}
+
+// dedupe removes duplicate atoms from a head, preserving order. A
+// duplicated head disjunct is logically a single disjunct; shifting it
+// literally would wrongly add "not a" for "a"'s own rule.
+func dedupe(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// sccOf computes strongly connected components of the positive
+// dependency graph with an iterative Tarjan algorithm; it returns the
+// component id per atom.
+func sccOf(gp *ground.Program) []int {
+	n := len(gp.Atoms)
+	adj := make([][]int, n)
+	for _, r := range gp.Rules {
+		for _, h := range r.Head {
+			adj[h] = append(adj[h], r.Pos...)
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+	nComp := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		var callStack []frame
+		callStack = append(callStack, frame{start, 0})
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}

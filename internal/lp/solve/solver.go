@@ -1,0 +1,695 @@
+// Package solve enumerates the stable models (answer sets) of ground
+// disjunctive logic programs, in the sense of Gelfond & Lifschitz [16]:
+// M is a stable model of P iff M is a minimal model of the
+// Gelfond-Lifschitz reduct P^M. It also provides cautious (skeptical)
+// and brave reasoning — the paper obtains peer consistent answers by
+// running query programs under the skeptical answer set semantics
+// (Section 3.2) — and the head-cycle-freeness analysis and shifting of
+// Section 4.1.
+//
+// The solver is a DPLL-style enumerator: clause propagation over the
+// rules, support propagation (every atom of a stable model needs a rule
+// whose body holds and whose other head atoms are false), and a final
+// reduct-minimality verification at each leaf (a least-fixpoint check
+// for normal reducts, a minimal-model search for disjunctive ones).
+package solve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lp/ground"
+)
+
+// Options configures the search.
+type Options struct {
+	// MaxModels stops the enumeration early; 0 means all models.
+	MaxModels int
+	// NoSupportPropagation disables the support-based pruning rule,
+	// falling back to pure clause propagation plus leaf checks. Used by
+	// the ablation benchmark (B8); results are identical, only slower.
+	NoSupportPropagation bool
+}
+
+// Model is a stable model: the sorted canonical keys of its true atoms.
+type Model []string
+
+// Has reports whether the model contains the atom key.
+func (m Model) Has(key string) bool {
+	i := sort.SearchStrings(m, key)
+	return i < len(m) && m[i] == key
+}
+
+// String renders the model like the paper renders M1..M4.
+func (m Model) String() string { return "{" + strings.Join(m, ", ") + "}" }
+
+const (
+	unknown int8 = 0
+	vTrue   int8 = 1
+	vFalse  int8 = -1
+)
+
+type solver struct {
+	gp     *ground.Program
+	opt    Options
+	assign []int8
+	trail  []int
+	// occurrence lists
+	inHead [][]int
+	inPos  [][]int
+	inNeg  [][]int
+	models []Model
+	seen   map[string]bool
+	// propagation worklists
+	ruleQueue  []int
+	ruleQueued []bool
+	supQueue   []int
+	supQueued  []bool
+	processed  int
+	seeded     bool
+}
+
+// StableModels enumerates the stable models of the ground program,
+// deterministically ordered by their canonical rendering.
+func StableModels(gp *ground.Program, opt Options) ([]Model, error) {
+	n := len(gp.Atoms)
+	s := &solver{
+		gp:         gp,
+		opt:        opt,
+		assign:     make([]int8, n),
+		inHead:     make([][]int, n),
+		inPos:      make([][]int, n),
+		inNeg:      make([][]int, n),
+		seen:       make(map[string]bool),
+		ruleQueued: make([]bool, len(gp.Rules)),
+		supQueued:  make([]bool, n),
+	}
+	for ri, r := range gp.Rules {
+		for _, a := range r.Head {
+			s.inHead[a] = append(s.inHead[a], ri)
+		}
+		for _, a := range r.Pos {
+			s.inPos[a] = append(s.inPos[a], ri)
+		}
+		for _, a := range r.Neg {
+			s.inNeg[a] = append(s.inNeg[a], ri)
+		}
+	}
+	// Atoms that never occur in any head can never be true.
+	for a := 0; a < n; a++ {
+		if len(s.inHead[a]) == 0 {
+			s.assign[a] = vFalse
+		}
+	}
+	s.search()
+	sort.Slice(s.models, func(i, j int) bool {
+		return strings.Join(s.models[i], "\x1f") < strings.Join(s.models[j], "\x1f")
+	})
+	return s.models, nil
+}
+
+func (s *solver) done() bool {
+	return s.opt.MaxModels > 0 && len(s.models) >= s.opt.MaxModels
+}
+
+// set assigns an atom, recording it on the trail; it reports false on
+// conflict with an existing assignment.
+func (s *solver) set(a int, v int8) bool {
+	if s.assign[a] != unknown {
+		return s.assign[a] == v
+	}
+	s.assign[a] = v
+	s.trail = append(s.trail, a)
+	return true
+}
+
+// undo rolls the trail back to the given mark, rolling the
+// propagation bookkeeping back with it.
+func (s *solver) undo(mark int) {
+	for len(s.trail) > mark {
+		a := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[a] = unknown
+	}
+	if s.processed > mark {
+		s.processed = mark
+	}
+}
+
+// propagate runs clause and support propagation to fixpoint with a
+// worklist: only rules touching freshly assigned atoms are revisited,
+// and support is rechecked only for true atoms whose candidate rules
+// may have changed. The processed-trail counter persists across calls
+// (and is rolled back by undo), so each search node propagates only
+// its delta. It reports false on conflict.
+func (s *solver) propagate() bool {
+	if !s.seeded {
+		s.seeded = true
+		for ri := range s.gp.Rules {
+			s.ruleQueue = append(s.ruleQueue, ri)
+			s.ruleQueued[ri] = true
+		}
+	}
+	for {
+		// Enqueue work derived from assignments made since last round.
+		for ; s.processed < len(s.trail); s.processed++ {
+			a := s.trail[s.processed]
+			for _, ri := range s.inHead[a] {
+				s.enqueueRule(ri)
+				s.enqueueSupportOfRule(ri)
+			}
+			for _, ri := range s.inPos[a] {
+				s.enqueueRule(ri)
+				s.enqueueSupportOfRule(ri)
+			}
+			for _, ri := range s.inNeg[a] {
+				s.enqueueRule(ri)
+				s.enqueueSupportOfRule(ri)
+			}
+			if s.assign[a] == vTrue && !s.opt.NoSupportPropagation {
+				s.enqueueSupport(a)
+			}
+		}
+		if len(s.ruleQueue) == 0 && len(s.supQueue) == 0 {
+			return true
+		}
+		for len(s.ruleQueue) > 0 {
+			ri := s.ruleQueue[len(s.ruleQueue)-1]
+			s.ruleQueue = s.ruleQueue[:len(s.ruleQueue)-1]
+			s.ruleQueued[ri] = false
+			if ok, _ := s.propagateRule(ri); !ok {
+				s.clearQueues()
+				return false
+			}
+		}
+		if !s.opt.NoSupportPropagation {
+			for len(s.supQueue) > 0 {
+				a := s.supQueue[len(s.supQueue)-1]
+				s.supQueue = s.supQueue[:len(s.supQueue)-1]
+				s.supQueued[a] = false
+				if s.assign[a] != vTrue {
+					continue
+				}
+				if ok, _ := s.propagateSupport(a); !ok {
+					s.clearQueues()
+					return false
+				}
+			}
+		}
+	}
+}
+
+func (s *solver) enqueueRule(ri int) {
+	if !s.ruleQueued[ri] {
+		s.ruleQueued[ri] = true
+		s.ruleQueue = append(s.ruleQueue, ri)
+	}
+}
+
+func (s *solver) enqueueSupport(a int) {
+	if !s.supQueued[a] {
+		s.supQueued[a] = true
+		s.supQueue = append(s.supQueue, a)
+	}
+}
+
+// enqueueSupportOfRule re-examines the support of the rule's true head
+// atoms whenever the rule's state may have changed.
+func (s *solver) enqueueSupportOfRule(ri int) {
+	if s.opt.NoSupportPropagation {
+		return
+	}
+	for _, h := range s.gp.Rules[ri].Head {
+		if s.assign[h] == vTrue {
+			s.enqueueSupport(h)
+		}
+	}
+}
+
+func (s *solver) clearQueues() {
+	for _, ri := range s.ruleQueue {
+		s.ruleQueued[ri] = false
+	}
+	s.ruleQueue = s.ruleQueue[:0]
+	for _, a := range s.supQueue {
+		s.supQueued[a] = false
+	}
+	s.supQueue = s.supQueue[:0]
+}
+
+// propagateRule applies unit propagation to the clause
+// ⋁(¬p) ∨ ⋁(n) ∨ ⋁(h): if the rule body holds and no head atom can be
+// true, the last open literal is forced.
+func (s *solver) propagateRule(ri int) (ok, changed bool) {
+	r := &s.gp.Rules[ri]
+	// Count satisfied / open clause literals.
+	var openKind int8 // 1: pos body atom to falsify; 2: neg body atom to satisfy; 3: head atom to satisfy
+	openAtom := -1
+	open := 0
+	for _, p := range r.Pos {
+		switch s.assign[p] {
+		case vFalse:
+			return true, false // clause satisfied
+		case unknown:
+			open++
+			openKind, openAtom = 1, p
+		}
+	}
+	for _, nb := range r.Neg {
+		switch s.assign[nb] {
+		case vTrue:
+			return true, false
+		case unknown:
+			open++
+			openKind, openAtom = 2, nb
+		}
+	}
+	for _, h := range r.Head {
+		switch s.assign[h] {
+		case vTrue:
+			return true, false
+		case unknown:
+			open++
+			openKind, openAtom = 3, h
+		}
+	}
+	switch open {
+	case 0:
+		return false, false // body holds, head all false: conflict
+	case 1:
+		var v int8
+		switch openKind {
+		case 1:
+			v = vFalse
+		case 2:
+			v = vTrue
+		case 3:
+			v = vTrue
+		}
+		if !s.set(openAtom, v) {
+			return false, false
+		}
+		return true, true
+	}
+	return true, false
+}
+
+// propagateSupport enforces that a true atom has at least one live
+// supporting rule (body not falsified, no other head atom true); with
+// exactly one live candidate, its body and head exclusivity are forced.
+func (s *solver) propagateSupport(a int) (ok, changed bool) {
+	live := -1
+	count := 0
+	for _, ri := range s.inHead[a] {
+		if s.ruleCanSupport(ri, a) {
+			count++
+			live = ri
+			if count > 1 {
+				return true, false
+			}
+		}
+	}
+	if count == 0 {
+		return false, false
+	}
+	// Exactly one candidate: force it.
+	r := &s.gp.Rules[live]
+	for _, p := range r.Pos {
+		if s.assign[p] == unknown {
+			if !s.set(p, vTrue) {
+				return false, false
+			}
+			changed = true
+		}
+	}
+	for _, nb := range r.Neg {
+		if s.assign[nb] == unknown {
+			if !s.set(nb, vFalse) {
+				return false, false
+			}
+			changed = true
+		}
+	}
+	for _, h := range r.Head {
+		if h != a && s.assign[h] == unknown {
+			if !s.set(h, vFalse) {
+				return false, false
+			}
+			changed = true
+		}
+	}
+	return true, changed
+}
+
+func (s *solver) ruleCanSupport(ri, a int) bool {
+	r := &s.gp.Rules[ri]
+	for _, p := range r.Pos {
+		if s.assign[p] == vFalse {
+			return false
+		}
+	}
+	for _, nb := range r.Neg {
+		if s.assign[nb] == vTrue {
+			return false
+		}
+	}
+	for _, h := range r.Head {
+		if h != a && s.assign[h] == vTrue {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *solver) search() {
+	if s.done() {
+		return
+	}
+	mark := len(s.trail)
+	if !s.propagate() {
+		s.undo(mark)
+		return
+	}
+	// Find an unassigned atom.
+	branch := -1
+	for a := range s.assign {
+		if s.assign[a] == unknown {
+			branch = a
+			break
+		}
+	}
+	if branch == -1 {
+		s.leaf()
+		s.undo(mark)
+		return
+	}
+	for _, v := range []int8{vFalse, vTrue} {
+		m2 := len(s.trail)
+		if s.set(branch, v) {
+			s.search()
+		}
+		s.undo(m2)
+		if s.done() {
+			break
+		}
+	}
+	s.undo(mark)
+}
+
+// leaf verifies the total assignment is a stable model and records it.
+func (s *solver) leaf() {
+	m := make(map[int]bool)
+	for a, v := range s.assign {
+		if v == vTrue {
+			m[a] = true
+		}
+	}
+	if !s.isStable(m) {
+		return
+	}
+	var keys []string
+	for a := range m {
+		keys = append(keys, s.gp.Atoms[a])
+	}
+	sort.Strings(keys)
+	sig := strings.Join(keys, "\x1f")
+	if !s.seen[sig] {
+		s.seen[sig] = true
+		s.models = append(s.models, Model(keys))
+	}
+}
+
+// isStable checks that M is a minimal model of the reduct P^M.
+func (s *solver) isStable(m map[int]bool) bool {
+	// Build the reduct restricted to rules whose positive body lies in
+	// M (others are vacuous for submodels of M) and whose negative
+	// body is disjoint from M; heads are intersected with M.
+	type prule struct{ head, pos []int }
+	var reduct []prule
+	normal := true
+	for _, r := range s.gp.Rules {
+		skip := false
+		for _, nb := range r.Neg {
+			if m[nb] {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		for _, p := range r.Pos {
+			if !m[p] {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		var head []int
+		for _, h := range r.Head {
+			if m[h] {
+				head = append(head, h)
+			}
+		}
+		if len(head) == 0 {
+			// M does not satisfy the reduct rule: not even a model.
+			return false
+		}
+		if len(head) > 1 {
+			normal = false
+		}
+		reduct = append(reduct, prule{head: head, pos: r.Pos})
+	}
+	if normal {
+		// Least-model check: closure of the definite reduct must be M.
+		derived := make(map[int]bool)
+		for changed := true; changed; {
+			changed = false
+			for _, r := range reduct {
+				if derived[r.head[0]] {
+					continue
+				}
+				ok := true
+				for _, p := range r.pos {
+					if !derived[p] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					derived[r.head[0]] = true
+					changed = true
+				}
+			}
+		}
+		return len(derived) == len(m)
+	}
+	// Disjunctive reduct: search for a proper submodel N ⊊ M.
+	return !s.hasProperSubmodel(m, func(yield func(head, pos []int)) {
+		for _, r := range reduct {
+			yield(r.head, r.pos)
+		}
+	})
+}
+
+// hasProperSubmodel searches for N ⊊ M satisfying every reduct rule
+// (with atoms outside M fixed false). It is a small recursive SAT
+// search over the atoms of M.
+func (s *solver) hasProperSubmodel(m map[int]bool, rules func(func(head, pos []int))) bool {
+	atoms := make([]int, 0, len(m))
+	for a := range m {
+		atoms = append(atoms, a)
+	}
+	sort.Ints(atoms)
+	idx := make(map[int]int, len(atoms))
+	for i, a := range atoms {
+		idx[a] = i
+	}
+	// Clauses over local indices: rule → ⋁¬pos ∨ ⋁head;
+	// plus "proper": ⋁_{a∈M} ¬a.
+	type clause struct{ neg, pos []int }
+	var clauses []clause
+	rules(func(head, pos []int) {
+		c := clause{}
+		for _, p := range pos {
+			c.neg = append(c.neg, idx[p])
+		}
+		for _, h := range head {
+			c.pos = append(c.pos, idx[h])
+		}
+		clauses = append(clauses, c)
+	})
+	all := clause{}
+	for i := range atoms {
+		all.neg = append(all.neg, i)
+	}
+	clauses = append(clauses, all)
+
+	assign := make([]int8, len(atoms))
+	var sat func() bool
+	sat = func() bool {
+		// Unit propagation.
+		for {
+			changed := false
+			for _, c := range clauses {
+				open, openLit, openPos := 0, -1, false
+				satisfied := false
+				for _, l := range c.neg {
+					if assign[l] == vFalse {
+						satisfied = true
+						break
+					}
+					if assign[l] == unknown {
+						open++
+						openLit, openPos = l, false
+					}
+				}
+				if !satisfied {
+					for _, l := range c.pos {
+						if assign[l] == vTrue {
+							satisfied = true
+							break
+						}
+						if assign[l] == unknown {
+							open++
+							openLit, openPos = l, true
+						}
+					}
+				}
+				if satisfied {
+					continue
+				}
+				if open == 0 {
+					return false
+				}
+				if open == 1 {
+					if openPos {
+						assign[openLit] = vTrue
+					} else {
+						assign[openLit] = vFalse
+					}
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		b := -1
+		for i := range assign {
+			if assign[i] == unknown {
+				b = i
+				break
+			}
+		}
+		if b == -1 {
+			return true
+		}
+		saved := make([]int8, len(assign))
+		copy(saved, assign)
+		assign[b] = vFalse
+		if sat() {
+			return true
+		}
+		copy(assign, saved)
+		assign[b] = vTrue
+		if sat() {
+			return true
+		}
+		copy(assign, saved)
+		return false
+	}
+	return sat()
+}
+
+// --- reasoning modes -----------------------------------------------------
+
+// Cautious returns the atom keys with the given predicate true in
+// every model (skeptical consequences). With no models it returns nil
+// and a false flag, letting the caller distinguish inconsistency (the
+// paper: "the absence of solutions ... captured by the non existence
+// of answer sets").
+func Cautious(models []Model, pred string) (atoms []string, hasModels bool) {
+	if len(models) == 0 {
+		return nil, false
+	}
+	counts := map[string]int{}
+	for _, m := range models {
+		for _, k := range m {
+			if atomPred(k) == pred {
+				counts[k]++
+			}
+		}
+	}
+	for k, c := range counts {
+		if c == len(models) {
+			atoms = append(atoms, k)
+		}
+	}
+	sort.Strings(atoms)
+	return atoms, true
+}
+
+// Brave returns the atom keys with the given predicate true in at
+// least one model.
+func Brave(models []Model, pred string) []string {
+	set := map[string]bool{}
+	for _, m := range models {
+		for _, k := range m {
+			if atomPred(k) == pred {
+				set[k] = true
+			}
+		}
+	}
+	var out []string
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// atomPred extracts the predicate of a canonical atom key, including a
+// leading '-' for strongly negated atoms.
+func atomPred(key string) string {
+	if i := strings.IndexByte(key, '('); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Args extracts the argument tuple of a canonical atom key.
+func Args(key string) []string {
+	i := strings.IndexByte(key, '(')
+	if i < 0 {
+		return nil
+	}
+	inner := key[i+1 : len(key)-1]
+	if inner == "" {
+		return nil
+	}
+	return strings.Split(inner, ",")
+}
+
+// FilterPred returns the atoms of a model with the given predicate.
+func FilterPred(m Model, pred string) []string {
+	var out []string
+	for _, k := range m {
+		if atomPred(k) == pred {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// FormatModels renders models one per line, for CLI output and tests.
+func FormatModels(models []Model) string {
+	var b strings.Builder
+	for i, m := range models {
+		fmt.Fprintf(&b, "M%d = %s\n", i+1, m)
+	}
+	return b.String()
+}

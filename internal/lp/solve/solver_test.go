@@ -1,0 +1,408 @@
+package solve
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/lp/ground"
+	"repro/internal/lp/parse"
+)
+
+func models(t *testing.T, src string, opt Options) []Model {
+	t.Helper()
+	p := parse.MustProgram(src)
+	u, err := lp.UnfoldChoice(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ground.Ground(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := StableModels(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+// modelSet renders models as a set of signatures restricted to
+// predicates of interest (ignoring bookkeeping atoms).
+func modelSet(ms []Model, preds ...string) map[string]bool {
+	keep := map[string]bool{}
+	for _, p := range preds {
+		keep[p] = true
+	}
+	out := map[string]bool{}
+	for _, m := range ms {
+		var parts []string
+		for _, k := range m {
+			if len(preds) == 0 || keep[atomPred(k)] {
+				parts = append(parts, k)
+			}
+		}
+		out["{"+strings.Join(parts, ",")+"}"] = true
+	}
+	return out
+}
+
+func TestFactsOnly(t *testing.T) {
+	ms := models(t, "p(a). q(b).", Options{})
+	if len(ms) != 1 {
+		t.Fatalf("models = %v", ms)
+	}
+	if !ms[0].Has("p(a)") || !ms[0].Has("q(b)") {
+		t.Fatalf("model = %v", ms[0])
+	}
+}
+
+func TestDefiniteChain(t *testing.T) {
+	ms := models(t, "p(a). q(X) :- p(X). r(X) :- q(X).", Options{})
+	if len(ms) != 1 || !ms[0].Has("r(a)") {
+		t.Fatalf("models = %v", ms)
+	}
+}
+
+func TestEvenNegationLoopTwoModels(t *testing.T) {
+	ms := models(t, "p :- not q. q :- not p.", Options{})
+	set := modelSet(ms, "p", "q")
+	if len(ms) != 2 || !set["{p}"] || !set["{q}"] {
+		t.Fatalf("models = %v", ms)
+	}
+}
+
+func TestOddNegationLoopNoModels(t *testing.T) {
+	ms := models(t, "p :- not p.", Options{})
+	if len(ms) != 0 {
+		t.Fatalf("p :- not p should have no stable model, got %v", ms)
+	}
+}
+
+func TestPositiveLoopUnfounded(t *testing.T) {
+	// a :- b. b :- a. has only the empty stable model: mutual support
+	// is unfounded.
+	ms := models(t, "a :- b. b :- a. fact(x).", Options{})
+	if len(ms) != 1 {
+		t.Fatalf("models = %v", ms)
+	}
+	if ms[0].Has("a") || ms[0].Has("b") {
+		t.Fatalf("unfounded atoms in model %v", ms[0])
+	}
+}
+
+func TestPositiveLoopWithExternalSupport(t *testing.T) {
+	ms := models(t, "a :- b. b :- a. b :- c. c.", Options{})
+	if len(ms) != 1 || !ms[0].Has("a") || !ms[0].Has("b") {
+		t.Fatalf("models = %v", ms)
+	}
+}
+
+func TestDisjunctiveFactTwoModels(t *testing.T) {
+	ms := models(t, "a v b.", Options{})
+	set := modelSet(ms, "a", "b")
+	if len(ms) != 2 || !set["{a}"] || !set["{b}"] {
+		t.Fatalf("models = %v", ms)
+	}
+}
+
+func TestDisjunctionMinimality(t *testing.T) {
+	// a v b.  a :- b.   Only {a} is stable: {a,b} is not minimal and
+	// {b} is not a model of the reduct.
+	ms := models(t, "a v b. a :- b.", Options{})
+	set := modelSet(ms, "a", "b")
+	if len(ms) != 1 || !set["{a}"] {
+		t.Fatalf("models = %v", ms)
+	}
+}
+
+func TestConstraintPrunes(t *testing.T) {
+	ms := models(t, "a v b. :- a.", Options{})
+	set := modelSet(ms, "a", "b")
+	if len(ms) != 1 || !set["{b}"] {
+		t.Fatalf("models = %v", ms)
+	}
+}
+
+func TestStrongNegationCoherence(t *testing.T) {
+	ms := models(t, "p(a). -p(a).", Options{})
+	if len(ms) != 0 {
+		t.Fatalf("incoherent program should have no models, got %v", ms)
+	}
+	ms = models(t, "p(a). -p(b).", Options{})
+	if len(ms) != 1 || !ms[0].Has("-p(b)") {
+		t.Fatalf("models = %v", ms)
+	}
+}
+
+func TestDefaultPersistenceRule(t *testing.T) {
+	// Rule (4) of the paper: copies survive unless strongly negated.
+	src := `
+r1(a,b). r1(s,t).
+rp1(X,Y) :- r1(X,Y), not -rp1(X,Y).
+-rp1(s,t) :- r1(s,t).
+`
+	ms := models(t, src, Options{})
+	if len(ms) != 1 {
+		t.Fatalf("models = %v", ms)
+	}
+	if !ms[0].Has("rp1(a,b)") || ms[0].Has("rp1(s,t)") || !ms[0].Has("-rp1(s,t)") {
+		t.Fatalf("model = %v", ms[0])
+	}
+}
+
+func TestChoiceExactlyOne(t *testing.T) {
+	// choice((X),(W)) picks exactly one W per X.
+	src := `
+d(x,a). d(x,b). d(x,c).
+pick(X,W) :- d(X,W), choice((X),(W)).
+`
+	ms := models(t, src, Options{})
+	if len(ms) != 3 {
+		t.Fatalf("want 3 models, got %d: %v", len(ms), ms)
+	}
+	for _, m := range ms {
+		picks := FilterPred(m, "pick")
+		if len(picks) != 1 {
+			t.Fatalf("model %v has %d picks", m, len(picks))
+		}
+	}
+}
+
+func TestChoiceSharedKey(t *testing.T) {
+	// Two violations with the same key share the chosen witness
+	// (the paper relies on this: "the choice operator ... chooses a
+	// unique value for t").
+	src := `
+viol(x,p). viol(x,q).
+d(x,a). d(x,b).
+pick(V,X,W) :- viol(X,V), d(X,W), choice((X),(W)).
+`
+	ms := models(t, src, Options{})
+	if len(ms) != 2 {
+		t.Fatalf("want 2 models (one per witness), got %d", len(ms))
+	}
+	for _, m := range ms {
+		picks := FilterPred(m, "pick")
+		if len(picks) != 2 {
+			t.Fatalf("model %v should pick for both v-atoms", m)
+		}
+		// Same witness in both picks.
+		w1 := Args(picks[0])[2]
+		w2 := Args(picks[1])[2]
+		if w1 != w2 {
+			t.Fatalf("witnesses differ in %v", m)
+		}
+	}
+}
+
+func TestCautiousBrave(t *testing.T) {
+	ms := models(t, "a v b. c.", Options{})
+	ca, has := Cautious(ms, "c")
+	if !has || len(ca) != 1 || ca[0] != "c" {
+		t.Fatalf("cautious c = %v %v", ca, has)
+	}
+	ca, _ = Cautious(ms, "a")
+	if len(ca) != 0 {
+		t.Fatalf("cautious a = %v", ca)
+	}
+	br := Brave(ms, "a")
+	if len(br) != 1 || br[0] != "a" {
+		t.Fatalf("brave a = %v", br)
+	}
+	_, has = Cautious(nil, "a")
+	if has {
+		t.Fatal("Cautious of no models must report hasModels=false")
+	}
+}
+
+func TestMaxModels(t *testing.T) {
+	ms := models(t, "a v b. c v d.", Options{MaxModels: 2})
+	if len(ms) != 2 {
+		t.Fatalf("MaxModels=2 gave %d", len(ms))
+	}
+}
+
+func TestNoSupportPropagationSameModels(t *testing.T) {
+	srcs := []string{
+		"p :- not q. q :- not p.",
+		"a v b. a :- b.",
+		"a :- b. b :- a. b :- c. c.",
+		"d(x,a). d(x,b). pick(X,W) :- d(X,W), choice((X),(W)).",
+	}
+	for _, src := range srcs {
+		with := modelSet(models(t, src, Options{}))
+		without := modelSet(models(t, src, Options{NoSupportPropagation: true}))
+		if !reflect.DeepEqual(with, without) {
+			t.Fatalf("ablation changed models for %q:\nwith: %v\nwithout: %v", src, with, without)
+		}
+	}
+}
+
+// TestSection31DirectProgram runs the GAV-style program of Section 3.1
+// (rules (4)-(9)) on the appendix instance and checks the three
+// distinct solutions.
+func TestSection31DirectProgram(t *testing.T) {
+	src := `
+rp1(X,Y) :- r1(X,Y), not -rp1(X,Y).
+rp2(X,Y) :- r2(X,Y), not -rp2(X,Y).
+-rp1(X,Y) :- r1(X,Y), s1(Z,Y), not aux1(X,Z), not aux2(Z).
+aux1(X,Z) :- r2(X,W), s2(Z,W).
+aux2(Z) :- s2(Z,W).
+-rp1(X,Y) v rp2(X,W) :- r1(X,Y), s1(Z,Y), not aux1(X,Z), s2(Z,W), choice((X,Z),(W)).
+r1(a,b). s1(c,b). s2(c,e). s2(c,f).
+`
+	ms := models(t, src, Options{})
+	// Four answer sets (two choices × two disjuncts), three distinct
+	// solutions on the primed relations.
+	if len(ms) != 4 {
+		t.Fatalf("want 4 answer sets, got %d:\n%s", len(ms), FormatModels(ms))
+	}
+	sols := modelSet(ms, "rp1", "rp2")
+	want := map[string]bool{
+		"{rp1(a,b),rp2(a,e)}": true,
+		"{rp1(a,b),rp2(a,f)}": true,
+		"{}":                  true,
+	}
+	if !reflect.DeepEqual(sols, want) {
+		t.Fatalf("solutions = %v, want %v", sols, want)
+	}
+}
+
+// TestAppendixLAVProgram reproduces the paper's appendix verbatim: the
+// LAV three-layer program with annotation constants must have exactly
+// the four stable models M1-M4, and the solutions (tss atoms) must be
+// rM1-rM4.
+func TestAppendixLAVProgram(t *testing.T) {
+	src := `
+% facts
+r1(a,b). s1(c,b). s2(c,e). s2(c,f).
+% layer: preferred legal instances
+rp1(X,Y,td) :- r1(X,Y).
+sp1(X,Y,td) :- s1(X,Y).
+rp2(X,Y,td) :- r2(X,Y).
+sp2(X,Y,td) :- s2(X,Y).
+:- rp1(X,Y,td), not r1(X,Y).
+:- sp1(X,Y,td), not s1(X,Y).
+:- sp2(X,Y,td), not s2(X,Y).
+% layer: repairs with annotation constants
+rp1(X,Y,tss) :- rp1(X,Y,td), not rp1(X,Y,fa).
+rp1(X,Y,tss) :- rp1(X,Y,ta).
+:- rp1(X,Y,ta), rp1(X,Y,fa).
+sp1(X,Y,tss) :- sp1(X,Y,td), not sp1(X,Y,fa).
+sp1(X,Y,tss) :- sp1(X,Y,ta).
+:- sp1(X,Y,ta), sp1(X,Y,fa).
+rp2(X,Y,tss) :- rp2(X,Y,td), not rp2(X,Y,fa).
+rp2(X,Y,tss) :- rp2(X,Y,ta).
+:- rp2(X,Y,ta), rp2(X,Y,fa).
+sp2(X,Y,tss) :- sp2(X,Y,td), not sp2(X,Y,fa).
+sp2(X,Y,tss) :- sp2(X,Y,ta).
+:- sp2(X,Y,ta), sp2(X,Y,fa).
+rp1(X,Y,fa) :- rp1(X,Y,td), sp1(Z,Y,td), not aux1(X,Z), not aux2(Z).
+aux1(X,Z) :- rp2(X,U,td), sp2(Z,U,td).
+aux2(Z) :- sp2(Z,W,td).
+rp1(X,Y,fa) v rp2(X,W,ta) :- rp1(X,Y,td), sp1(Z,Y,td), not aux1(X,Z), sp2(Z,W,td), chosen(X,Z,W).
+chosen(X,Z,W) :- rp1(X,Y,td), sp1(Z,Y,td), not aux1(X,Z), sp2(Z,W,td), not diffchoice(X,Z,W).
+diffchoice(X,Z,W) :- chosen(X,Z,U), sp2(Z,W,td), U != W.
+`
+	ms := models(t, src, Options{})
+	if len(ms) != 4 {
+		t.Fatalf("want the paper's 4 stable models, got %d:\n%s", len(ms), FormatModels(ms))
+	}
+
+	// Check the four models on the meaningful predicates, matching
+	// M1-M4 of the appendix.
+	full := modelSet(ms, "rp1", "rp2", "sp1", "sp2", "chosen", "diffchoice", "aux2")
+	wantModels := []string{
+		// M1: chosen(a,c,f), R'2(a,f,ta) kept, R'1(a,b,tss).
+		"{aux2(c),chosen(a,c,f),diffchoice(a,c,e),rp1(a,b,td),rp1(a,b,tss),rp2(a,f,ta),rp2(a,f,tss),sp1(c,b,td),sp1(c,b,tss),sp2(c,e,td),sp2(c,e,tss),sp2(c,f,td),sp2(c,f,tss)}",
+		// M2: chosen(a,c,f), R'1(a,b,fa).
+		"{aux2(c),chosen(a,c,f),diffchoice(a,c,e),rp1(a,b,fa),rp1(a,b,td),sp1(c,b,td),sp1(c,b,tss),sp2(c,e,td),sp2(c,e,tss),sp2(c,f,td),sp2(c,f,tss)}",
+		// M3: chosen(a,c,e), R'2(a,e,ta).
+		"{aux2(c),chosen(a,c,e),diffchoice(a,c,f),rp1(a,b,td),rp1(a,b,tss),rp2(a,e,ta),rp2(a,e,tss),sp1(c,b,td),sp1(c,b,tss),sp2(c,e,td),sp2(c,e,tss),sp2(c,f,td),sp2(c,f,tss)}",
+		// M4: chosen(a,c,e), R'1(a,b,fa).
+		"{aux2(c),chosen(a,c,e),diffchoice(a,c,f),rp1(a,b,fa),rp1(a,b,td),sp1(c,b,td),sp1(c,b,tss),sp2(c,e,td),sp2(c,e,tss),sp2(c,f,td),sp2(c,f,tss)}",
+	}
+	for _, w := range wantModels {
+		if !full[w] {
+			t.Errorf("missing paper model %s\ngot:\n%s", w, FormatModels(ms))
+		}
+	}
+
+	// Solutions = tss projections; rM2 = rM4, so three distinct.
+	sols := map[string]bool{}
+	for _, m := range ms {
+		var parts []string
+		for _, k := range m {
+			if strings.HasSuffix(k, ",tss)") {
+				parts = append(parts, k)
+			}
+		}
+		sols["{"+strings.Join(parts, ",")+"}"] = true
+	}
+	wantSols := map[string]bool{
+		"{rp1(a,b,tss),rp2(a,f,tss),sp1(c,b,tss),sp2(c,e,tss),sp2(c,f,tss)}": true,
+		"{sp1(c,b,tss),sp2(c,e,tss),sp2(c,f,tss)}":                           true,
+		"{rp1(a,b,tss),rp2(a,e,tss),sp1(c,b,tss),sp2(c,e,tss),sp2(c,f,tss)}": true,
+	}
+	if !reflect.DeepEqual(sols, wantSols) {
+		t.Fatalf("solutions = %v\nwant %v", sols, wantSols)
+	}
+}
+
+// TestExample4TransitiveProgram reproduces Example 4: the combined
+// program of peers P, Q, C with the upstream DEC U → S1 has exactly the
+// three solutions listed in the paper.
+func TestExample4TransitiveProgram(t *testing.T) {
+	src := `
+% instances: r1 = {(a,b)}, s1 = {}, r2 = {}, s2 = {(c,e),(c,f)}, u = {(c,b)}
+r1(a,b). s2(c,e). s2(c,f). u(c,b).
+% rules (4), (5), (7), (8)
+rp1(X,Y) :- r1(X,Y), not -rp1(X,Y).
+rp2(X,Y) :- r2(X,Y), not -rp2(X,Y).
+aux1(X,Z) :- r2(X,W), s2(Z,W).
+aux2(Z) :- s2(Z,W).
+% rules (10), (11): bodies read the repaired upstream S'1
+-rp1(X,Y) :- r1(X,Y), sp1(Z,Y), not aux1(X,Z), not aux2(Z).
+-rp1(X,Y) v rp2(X,W) :- r1(X,Y), sp1(Z,Y), not aux1(X,Z), s2(Z,W), choice((X,Z),(W)).
+% rules (12), (13): Q's own program, importing from C's relation U
+sp1(X,Y) :- s1(X,Y), not -sp1(X,Y).
+sp1(X,Y) :- u(X,Y), not s1(X,Y).
+`
+	ms := models(t, src, Options{})
+	sols := modelSet(ms, "rp1", "rp2", "sp1")
+	want := map[string]bool{
+		"{rp1(a,b),rp2(a,f),sp1(c,b)}": true, // paper's r1
+		"{sp1(c,b)}":                   true, // paper's r2
+		"{rp1(a,b),rp2(a,e),sp1(c,b)}": true, // paper's r3
+	}
+	if !reflect.DeepEqual(sols, want) {
+		t.Fatalf("solutions = %v, want %v\nmodels:\n%s", sols, want, FormatModels(ms))
+	}
+}
+
+// TestLargerScaleRegression locks in solver behaviour at a larger
+// scale: 7 independent binary choices ground to a program with 2^7
+// stable models, which must be enumerated correctly.
+func TestLargerScaleRegression(t *testing.T) {
+	var src strings.Builder
+	for i := 0; i < 7; i++ {
+		fmt.Fprintf(&src, "a%d :- not b%d. b%d :- not a%d.\n", i, i, i, i)
+	}
+	ms := models(t, src.String(), Options{})
+	if len(ms) != 128 {
+		t.Fatalf("models = %d, want 128", len(ms))
+	}
+	// Every model picks exactly one of each pair.
+	for _, m := range ms {
+		for i := 0; i < 7; i++ {
+			a := m.Has(fmt.Sprintf("a%d", i))
+			b := m.Has(fmt.Sprintf("b%d", i))
+			if a == b {
+				t.Fatalf("model %v picks a%d=%v b%d=%v", m, i, a, i, b)
+			}
+		}
+	}
+}

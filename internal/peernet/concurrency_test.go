@@ -1,0 +1,67 @@
+package peernet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/foquery"
+)
+
+// TestConcurrentRequests hammers a node with parallel fetches, queries
+// and PCA requests over both transports; results must stay correct and
+// the race detector clean.
+func TestConcurrentRequests(t *testing.T) {
+	for name, tr := range map[string]Transport{
+		"inproc": NewInProc(),
+		"tcp":    &TCP{},
+	} {
+		t.Run(name, func(t *testing.T) {
+			sys := core.Example1System()
+			nodes := startNetwork(t, sys, tr)
+			var wg sync.WaitGroup
+			errs := make(chan error, 60)
+			for i := 0; i < 20; i++ {
+				wg.Add(3)
+				go func() {
+					defer wg.Done()
+					tuples, err := nodes["P1"].FetchRelation("P2", "r2")
+					if err == nil && len(tuples) != 2 {
+						err = fmt.Errorf("fetch got %d tuples", len(tuples))
+					}
+					errs <- err
+				}()
+				go func() {
+					defer wg.Done()
+					resp, err := tr.Call(nodes["P3"].Addr, Request{
+						Op: OpQuery, Query: "r3(X,Y)", Vars: []string{"X", "Y"},
+					})
+					if err == nil && resp.Err != "" {
+						err = fmt.Errorf("%s", resp.Err)
+					}
+					if err == nil && len(resp.Tuples) != 2 {
+						err = fmt.Errorf("query got %d tuples", len(resp.Tuples))
+					}
+					errs <- err
+				}()
+				go func() {
+					defer wg.Done()
+					ans, err := nodes["P1"].PeerConsistentAnswers(
+						foquery.MustParse("r1(X,Y)"), []string{"X", "Y"}, false)
+					if err == nil && len(ans) != 3 {
+						err = fmt.Errorf("pca got %d answers", len(ans))
+					}
+					errs <- err
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,240 @@
+package peernet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/program"
+	"repro/internal/relation"
+	"repro/internal/sysdsl"
+)
+
+// Node hosts one peer at a network address: it serves the peer's data
+// and specification to others and gathers its neighbours' data to
+// answer queries with peer-consistent semantics.
+type Node struct {
+	Peer      *core.Peer
+	Addr      string
+	Neighbors map[core.PeerID]string // peer id -> address
+	tr        Transport
+	stop      func()
+}
+
+// NewNode creates a node for a peer on the given transport. neighbours
+// maps the peers named in the local DECs/trust to their addresses.
+func NewNode(peer *core.Peer, tr Transport, neighbors map[core.PeerID]string) *Node {
+	ns := make(map[core.PeerID]string, len(neighbors))
+	for k, v := range neighbors {
+		ns[k] = v
+	}
+	return &Node{Peer: peer, Neighbors: ns, tr: tr}
+}
+
+// Start begins serving at the requested address ("" or ":0" picks one)
+// and records the bound address in n.Addr.
+func (n *Node) Start(addr string) error {
+	bound, closer, err := n.tr.Listen(addr, n.handle)
+	if err != nil {
+		return err
+	}
+	n.Addr = bound
+	n.stop = closer
+	return nil
+}
+
+// Stop stops serving.
+func (n *Node) Stop() {
+	if n.stop != nil {
+		n.stop()
+		n.stop = nil
+	}
+}
+
+// SetNeighbor records (or updates) a neighbour address.
+func (n *Node) SetNeighbor(id core.PeerID, addr string) { n.Neighbors[id] = addr }
+
+func errResp(err error) Response { return Response{Err: err.Error()} }
+
+func (n *Node) handle(req Request) Response {
+	switch req.Op {
+	case OpRelations:
+		return Response{Relations: n.Peer.Schema.Relations()}
+	case OpFetch:
+		if !n.Peer.Schema.Has(req.Rel) {
+			return errResp(fmt.Errorf("peer %s has no relation %s", n.Peer.ID, req.Rel))
+		}
+		var tuples [][]string
+		for _, t := range n.Peer.Inst.Tuples(req.Rel) {
+			tuples = append(tuples, []string(t))
+		}
+		return Response{Tuples: tuples}
+	case OpQuery:
+		f, err := foquery.Parse(req.Query)
+		if err != nil {
+			return errResp(err)
+		}
+		ans, err := foquery.Answers(n.Peer.Inst, f, req.Vars)
+		if err != nil {
+			return errResp(err)
+		}
+		var tuples [][]string
+		for _, t := range ans {
+			tuples = append(tuples, []string(t))
+		}
+		return Response{Tuples: tuples}
+	case OpExport:
+		spec, err := n.exportSpec()
+		if err != nil {
+			return errResp(err)
+		}
+		neigh := make(map[string]string, len(n.Neighbors))
+		for id, addr := range n.Neighbors {
+			neigh[string(id)] = addr
+		}
+		return Response{Spec: spec, Neighbors: neigh}
+	case OpPCA:
+		f, err := foquery.Parse(req.Query)
+		if err != nil {
+			return errResp(err)
+		}
+		ans, err := n.PeerConsistentAnswers(f, req.Vars, req.Transitive)
+		if err != nil {
+			return errResp(err)
+		}
+		var tuples [][]string
+		for _, t := range ans {
+			tuples = append(tuples, []string(t))
+		}
+		return Response{Tuples: tuples}
+	}
+	return errResp(fmt.Errorf("unknown op %q", req.Op))
+}
+
+// exportSpec renders this peer's specification as a single-peer system
+// fragment in the sysdsl format.
+func (n *Node) exportSpec() (string, error) {
+	frag := core.NewSystem()
+	if err := frag.AddPeer(n.Peer); err != nil {
+		return "", err
+	}
+	return sysdsl.Format(frag), nil
+}
+
+// Snapshot assembles a core.System from this peer and its (transitively
+// reachable, if requested) neighbours, fetching specifications over the
+// network. In the direct case only immediate neighbours are fetched and
+// their own DECs/trust are dropped (Definition 4 is a local notion); in
+// the transitive case the whole reachable overlay is fetched with
+// specifications intact (Section 4.3).
+func (n *Node) Snapshot(transitive bool) (*core.System, error) {
+	sys := core.NewSystem()
+	if err := sys.AddPeer(n.Peer); err != nil {
+		return nil, err
+	}
+	fetched := map[core.PeerID]bool{n.Peer.ID: true}
+	frontier := n.neighborIDs()
+	addrs := map[core.PeerID]string{}
+	for id, a := range n.Neighbors {
+		addrs[id] = a
+	}
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		if fetched[id] {
+			continue
+		}
+		addr, ok := addrs[id]
+		if !ok {
+			return nil, fmt.Errorf("peernet: no address known for peer %s", id)
+		}
+		resp, err := n.tr.Call(addr, Request{Op: OpExport})
+		if err != nil {
+			return nil, err
+		}
+		if resp.Err != "" {
+			return nil, fmt.Errorf("peernet: export from %s: %s", id, resp.Err)
+		}
+		remote, err := sysdsl.ParsePartial(resp.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("peernet: bad spec from %s: %w", id, err)
+		}
+		for _, rid := range remote.Peers() {
+			rp, _ := remote.Peer(rid)
+			if rid != id {
+				return nil, fmt.Errorf("peernet: peer %s exported a fragment for %s", id, rid)
+			}
+			if !transitive {
+				// Direct case: the neighbour contributes data only
+				// (Definition 4 is a local notion).
+				rp.DECs = make(map[core.PeerID][]*constraint.Dependency)
+				rp.Trust = make(map[core.PeerID]core.TrustLevel)
+			}
+			if err := sys.AddPeer(rp); err != nil {
+				return nil, err
+			}
+		}
+		fetched[id] = true
+		if transitive {
+			for rid, raddr := range resp.Neighbors {
+				pid := core.PeerID(rid)
+				if _, known := addrs[pid]; !known {
+					addrs[pid] = raddr
+				}
+				if !fetched[pid] {
+					frontier = append(frontier, pid)
+				}
+			}
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func (n *Node) neighborIDs() []core.PeerID {
+	var out []core.PeerID
+	for id := range n.Peer.DECs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PeerConsistentAnswers answers a query posed to this peer with
+// Definition 5 semantics, gathering remote data over the network first.
+// With transitive=true the combined-program semantics of Section 4.3 is
+// used.
+func (n *Node) PeerConsistentAnswers(q foquery.Formula, vars []string, transitive bool) ([]relation.Tuple, error) {
+	sys, err := n.Snapshot(transitive)
+	if err != nil {
+		return nil, err
+	}
+	if transitive {
+		return program.PeerConsistentAnswersViaLP(sys, n.Peer.ID, q, vars, program.RunOptions{Transitive: true})
+	}
+	return core.PeerConsistentAnswers(sys, n.Peer.ID, q, vars, core.SolveOptions{})
+}
+
+// FetchRelation retrieves a neighbour's relation over the network.
+func (n *Node) FetchRelation(id core.PeerID, rel string) ([]relation.Tuple, error) {
+	addr, ok := n.Neighbors[id]
+	if !ok {
+		return nil, fmt.Errorf("peernet: no address known for peer %s", id)
+	}
+	resp, err := n.tr.Call(addr, Request{Op: OpFetch, Rel: rel})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("peernet: fetch %s from %s: %s", rel, id, resp.Err)
+	}
+	out := make([]relation.Tuple, len(resp.Tuples))
+	for i, t := range resp.Tuples {
+		out[i] = relation.Tuple(t)
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+// Package peernet is the networking substrate the paper assumes: peers
+// live at network endpoints, answer queries against their local data
+// and export their specifications, so that a queried peer can gather
+// its neighbours' relations at query time ("P will first issue a query
+// to P2 to retrieve the tuples in R2", Example 2) and, in the
+// transitive case, assemble the combined specification program of
+// Section 4.3 from exported peer fragments.
+//
+// Two transports are provided: an in-process transport with
+// configurable latency (tests, benchmarks) and a TCP transport with
+// gob encoding (deployments).
+package peernet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Op selects a remote operation.
+type Op string
+
+// Remote operations.
+const (
+	// OpRelations lists the peer's relations.
+	OpRelations Op = "relations"
+	// OpFetch retrieves all tuples of one relation.
+	OpFetch Op = "fetch"
+	// OpQuery evaluates a first-order query over the peer's local
+	// instance (no repair semantics; the remote peer's raw data).
+	OpQuery Op = "query"
+	// OpExport returns the peer's specification (schema, facts, DECs,
+	// trust) in the sysdsl format plus its neighbour addresses.
+	OpExport Op = "export"
+	// OpPCA asks the remote peer for its own peer consistent answers
+	// to an atomic query (peer-to-peer query delegation).
+	OpPCA Op = "pca"
+)
+
+// Request is a wire request.
+type Request struct {
+	Op    Op
+	Rel   string
+	Query string
+	Vars  []string
+	// Transitive selects the Section 4.3 semantics for OpPCA.
+	Transitive bool
+}
+
+// Response is a wire response.
+type Response struct {
+	Err       string
+	Relations []string
+	Tuples    [][]string
+	Spec      string
+	Neighbors map[string]string // peer id -> address
+}
+
+// Handler serves requests.
+type Handler func(Request) Response
+
+// Transport connects peers.
+type Transport interface {
+	// Listen binds a handler; the returned address is dialable (useful
+	// with ":0" style requests). The closer stops serving.
+	Listen(addr string, h Handler) (bound string, close func(), err error)
+	// Call performs one request.
+	Call(addr string, req Request) (Response, error)
+}
+
+// --- in-process transport --------------------------------------------------
+
+// InProc is an in-memory transport with configurable per-call latency,
+// used by tests and by the network benchmarks to model link delay.
+type InProc struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	next     int
+	// Latency is added to every Call.
+	Latency time.Duration
+}
+
+// NewInProc creates an empty in-process network.
+func NewInProc() *InProc { return &InProc{handlers: make(map[string]Handler)} }
+
+// Listen implements Transport.
+func (t *InProc) Listen(addr string, h Handler) (string, func(), error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr == "" || addr == ":0" {
+		t.next++
+		addr = fmt.Sprintf("inproc-%d", t.next)
+	}
+	if _, dup := t.handlers[addr]; dup {
+		return "", nil, fmt.Errorf("peernet: address %s already bound", addr)
+	}
+	t.handlers[addr] = h
+	closer := func() {
+		t.mu.Lock()
+		delete(t.handlers, addr)
+		t.mu.Unlock()
+	}
+	return addr, closer, nil
+}
+
+// Call implements Transport.
+func (t *InProc) Call(addr string, req Request) (Response, error) {
+	if t.Latency > 0 {
+		time.Sleep(t.Latency)
+	}
+	t.mu.RLock()
+	h, ok := t.handlers[addr]
+	t.mu.RUnlock()
+	if !ok {
+		return Response{}, fmt.Errorf("peernet: no peer at %s", addr)
+	}
+	return h(req), nil
+}
+
+// --- TCP transport ----------------------------------------------------------
+
+// TCP serves requests over TCP with gob encoding, one request per
+// connection.
+type TCP struct {
+	// DialTimeout bounds connection establishment; zero means 5s.
+	DialTimeout time.Duration
+}
+
+// Listen implements Transport.
+func (t *TCP) Listen(addr string, h Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+					continue
+				}
+			}
+			go serveConn(conn, h)
+		}
+	}()
+	closer := func() {
+		close(done)
+		ln.Close()
+	}
+	return ln.Addr().String(), closer, nil
+}
+
+func serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	var req Request
+	dec := gob.NewDecoder(conn)
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	resp := h(req)
+	enc := gob.NewEncoder(conn)
+	_ = enc.Encode(&resp)
+}
+
+// Call implements Transport.
+func (t *TCP) Call(addr string, req Request) (Response, error) {
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return Response{}, fmt.Errorf("peernet: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
+		return Response{}, fmt.Errorf("peernet: send to %s: %w", addr, err)
+	}
+	var resp Response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("peernet: receive from %s: %w", addr, err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,558 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/lp/solve"
+	"repro/internal/relation"
+	"repro/internal/term"
+)
+
+// Annotation constants of the LAV specification (Section 4.2 and the
+// paper's appendix): td = "true in the legal instance", ta/fa =
+// "advised true/false by the repair layer", tss = "true in the
+// solution".
+const (
+	AnnTD  = "td"
+	AnnTA  = "ta"
+	AnnFA  = "fa"
+	AnnTSS = "tss"
+)
+
+// LAVSuffix is appended to a relation name for its annotated version.
+const LAVSuffix = "_l"
+
+// BuildLAV compiles the peer's specification in the local-as-view
+// style of Section 4.2: every relation gets an annotated version
+// rel_l(x̄, ann) with the three layers of the appendix —
+//
+//	layer 1 (legal instances): rel_l(x̄,td) :- rel(x̄), plus closure
+//	    constraints for closed/clopen sources;
+//	layer 2 (repairs): persistence td∧¬fa → tss, promotion ta → tss,
+//	    the ta/fa conflict constraint, and one repair rule per DEC
+//	    violation (fa heads for deletions — allowed on closed
+//	    relations — and ta heads with a choice goal for insertions —
+//	    allowed on open relations);
+//	layer 3: local ICs as denial constraints over tss atoms.
+//
+// Source labels are derived from the DECs and trust as the paper does
+// for its example: relations that may lose tuples are closed, relations
+// that may gain tuples are open, fixed relations are clopen. The
+// supported DEC class is the same as BuildDirect's. Solutions are the
+// tss projections of the stable models (ModelsToSolutionsLAV).
+func BuildLAV(s *core.System, id core.PeerID) (*lp.Program, *Naming, error) {
+	p, ok := s.Peer(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("program: unknown peer %s", id)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	b := &lavBuilder{
+		sys:     s,
+		peer:    p,
+		naming:  newNaming(),
+		prog:    &lp.Program{},
+		mutable: map[string]bool{},
+		imports: map[string][]string{},
+	}
+	b.naming.PrimeSuffix = LAVSuffix
+	if err := b.build(); err != nil {
+		return nil, nil, err
+	}
+	return b.prog, b.naming, nil
+}
+
+type lavBuilder struct {
+	sys     *core.System
+	peer    *core.Peer
+	naming  *Naming
+	prog    *lp.Program
+	mutable map[string]bool
+	// imports maps an open relation to its import source relations.
+	imports map[string][]string
+	// deletable/insertable are the closed/open label components.
+	deletable  map[string]bool
+	insertable map[string]bool
+	counter    int
+}
+
+func (b *lavBuilder) build() error {
+	p := b.peer
+	for _, rel := range p.Schema.Relations() {
+		b.mutable[rel] = true
+	}
+	for _, q := range b.sys.TrustedPeers(p.ID, core.TrustSame) {
+		qp, _ := b.sys.Peer(q)
+		for _, rel := range qp.Schema.Relations() {
+			b.mutable[rel] = true
+		}
+	}
+
+	decs := b.trustedDECs()
+	b.deletable = map[string]bool{}
+	b.insertable = map[string]bool{}
+	bodyPreds := map[string]bool{}
+	var refs, egds []*constraint.Dependency
+
+	for _, d := range decs {
+		kind, err := classify(d, b.mutable)
+		if err != nil {
+			return err
+		}
+		for _, a := range d.Body {
+			bodyPreds[a.Pred] = true
+		}
+		switch kind {
+		case kindInclusion:
+			src, dst := d.Body[0], d.Head[0]
+			switch {
+			case b.mutable[dst.Pred] && !b.mutable[src.Pred]:
+				b.imports[dst.Pred] = append(b.imports[dst.Pred], src.Pred)
+				b.insertable[dst.Pred] = true
+			case b.mutable[src.Pred] && !b.mutable[dst.Pred]:
+				b.deletable[src.Pred] = true
+				egds = append(egds, d) // handled as forced deletion below
+			default:
+				return fmt.Errorf("program: inclusion DEC %s with both sides mutable is outside the supported class", d.Name)
+			}
+		case kindEGD, kindDenial:
+			for _, a := range d.Body {
+				if b.mutable[a.Pred] {
+					b.deletable[a.Pred] = true
+				}
+			}
+			egds = append(egds, d)
+		case kindReferential:
+			for _, a := range d.Body {
+				if b.mutable[a.Pred] {
+					b.deletable[a.Pred] = true
+				}
+			}
+			for _, h := range d.Head {
+				if b.mutable[h.Pred] {
+					b.insertable[h.Pred] = true
+				}
+			}
+			refs = append(refs, d)
+		}
+	}
+	for pred := range b.insertable {
+		if bodyPreds[pred] && !b.onlyAux1Body(pred, refs) {
+			return fmt.Errorf("program: cyclic DECs: insertion target %s also appears in a DEC body", pred)
+		}
+	}
+
+	// Layer 1 + 2 per relation.
+	referenced := b.referencedRelations(decs)
+	for _, rel := range referenced {
+		b.emitRelationLayers(rel)
+	}
+
+	// Repair rules.
+	for _, d := range egds {
+		if err := b.emitLAVViolation(d); err != nil {
+			return err
+		}
+	}
+	for _, d := range refs {
+		if err := b.emitLAVReferential(d); err != nil {
+			return err
+		}
+	}
+
+	// Layer 3: local ICs over tss atoms.
+	for _, ic := range p.ICs {
+		if ic.IsTGD() {
+			return fmt.Errorf("program: local IC %s must be a denial or EGD", ic.Name)
+		}
+		r := lp.Rule{}
+		for _, a := range ic.Body {
+			r.PosB = append(r.PosB, lp.Pos(b.ann(a, AnnTSS)))
+		}
+		for _, c := range ic.Cond {
+			r.Cmps = append(r.Cmps, lp.Cmp{Op: c.Op, L: c.L, R: c.R})
+		}
+		for _, c := range ic.HeadEq {
+			r.Cmps = append(r.Cmps, lp.Cmp{Op: negateOp(c.Op), L: c.L, R: c.R})
+		}
+		b.prog.Add(r)
+	}
+
+	// Facts.
+	for _, rel := range referenced {
+		owner, _ := b.sys.Owner(rel)
+		op, _ := b.sys.Peer(owner)
+		for _, t := range op.Inst.Tuples(rel) {
+			args := make([]term.Term, len(t))
+			for i, v := range t {
+				args[i] = term.C(v)
+			}
+			b.prog.AddFactAtom(term.Atom{Pred: rel, Args: args})
+		}
+	}
+	return nil
+}
+
+// onlyAux1Body reports whether the insertion target appears in DEC
+// bodies only through the satisfaction check of its own referential
+// DEC (the aux1 pattern reads the original relation, which is allowed).
+func (b *lavBuilder) onlyAux1Body(pred string, refs []*constraint.Dependency) bool {
+	for _, d := range refs {
+		for _, a := range d.Body {
+			if a.Pred == pred {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (b *lavBuilder) trustedDECs() []*constraint.Dependency {
+	var out []*constraint.Dependency
+	for _, lvl := range []core.TrustLevel{core.TrustLess, core.TrustSame} {
+		for _, q := range b.sys.TrustedPeers(b.peer.ID, lvl) {
+			out = append(out, b.peer.DECs[q]...)
+		}
+	}
+	return out
+}
+
+func (b *lavBuilder) referencedRelations(decs []*constraint.Dependency) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(rel string) {
+		if !seen[rel] {
+			seen[rel] = true
+			out = append(out, rel)
+		}
+	}
+	for _, rel := range b.peer.Schema.Relations() {
+		add(rel)
+	}
+	for _, d := range decs {
+		for pred := range d.Preds() {
+			add(pred)
+		}
+	}
+	return out
+}
+
+// ann builds the annotated atom rel_l(args..., annotation).
+func (b *lavBuilder) ann(a term.Atom, annotation string) term.Atom {
+	args := make([]term.Term, 0, len(a.Args)+1)
+	args = append(args, a.Args...)
+	args = append(args, term.C(annotation))
+	return term.Atom{Pred: b.naming.Prime(a.Pred), Args: args}
+}
+
+func (b *lavBuilder) relAtomVars(rel string) term.Atom {
+	owner, _ := b.sys.Owner(rel)
+	op, _ := b.sys.Peer(owner)
+	d, _ := op.Schema.Decl(rel)
+	args := make([]term.Term, d.Arity)
+	for i := range args {
+		args[i] = term.V(fmt.Sprintf("X%d", i+1))
+	}
+	return term.Atom{Pred: rel, Args: args}
+}
+
+// emitRelationLayers emits the td load, closure constraint, tss rules
+// and the ta/fa conflict constraint for one relation, according to its
+// label.
+func (b *lavBuilder) emitRelationLayers(rel string) {
+	base := b.relAtomVars(rel)
+	td := b.ann(base, AnnTD)
+	tss := b.ann(base, AnnTSS)
+	ta := b.ann(base, AnnTA)
+	fa := b.ann(base, AnnFA)
+
+	// Layer 1: td from the source; closure for non-open content.
+	b.prog.Add(lp.Rule{Head: []lp.Literal{lp.Pos(td)}, PosB: []lp.Literal{lp.Pos(base)}})
+	b.prog.Add(lp.Rule{PosB: []lp.Literal{lp.Pos(td)}, NegB: []lp.Literal{lp.Pos(base)}})
+
+	del := b.deletable[rel]
+	ins := b.insertable[rel]
+
+	// Layer 2: tss persistence and promotion.
+	persist := lp.Rule{Head: []lp.Literal{lp.Pos(tss)}, PosB: []lp.Literal{lp.Pos(td)}}
+	if del {
+		persist.NegB = []lp.Literal{lp.Pos(fa)}
+	}
+	b.prog.Add(persist)
+	if ins {
+		b.prog.Add(lp.Rule{Head: []lp.Literal{lp.Pos(tss)}, PosB: []lp.Literal{lp.Pos(ta)}})
+	}
+	if del && ins {
+		b.prog.Add(lp.Rule{PosB: []lp.Literal{lp.Pos(ta), lp.Pos(fa)}})
+	}
+
+	// Imports: open relations absorb their sources' td content.
+	for _, src := range b.imports[rel] {
+		srcTD := b.ann(term.Atom{Pred: src, Args: base.Args}, AnnTD)
+		b.prog.Add(lp.Rule{
+			Head: []lp.Literal{lp.Pos(b.ann(base, AnnTA))},
+			PosB: []lp.Literal{lp.Pos(srcTD)},
+			NegB: []lp.Literal{lp.Pos(td)},
+		})
+		// Imported tuples may not be advised false.
+		if del {
+			b.prog.Add(lp.Rule{PosB: []lp.Literal{lp.Pos(srcTD), lp.Pos(fa)}})
+		}
+	}
+}
+
+// bodyAlternatives expands a violation body atom into its td reference
+// plus one alternative per import source (the candidate upper bound of
+// the GAV compiler, in annotated form).
+func (b *lavBuilder) bodyAlternatives(a term.Atom) []bodyAlt {
+	alts := []bodyAlt{{atom: b.ann(a, AnnTD), deletable: b.mutable[a.Pred] && b.deletable[a.Pred], target: a}}
+	for _, src := range b.imports[a.Pred] {
+		alts = append(alts, bodyAlt{
+			atom:   b.ann(term.Atom{Pred: src, Args: a.Args}, AnnTD),
+			target: a, // imported content is not deletable
+		})
+	}
+	return alts
+}
+
+type bodyAlt struct {
+	atom      term.Atom
+	deletable bool
+	target    term.Atom
+}
+
+// emitLAVViolation compiles an EGD, denial or validation inclusion
+// into fa-head repair rules, one per combination of body alternatives.
+func (b *lavBuilder) emitLAVViolation(d *constraint.Dependency) error {
+	// Validation inclusion: src ⊆ fixed dst → forced deletion.
+	if d.IsFullTGD() {
+		src, dst := d.Body[0], d.Head[0]
+		for _, alt := range b.bodyAlternatives(src) {
+			r := lp.Rule{
+				PosB: []lp.Literal{lp.Pos(alt.atom)},
+				NegB: []lp.Literal{lp.Pos(b.ann(dst, AnnTD))},
+			}
+			if alt.deletable {
+				r.Head = []lp.Literal{lp.Pos(b.ann(src, AnnFA))}
+			}
+			b.prog.Add(r)
+		}
+		return nil
+	}
+	violations := d.HeadEq
+	if d.IsDenial() {
+		violations = []constraint.Comparison{{}}
+	}
+	// Cross-product of body alternatives.
+	var combos func(i int, cur []bodyAlt)
+	var all [][]bodyAlt
+	combos = func(i int, cur []bodyAlt) {
+		if i == len(d.Body) {
+			all = append(all, append([]bodyAlt{}, cur...))
+			return
+		}
+		for _, alt := range b.bodyAlternatives(d.Body[i]) {
+			combos(i+1, append(cur, alt))
+		}
+	}
+	combos(0, nil)
+
+	for _, eq := range violations {
+		for _, combo := range all {
+			r := lp.Rule{}
+			for _, alt := range combo {
+				r.PosB = append(r.PosB, lp.Pos(alt.atom))
+				if alt.deletable {
+					r.Head = append(r.Head, lp.Pos(b.ann(alt.target, AnnFA)))
+				}
+			}
+			for _, c := range d.Cond {
+				r.Cmps = append(r.Cmps, lp.Cmp{Op: c.Op, L: c.L, R: c.R})
+			}
+			if !d.IsDenial() {
+				r.Cmps = append(r.Cmps, lp.Cmp{Op: negateOp(eq.Op), L: eq.L, R: eq.R})
+			}
+			b.prog.Add(r)
+		}
+	}
+	return nil
+}
+
+// emitLAVReferential compiles a simple referential DEC into the
+// appendix pattern (aux1/aux2 over td, fa/ta disjunction with choice).
+func (b *lavBuilder) emitLAVReferential(d *constraint.Dependency) error {
+	b.counter++
+	tag := fmt.Sprintf("lav_%s_%s", sanitize(string(b.peer.ID)), sanitize(d.Name))
+
+	var mutHead term.Atom
+	var fixedHeads []term.Atom
+	for _, h := range d.Head {
+		if b.mutable[h.Pred] {
+			mutHead = h
+		} else {
+			fixedHeads = append(fixedHeads, h)
+		}
+	}
+
+	bodyVars := map[string]bool{}
+	for _, a := range d.Body {
+		for _, v := range a.Vars(nil) {
+			bodyVars[v] = true
+		}
+	}
+	exVars := map[string]bool{}
+	for _, v := range d.ExVars {
+		exVars[v] = true
+	}
+	frontier := func(atoms []term.Atom) []term.Term {
+		var seen []string
+		for _, a := range atoms {
+			for _, v := range a.Vars(nil) {
+				if bodyVars[v] && !containsStr(seen, v) {
+					seen = append(seen, v)
+				}
+			}
+		}
+		out := make([]term.Term, len(seen))
+		for i, v := range seen {
+			out[i] = term.V(v)
+		}
+		return out
+	}
+	allFrontier := frontier(d.Head)
+	provFrontier := frontier(fixedHeads)
+	if len(fixedHeads) == 0 {
+		return fmt.Errorf("program: LAV referential DEC %s needs fixed witness providers", d.Name)
+	}
+
+	aux1 := term.Atom{Pred: "aux1_" + tag, Args: allFrontier}
+	r1 := lp.Rule{Head: []lp.Literal{lp.Pos(aux1)}, PosB: []lp.Literal{lp.Pos(b.ann(mutHead, AnnTD))}}
+	for _, h := range fixedHeads {
+		r1.PosB = append(r1.PosB, lp.Pos(b.ann(h, AnnTD)))
+	}
+	b.prog.Add(r1)
+
+	aux2 := term.Atom{Pred: "aux2_" + tag, Args: provFrontier}
+	r2 := lp.Rule{Head: []lp.Literal{lp.Pos(aux2)}}
+	for _, h := range fixedHeads {
+		r2.PosB = append(r2.PosB, lp.Pos(b.ann(h, AnnTD)))
+	}
+	b.prog.Add(r2)
+
+	// Body alternative combinations (as for EGDs).
+	var all [][]bodyAlt
+	var combos func(i int, cur []bodyAlt)
+	combos = func(i int, cur []bodyAlt) {
+		if i == len(d.Body) {
+			all = append(all, append([]bodyAlt{}, cur...))
+			return
+		}
+		for _, alt := range b.bodyAlternatives(d.Body[i]) {
+			combos(i+1, append(cur, alt))
+		}
+	}
+	combos(0, nil)
+
+	outs := make([]term.Term, len(d.ExVars))
+	for i, w := range d.ExVars {
+		outs[i] = term.V(w)
+	}
+	for _, combo := range all {
+		var bodyLits []lp.Literal
+		var delHeads []lp.Literal
+		for _, alt := range combo {
+			bodyLits = append(bodyLits, lp.Pos(alt.atom))
+			if alt.deletable {
+				delHeads = append(delHeads, lp.Pos(b.ann(alt.target, AnnFA)))
+			}
+		}
+		var cmps []lp.Cmp
+		for _, c := range d.Cond {
+			cmps = append(cmps, lp.Cmp{Op: c.Op, L: c.L, R: c.R})
+		}
+		// Forced deletion (no witness provider).
+		b.prog.Add(lp.Rule{
+			Head: delHeads,
+			PosB: bodyLits,
+			NegB: []lp.Literal{lp.Pos(aux1), lp.Pos(aux2)},
+			Cmps: cmps,
+		})
+		// Delete-or-insert with choice.
+		var provLits []lp.Literal
+		for _, h := range fixedHeads {
+			provLits = append(provLits, lp.Pos(b.ann(h, AnnTD)))
+		}
+		b.prog.Add(lp.Rule{
+			Head: append(append([]lp.Literal{}, delHeads...), lp.Pos(b.ann(mutHead, AnnTA))),
+			PosB: append(append([]lp.Literal{}, bodyLits...), provLits...),
+			NegB: []lp.Literal{lp.Pos(aux1)},
+			Cmps: cmps,
+			Choice: []lp.ChoiceGoal{{
+				Keys: choiceKeys(allFrontier, exVars),
+				Outs: outs,
+			}},
+		})
+	}
+	return nil
+}
+
+// SolutionsViaLAV computes the peer's solutions through the LAV
+// program: stable models projected on the tss annotation.
+func SolutionsViaLAV(s *core.System, id core.PeerID, opt RunOptions) ([]*relation.Instance, error) {
+	prog, naming, err := BuildLAV(s, id)
+	if err != nil {
+		return nil, err
+	}
+	models, err := Solve(prog, opt)
+	if err != nil {
+		return nil, err
+	}
+	return ModelsToSolutionsLAV(s, naming, models)
+}
+
+// ModelsToSolutionsLAV projects stable models of a LAV program onto
+// solution instances via their tss atoms.
+func ModelsToSolutionsLAV(s *core.System, naming *Naming, models []solve.Model) ([]*relation.Instance, error) {
+	base := s.Global()
+	seen := map[string]bool{}
+	var out []*relation.Instance
+	for _, m := range models {
+		inst := base.Clone()
+		for rel := range naming.Primed {
+			for _, t := range inst.Tuples(rel) {
+				inst.Delete(rel, t)
+			}
+		}
+		for _, key := range m {
+			pred := atomPredOf(key)
+			rel, ok := naming.IsPrimed(pred)
+			if !ok {
+				continue
+			}
+			args := solve.Args(key)
+			if len(args) == 0 || args[len(args)-1] != AnnTSS {
+				continue
+			}
+			inst.Insert(rel, relation.Tuple(args[:len(args)-1]))
+		}
+		k := inst.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, inst)
+		}
+	}
+	sortInstances(out)
+	return out, nil
+}
+
+func sortInstances(insts []*relation.Instance) {
+	for i := 1; i < len(insts); i++ {
+		for j := i; j > 0 && insts[j].Key() < insts[j-1].Key(); j-- {
+			insts[j], insts[j-1] = insts[j-1], insts[j]
+		}
+	}
+}

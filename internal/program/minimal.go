@@ -1,0 +1,45 @@
+package program
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// FilterMinimal keeps the instances whose symmetric difference from
+// base is ⊆-minimal within the set. The paper's choice-operator
+// programs pick existential witnesses independently per violation key;
+// when violations overlap (one insertion can satisfy several), some
+// answer sets correspond to repairs that are not ≤r-minimal. Filtering
+// by delta minimality restores exact agreement with the
+// model-theoretic semantics of Definition 4 — tests cross-validate
+// core.SolutionsFor == FilterMinimal(SolutionsViaLP).
+func FilterMinimal(base *relation.Instance, sols []*relation.Instance) []*relation.Instance {
+	deltas := make([]map[string]bool, len(sols))
+	for i, s := range sols {
+		deltas[i] = relation.DeltaKeySet(relation.SymDiff(base, s))
+	}
+	var out []*relation.Instance
+	seen := map[string]bool{}
+	for i := range sols {
+		minimal := true
+		for j := range sols {
+			if i == j {
+				continue
+			}
+			if relation.SubsetOf(deltas[j], deltas[i]) && len(deltas[j]) < len(deltas[i]) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			k := sols[i].Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, sols[i])
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

@@ -1,0 +1,621 @@
+// Package program compiles the data exchange constraints and trust
+// relationships of a peer into disjunctive logic programs whose stable
+// models are the peer's solutions — the answer-set-programming route of
+// Sections 3 and 4 of the paper. Three compilers are provided:
+//
+//   - BuildDirect: the GAV/primed-style specification of Section 3.1
+//     (rules (4)-(9)): persistence rules, forced imports, disjunctive
+//     deletion rules for EGDs/denials, and delete-or-insert rules with
+//     the choice operator for referential DECs;
+//   - BuildLAV: the annotated three-layer specification of Section 4.2
+//     and the appendix (annotation constants td/ta/fa/tss);
+//   - BuildTransitive: the combined program of Section 4.3, where each
+//     peer's rules read the repaired (primed) relations of its
+//     more-trusted neighbours (Example 4, rules (10)-(13)).
+//
+// The supported DEC class is the paper's: universal DECs (inclusions,
+// EGDs, denials) and simple referential DECs (single mutable head atom,
+// fixed witness providers), acyclic across DECs. Systems outside this
+// class are rejected; the model-theoretic engine in internal/core
+// remains available for them.
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/term"
+)
+
+// Naming records how generated predicates relate to schema relations.
+type Naming struct {
+	// PrimeSuffix is appended to a relation name for its solution
+	// ("primed") version; default "_p".
+	PrimeSuffix string
+	// Primed maps each compiled relation to its primed name.
+	Primed map[string]string
+	// Rel maps a primed name back to the relation.
+	Rel map[string]string
+}
+
+func newNaming() *Naming {
+	return &Naming{PrimeSuffix: "_p", Primed: map[string]string{}, Rel: map[string]string{}}
+}
+
+// Prime returns (and records) the primed name of a relation.
+func (n *Naming) Prime(rel string) string {
+	p, ok := n.Primed[rel]
+	if !ok {
+		p = rel + n.PrimeSuffix
+		n.Primed[rel] = p
+		n.Rel[p] = rel
+	}
+	return p
+}
+
+// IsPrimed reports whether name is a primed relation, returning the
+// underlying relation.
+func (n *Naming) IsPrimed(name string) (string, bool) {
+	rel, ok := n.Rel[name]
+	return rel, ok
+}
+
+// decKind classifies a dependency for compilation.
+type decKind int
+
+const (
+	kindInclusion   decKind = iota // single-atom body, single-atom head, no exvars
+	kindEGD                        // no head atoms, head equalities
+	kindDenial                     // no head at all
+	kindReferential                // exvars with a single mutable head atom
+)
+
+func classify(d *constraint.Dependency, mutable map[string]bool) (decKind, error) {
+	switch {
+	case d.IsDenial():
+		return kindDenial, nil
+	case d.IsEGD():
+		return kindEGD, nil
+	case d.IsFullTGD():
+		if len(d.Body) == 1 && len(d.Head) == 1 && len(d.Cond) == 0 && len(d.HeadEq) == 0 {
+			return kindInclusion, nil
+		}
+		return 0, fmt.Errorf("program: full TGD %s outside the supported class (need single body and head atom)", d.Name)
+	default:
+		// Referential: one mutable head atom, the rest fixed providers.
+		mut := 0
+		for _, h := range d.Head {
+			if mutable[h.Pred] {
+				mut++
+			}
+		}
+		if mut != 1 {
+			return 0, fmt.Errorf("program: referential DEC %s needs exactly one mutable head atom, found %d", d.Name, mut)
+		}
+		if len(d.HeadEq) != 0 {
+			return 0, fmt.Errorf("program: referential DEC %s with head equalities is unsupported", d.Name)
+		}
+		return kindReferential, nil
+	}
+}
+
+// builder accumulates the program for one peer.
+type builder struct {
+	sys    *core.System
+	naming *Naming
+	prog   *lp.Program
+	// mutable marks relations the compiled peer may change.
+	mutable map[string]bool
+	// upstreamPrimed maps relations of other peers that must be read in
+	// their repaired version (transitive case) to that primed name.
+	upstreamPrimed map[string]string
+	// imports collects, per mutable relation, the source references of
+	// inclusion DECs importing into it (for the candidate upper bound).
+	imports map[string][]term.Atom
+	// needCand marks mutable relations whose violation bodies need the
+	// candidate upper bound (original ∪ imports).
+	needCand map[string]bool
+	counter  int
+}
+
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// BuildDirect compiles the direct-case specification for peer id. It
+// returns the program (with choice goals still present; callers pass it
+// through lp.UnfoldChoice before grounding) and the naming map.
+//
+// Trust note: the two repair stages of Definition 4 are compiled
+// jointly. For the supported class this coincides with the prioritized
+// semantics whenever the less-trust DECs are import inclusions or
+// forced constraints (as in all of the paper's examples), because their
+// repairs are forced and survive stage-two minimization unchanged.
+func BuildDirect(s *core.System, id core.PeerID) (*lp.Program, *Naming, error) {
+	p, ok := s.Peer(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("program: unknown peer %s", id)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	b := &builder{
+		sys:            s,
+		naming:         newNaming(),
+		prog:           &lp.Program{},
+		mutable:        map[string]bool{},
+		upstreamPrimed: map[string]string{},
+		imports:        map[string][]term.Atom{},
+		needCand:       map[string]bool{},
+	}
+	if err := b.compilePeer(p, true); err != nil {
+		return nil, nil, err
+	}
+	b.emitFacts(p, true)
+	return b.prog, b.naming, nil
+}
+
+// compilePeer emits the rules for one peer's DECs. includeSame extends
+// the mutable relations to equally-trusted neighbours (the direct case
+// of Definition 4; the transitive builder sets it for the root only).
+func (b *builder) compilePeer(p *core.Peer, includeSame bool) error {
+	id := p.ID
+	// Determine mutable relations: the peer's own, plus same-trusted
+	// neighbours' relations for the direct case.
+	for _, rel := range p.Schema.Relations() {
+		b.mutable[rel] = true
+	}
+	if includeSame {
+		for _, q := range b.sys.TrustedPeers(id, core.TrustSame) {
+			qp, _ := b.sys.Peer(q)
+			for _, rel := range qp.Schema.Relations() {
+				b.mutable[rel] = true
+			}
+		}
+	}
+
+	decs := b.trustedDECs(p, includeSame)
+
+	// Pass 1: collect inclusion imports (to build candidate bounds and
+	// forced-import rules) and check acyclicity of insert predicates.
+	insertPreds := map[string]bool{}
+	bodyPreds := map[string]bool{}
+	for _, d := range decs {
+		kind, err := classify(d, b.mutable)
+		if err != nil {
+			return err
+		}
+		for _, a := range d.Body {
+			bodyPreds[a.Pred] = true
+		}
+		switch kind {
+		case kindInclusion:
+			src, dst := d.Body[0], d.Head[0]
+			if b.mutable[dst.Pred] && !b.mutable[src.Pred] {
+				b.imports[dst.Pred] = append(b.imports[dst.Pred], b.ref(src))
+			} else if b.mutable[src.Pred] && !b.mutable[dst.Pred] {
+				// validation direction, handled in pass 2
+			} else if b.mutable[src.Pred] && b.mutable[dst.Pred] {
+				return fmt.Errorf("program: inclusion DEC %s with both sides mutable is outside the supported class", d.Name)
+			}
+		case kindReferential:
+			for _, h := range d.Head {
+				if b.mutable[h.Pred] {
+					insertPreds[h.Pred] = true
+				}
+			}
+		}
+	}
+	for pred := range insertPreds {
+		if bodyPreds[pred] {
+			return fmt.Errorf("program: cyclic DECs: insertion target %s also appears in a DEC body (the paper's repair layer requires acyclicity)", pred)
+		}
+		if len(b.imports[pred]) > 0 {
+			return fmt.Errorf("program: insertion target %s also receives imports; outside the supported class", pred)
+		}
+	}
+
+	// Persistence rules (4)/(5) for every mutable relation of this peer.
+	x2 := func(n int) []term.Term {
+		args := make([]term.Term, n)
+		for i := range args {
+			args[i] = term.V(fmt.Sprintf("X%d", i+1))
+		}
+		return args
+	}
+	rels := p.Schema.Relations()
+	if includeSame {
+		for _, q := range b.sys.TrustedPeers(id, core.TrustSame) {
+			qp, _ := b.sys.Peer(q)
+			rels = append(rels, qp.Schema.Relations()...)
+		}
+	}
+	for _, rel := range rels {
+		decl, _ := b.declOf(rel)
+		args := x2(decl.Arity)
+		prime := b.naming.Prime(rel)
+		b.prog.Add(lp.Rule{
+			Head: []lp.Literal{lp.Pos(term.Atom{Pred: prime, Args: args})},
+			PosB: []lp.Literal{lp.Pos(term.Atom{Pred: rel, Args: args})},
+			NegB: []lp.Literal{lp.NegL(term.Atom{Pred: prime, Args: args})},
+		})
+	}
+
+	// Forced-import rules for inclusions from fixed sources.
+	for dst, srcs := range b.imports {
+		prime := b.naming.Prime(dst)
+		for _, src := range srcs {
+			b.prog.Add(lp.Rule{
+				Head: []lp.Literal{lp.Pos(term.Atom{Pred: prime, Args: src.Args})},
+				PosB: []lp.Literal{lp.Pos(src)},
+			})
+		}
+	}
+
+	// Pass 2: violation/repair rules.
+	for _, d := range decs {
+		kind, _ := classify(d, b.mutable)
+		var err error
+		switch kind {
+		case kindInclusion:
+			err = b.emitInclusion(d)
+		case kindEGD, kindDenial:
+			err = b.emitEGDOrDenial(d)
+		case kindReferential:
+			err = b.emitReferential(id, d)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	// Candidate upper bounds where needed.
+	b.emitCandidates()
+
+	// Local ICs as program denial constraints over the primed relations
+	// (Section 3.2).
+	for _, ic := range p.ICs {
+		if ic.IsTGD() {
+			return fmt.Errorf("program: local IC %s must be a denial or EGD", ic.Name)
+		}
+		r := lp.Rule{}
+		for _, a := range ic.Body {
+			r.PosB = append(r.PosB, lp.Pos(term.Atom{Pred: b.naming.Prime(a.Pred), Args: a.Args}))
+		}
+		for _, c := range ic.Cond {
+			r.Cmps = append(r.Cmps, lp.Cmp{Op: c.Op, L: c.L, R: c.R})
+		}
+		for _, c := range ic.HeadEq {
+			r.Cmps = append(r.Cmps, lp.Cmp{Op: negateOp(c.Op), L: c.L, R: c.R})
+		}
+		b.prog.Add(r)
+	}
+	return nil
+}
+
+// trustedDECs returns the DECs of p toward trusted neighbours,
+// less-trust first for determinism.
+func (b *builder) trustedDECs(p *core.Peer, includeSame bool) []*constraint.Dependency {
+	var out []*constraint.Dependency
+	for _, q := range b.sys.TrustedPeers(p.ID, core.TrustLess) {
+		out = append(out, p.DECs[q]...)
+	}
+	if includeSame {
+		for _, q := range b.sys.TrustedPeers(p.ID, core.TrustSame) {
+			out = append(out, p.DECs[q]...)
+		}
+	}
+	return out
+}
+
+func (b *builder) declOf(rel string) (decl struct{ Arity int }, ok bool) {
+	owner, ok := b.sys.Owner(rel)
+	if !ok {
+		return decl, false
+	}
+	op, _ := b.sys.Peer(owner)
+	d, ok := op.Schema.Decl(rel)
+	decl.Arity = d.Arity
+	return decl, ok
+}
+
+// ref returns the body reference for a relation atom: the upstream
+// primed version if the relation is repaired by a more-trusted peer
+// (transitive case), the original otherwise.
+func (b *builder) ref(a term.Atom) term.Atom {
+	if p, ok := b.upstreamPrimed[a.Pred]; ok {
+		return term.Atom{Pred: p, Args: a.Args}
+	}
+	return a
+}
+
+// candRef returns the violation-body reference for an atom: the
+// candidate upper bound (original ∪ imports) for mutable relations
+// with imports, the plain reference otherwise.
+func (b *builder) candRef(a term.Atom) term.Atom {
+	if b.mutable[a.Pred] && len(b.imports[a.Pred]) > 0 {
+		b.needCand[a.Pred] = true
+		return term.Atom{Pred: a.Pred + "_cand", Args: a.Args}
+	}
+	return b.ref(a)
+}
+
+// emitCandidates defines rel_cand = rel ∪ imports for relations whose
+// violation bodies needed the upper bound.
+func (b *builder) emitCandidates() {
+	for rel := range b.needCand {
+		decl, _ := b.declOf(rel)
+		args := make([]term.Term, decl.Arity)
+		for i := range args {
+			args[i] = term.V(fmt.Sprintf("X%d", i+1))
+		}
+		cand := term.Atom{Pred: rel + "_cand", Args: args}
+		b.prog.Add(lp.Rule{
+			Head: []lp.Literal{lp.Pos(cand)},
+			PosB: []lp.Literal{lp.Pos(term.Atom{Pred: rel, Args: args})},
+		})
+		for _, src := range b.imports[rel] {
+			b.prog.Add(lp.Rule{
+				Head: []lp.Literal{lp.Pos(term.Atom{Pred: rel + "_cand", Args: src.Args})},
+				PosB: []lp.Literal{lp.Pos(src)},
+			})
+		}
+	}
+}
+
+// emitInclusion handles the validation direction (mutable source,
+// fixed destination): tuples of the source without a match in the
+// fixed destination are force-deleted.
+func (b *builder) emitInclusion(d *constraint.Dependency) error {
+	src, dst := d.Body[0], d.Head[0]
+	if b.mutable[dst.Pred] {
+		return nil // import direction already handled in pass 1
+	}
+	prime := b.naming.Prime(src.Pred)
+	b.prog.Add(lp.Rule{
+		Head: []lp.Literal{lp.NegL(term.Atom{Pred: prime, Args: src.Args})},
+		PosB: []lp.Literal{lp.Pos(b.candRef(src))},
+		NegB: []lp.Literal{lp.Pos(b.ref(dst))},
+	})
+	return nil
+}
+
+// emitEGDOrDenial compiles an equality-generating or denial DEC into a
+// disjunctive deletion rule over the mutable body atoms (one rule per
+// violated equality).
+func (b *builder) emitEGDOrDenial(d *constraint.Dependency) error {
+	violations := d.HeadEq
+	if d.IsDenial() {
+		violations = []constraint.Comparison{{}} // single unconditional violation
+	}
+	for _, eq := range violations {
+		r := lp.Rule{}
+		for _, a := range d.Body {
+			r.PosB = append(r.PosB, lp.Pos(b.candRef(a)))
+			if b.mutable[a.Pred] {
+				r.Head = append(r.Head, lp.NegL(term.Atom{Pred: b.naming.Prime(a.Pred), Args: a.Args}))
+			}
+		}
+		for _, c := range d.Cond {
+			r.Cmps = append(r.Cmps, lp.Cmp{Op: c.Op, L: c.L, R: c.R})
+		}
+		if !d.IsDenial() {
+			r.Cmps = append(r.Cmps, lp.Cmp{Op: negateOp(eq.Op), L: eq.L, R: eq.R})
+		}
+		// With no mutable body atom the rule is a denial constraint:
+		// a violation leaves the peer without solutions.
+		b.prog.Add(r)
+	}
+	return nil
+}
+
+// emitReferential compiles a simple referential DEC into the Section
+// 3.1 pattern: aux1/aux2 definitions, a forced-deletion rule and a
+// delete-or-insert rule with a choice goal.
+func (b *builder) emitReferential(id core.PeerID, d *constraint.Dependency) error {
+	b.counter++
+	tag := fmt.Sprintf("%s_%s", sanitize(string(id)), sanitize(d.Name))
+
+	var mutHead term.Atom
+	var fixedHeads []term.Atom
+	for _, h := range d.Head {
+		if b.mutable[h.Pred] {
+			mutHead = h
+		} else {
+			fixedHeads = append(fixedHeads, h)
+		}
+	}
+
+	bodyVars := map[string]bool{}
+	for _, a := range d.Body {
+		for _, v := range a.Vars(nil) {
+			bodyVars[v] = true
+		}
+	}
+	exVars := map[string]bool{}
+	for _, v := range d.ExVars {
+		exVars[v] = true
+	}
+	// Frontier variables: head-atom variables bound by the body.
+	frontier := func(atoms []term.Atom) []term.Term {
+		var seen []string
+		for _, a := range atoms {
+			for _, v := range a.Vars(nil) {
+				if bodyVars[v] && !containsStr(seen, v) {
+					seen = append(seen, v)
+				}
+			}
+		}
+		out := make([]term.Term, len(seen))
+		for i, v := range seen {
+			out[i] = term.V(v)
+		}
+		return out
+	}
+	allFrontier := frontier(d.Head)
+	provFrontier := frontier(fixedHeads)
+
+	// aux1(frontier) :- headMutOrig, fixedHeads — the DEC instance is
+	// already satisfied by original data (paper rule (7)).
+	aux1 := term.Atom{Pred: "aux1_" + tag, Args: allFrontier}
+	r1 := lp.Rule{Head: []lp.Literal{lp.Pos(aux1)}}
+	r1.PosB = append(r1.PosB, lp.Pos(b.ref(mutHead)))
+	for _, h := range fixedHeads {
+		r1.PosB = append(r1.PosB, lp.Pos(b.ref(h)))
+	}
+	b.prog.Add(r1)
+
+	// Witness providers: the fixed head atoms if any, else a domain
+	// predicate for each existential variable.
+	var providers []term.Atom
+	if len(fixedHeads) > 0 {
+		for _, h := range fixedHeads {
+			providers = append(providers, b.ref(h))
+		}
+	} else {
+		for _, w := range d.ExVars {
+			providers = append(providers, term.Atom{Pred: "dom", Args: []term.Term{term.V(w)}})
+			b.needDom()
+		}
+	}
+
+	// aux2(provFrontier) :- providers — some witness is available
+	// (paper rule (8)). Only meaningful with fixed providers.
+	var aux2 *term.Atom
+	if len(fixedHeads) > 0 {
+		a2 := term.Atom{Pred: "aux2_" + tag, Args: provFrontier}
+		aux2 = &a2
+		r2 := lp.Rule{Head: []lp.Literal{lp.Pos(a2)}}
+		for _, h := range fixedHeads {
+			r2.PosB = append(r2.PosB, lp.Pos(b.ref(h)))
+		}
+		b.prog.Add(r2)
+	}
+
+	// Candidate body references and deletion disjuncts.
+	var bodyLits []lp.Literal
+	var delHeads []lp.Literal
+	for _, a := range d.Body {
+		bodyLits = append(bodyLits, lp.Pos(b.candRef(a)))
+		if b.mutable[a.Pred] {
+			delHeads = append(delHeads, lp.NegL(term.Atom{Pred: b.naming.Prime(a.Pred), Args: a.Args}))
+		}
+	}
+	var cmps []lp.Cmp
+	for _, c := range d.Cond {
+		cmps = append(cmps, lp.Cmp{Op: c.Op, L: c.L, R: c.R})
+	}
+
+	// Forced deletion when no witness can exist (paper rule (6)); with
+	// domain providers a witness always exists, so the rule is skipped.
+	if aux2 != nil {
+		r := lp.Rule{
+			Head: delHeads,
+			PosB: bodyLits,
+			NegB: []lp.Literal{lp.Pos(aux1), lp.Pos(*aux2)},
+			Cmps: cmps,
+		}
+		b.prog.Add(r)
+	}
+
+	// Delete-or-insert with choice (paper rule (9)).
+	outs := make([]term.Term, len(d.ExVars))
+	for i, w := range d.ExVars {
+		outs[i] = term.V(w)
+	}
+	insHead := lp.Pos(term.Atom{Pred: b.naming.Prime(mutHead.Pred), Args: mutHead.Args})
+	r := lp.Rule{
+		Head: append(append([]lp.Literal{}, delHeads...), insHead),
+		PosB: append(append([]lp.Literal{}, bodyLits...), posAll(providers)...),
+		NegB: []lp.Literal{lp.Pos(aux1)},
+		Cmps: cmps,
+		Choice: []lp.ChoiceGoal{{
+			Keys: choiceKeys(allFrontier, exVars),
+			Outs: outs,
+		}},
+	}
+	b.prog.Add(r)
+	return nil
+}
+
+// choiceKeys filters the frontier down to body-bound variables (the
+// choice key of the paper: the violation's identifying values).
+func choiceKeys(frontier []term.Term, exVars map[string]bool) []term.Term {
+	var out []term.Term
+	for _, t := range frontier {
+		if t.IsVar && !exVars[t.Name] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func posAll(atoms []term.Atom) []lp.Literal {
+	out := make([]lp.Literal, len(atoms))
+	for i, a := range atoms {
+		out[i] = lp.Pos(a)
+	}
+	return out
+}
+
+var negations = map[string]string{
+	"=": "!=", "!=": "=", "<": ">=", ">=": "<", ">": "<=", "<=": ">",
+}
+
+func negateOp(op string) string {
+	if n, ok := negations[op]; ok {
+		return n
+	}
+	return "!=" // unreachable for validated constraints
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// domNeeded tracks whether the builder must emit domain facts.
+func (b *builder) needDom() { b.needCand["\x00dom"] = true }
+
+// emitFacts adds the extensional database: the facts of every relation
+// referenced by the program, and domain facts if needed.
+func (b *builder) emitFacts(p *core.Peer, includeAll bool) {
+	preds := b.prog.Preds()
+	for _, id := range b.sys.Peers() {
+		peer, _ := b.sys.Peer(id)
+		for _, rel := range peer.Schema.Relations() {
+			if !preds[rel] && !b.mutable[rel] {
+				continue
+			}
+			for _, t := range peer.Inst.Tuples(rel) {
+				args := make([]term.Term, len(t))
+				for i, v := range t {
+					args[i] = term.C(v)
+				}
+				b.prog.AddFactAtom(term.Atom{Pred: rel, Args: args})
+			}
+		}
+	}
+	if b.needCand["\x00dom"] {
+		delete(b.needCand, "\x00dom")
+		for _, c := range b.sys.Global().ActiveDomain() {
+			b.prog.AddFactAtom(term.NewAtom("dom", term.C(c)))
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/lp"
+	"repro/internal/lp/ground"
+	"repro/internal/lp/solve"
+	"repro/internal/relation"
+	"repro/internal/repair"
+	"repro/internal/term"
+)
+
+// RunOptions configures LP-based solution computation.
+type RunOptions struct {
+	// MaxModels bounds answer-set enumeration; 0 means all.
+	MaxModels int
+	// UseShift applies the HCF shift of Section 4.1 before solving when
+	// the ground program is head-cycle free.
+	UseShift bool
+	// Transitive uses the combined program of Section 4.3 instead of
+	// the direct-case program.
+	Transitive bool
+	// SolverOptions are passed through to the stable-model solver.
+	Solver solve.Options
+}
+
+// Solve grounds and solves an already-built specification program,
+// returning its stable models.
+func Solve(prog *lp.Program, opt RunOptions) ([]solve.Model, error) {
+	u, err := lp.UnfoldChoice(prog)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ground.Ground(u)
+	if err != nil {
+		return nil, err
+	}
+	if opt.UseShift && solve.HCF(g) {
+		g, err = solve.Shift(g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	so := opt.Solver
+	if opt.MaxModels > 0 {
+		so.MaxModels = opt.MaxModels
+	}
+	return solve.StableModels(g, so)
+}
+
+// SolutionsViaLP computes the solutions for a peer through the
+// answer-set program (the Section 3 route): "the peer's solutions are
+// in one to one correspondence with the answer sets of the program".
+// The result is directly comparable with core.SolutionsFor.
+func SolutionsViaLP(s *core.System, id core.PeerID, opt RunOptions) ([]*relation.Instance, error) {
+	var prog *lp.Program
+	var naming *Naming
+	var err error
+	if opt.Transitive {
+		prog, naming, err = BuildTransitive(s, id)
+	} else {
+		prog, naming, err = BuildDirect(s, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	models, err := Solve(prog, opt)
+	if err != nil {
+		return nil, err
+	}
+	return ModelsToSolutions(s, naming, models)
+}
+
+// ModelsToSolutions projects stable models onto solution instances:
+// each compiled relation takes the content of its primed version; all
+// other relations keep their original tuples. Models that project to
+// the same instance are merged (the paper's M2 and M4 yield the same
+// solution).
+func ModelsToSolutions(s *core.System, naming *Naming, models []solve.Model) ([]*relation.Instance, error) {
+	base := s.Global()
+	seen := map[string]bool{}
+	var out []*relation.Instance
+	for _, m := range models {
+		inst := base.Clone()
+		// Clear compiled relations, then fill from primed atoms.
+		for rel := range naming.Primed {
+			for _, t := range inst.Tuples(rel) {
+				inst.Delete(rel, t)
+			}
+		}
+		for _, key := range m {
+			pred := atomPredOf(key)
+			rel, ok := naming.IsPrimed(pred)
+			if !ok {
+				continue
+			}
+			args := solve.Args(key)
+			inst.Insert(rel, relation.Tuple(args))
+		}
+		k := inst.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, inst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+func atomPredOf(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '(' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// PeerConsistentAnswersViaLP computes the PCAs of Definition 5 through
+// the program: solutions are materialized from the answer sets, each is
+// restricted to the peer's own schema, and the query answers are
+// intersected (cautious reasoning at the level of query results).
+func PeerConsistentAnswersViaLP(s *core.System, id core.PeerID, q foquery.Formula, vars []string, opt RunOptions) ([]relation.Tuple, error) {
+	p, ok := s.Peer(id)
+	if !ok {
+		return nil, fmt.Errorf("program: unknown peer %s", id)
+	}
+	sols, err := SolutionsViaLP(s, id, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(sols) == 0 {
+		return nil, core.ErrNoSolutions
+	}
+	restricted := make([]*relation.Instance, len(sols))
+	for i, r := range sols {
+		restricted[i] = r.Restrict(p.Schema)
+	}
+	return repair.IntersectAnswers(restricted, q, vars)
+}
+
+// ConjunctiveQueryProgram appends a query rule
+//
+//	ans(x̄) :- L1', ..., Lk'.
+//
+// to a specification program, with every atom over a compiled relation
+// replaced by its primed version — the query-program technique of
+// Section 3.2 ("AnsQ(x,z) ← R'1(x,y), R'2(x,y)"). Atoms, comparisons
+// and a final projection list are supported (conjunctive queries).
+func ConjunctiveQueryProgram(prog *lp.Program, naming *Naming, atoms []term.Atom, cmps []lp.Cmp, vars []string) (*lp.Program, error) {
+	out := prog.Clone()
+	r := lp.Rule{}
+	args := make([]term.Term, len(vars))
+	for i, v := range vars {
+		args[i] = term.V(v)
+	}
+	r.Head = []lp.Literal{lp.Pos(term.Atom{Pred: "ans", Args: args})}
+	for _, a := range atoms {
+		pred := a.Pred
+		if p, ok := naming.Primed[pred]; ok {
+			pred = p
+		}
+		r.PosB = append(r.PosB, lp.Pos(term.Atom{Pred: pred, Args: a.Args}))
+	}
+	r.Cmps = append(r.Cmps, cmps...)
+	if err := r.Safe(); err != nil {
+		return nil, err
+	}
+	out.Add(r)
+	return out, nil
+}
+
+// CautiousAnswers runs a query program and returns the tuples of the
+// ans predicate true in every answer set (skeptical answer set
+// semantics, as DLV would be used in the paper). The boolean reports
+// whether any answer set exists.
+func CautiousAnswers(prog *lp.Program, opt RunOptions) ([]relation.Tuple, bool, error) {
+	models, err := Solve(prog, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	keys, has := solve.Cautious(models, "ans")
+	if !has {
+		return nil, false, nil
+	}
+	out := make([]relation.Tuple, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, relation.Tuple(solve.Args(k)))
+	}
+	return out, true, nil
+}

@@ -1,0 +1,137 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/term"
+)
+
+// BuildTransitive compiles the combined specification program of
+// Section 4.3 for the peer network reachable from root through trust
+// edges: each reachable peer contributes its local program, and rules
+// of a peer read the *repaired* (primed) versions of the relations its
+// more-trusted neighbours themselves repair — exactly how Example 4
+// replaces S1 by S'1 in rules (10) and (11) while keeping Q's own
+// import rules (12), (13).
+//
+// Peers are compiled upstream-first (most trusted first). Implicit
+// cyclic dependencies between peers are rejected, as the paper flags
+// them as problematic [19]. In the transitive case each peer repairs
+// its own relations (less-trust chains); same-trust edges are honoured
+// at the root only.
+func BuildTransitive(s *core.System, root core.PeerID) (*lp.Program, *Naming, error) {
+	if _, ok := s.Peer(root); !ok {
+		return nil, nil, fmt.Errorf("program: unknown peer %s", root)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	order, err := topoOrder(s, root)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	naming := newNaming()
+	combined := &lp.Program{}
+	// Relations repaired by an already-compiled peer, read in their
+	// primed version downstream.
+	repaired := map[string]string{}
+	allMutable := map[string]bool{}
+	needDomFacts := false
+
+	for _, id := range order {
+		p, _ := s.Peer(id)
+		if len(p.DECs) == 0 {
+			continue // leaf peer: its data is read as-is
+		}
+		b := &builder{
+			sys:            s,
+			naming:         naming,
+			prog:           combined,
+			mutable:        map[string]bool{},
+			upstreamPrimed: cloneMap(repaired),
+			imports:        map[string][]term.Atom{},
+			needCand:       map[string]bool{},
+		}
+		includeSame := id == root
+		if err := b.compilePeer(p, includeSame); err != nil {
+			return nil, nil, fmt.Errorf("program: compiling peer %s: %w", id, err)
+		}
+		for rel := range b.mutable {
+			repaired[rel] = naming.Prime(rel)
+			allMutable[rel] = true
+		}
+		if b.needCand["\x00dom"] {
+			needDomFacts = true
+		}
+	}
+
+	// Facts for every referenced relation, once.
+	fb := &builder{
+		sys:      s,
+		naming:   naming,
+		prog:     combined,
+		mutable:  allMutable,
+		imports:  map[string][]term.Atom{},
+		needCand: map[string]bool{},
+	}
+	if needDomFacts {
+		fb.needDom()
+	}
+	rootPeer, _ := s.Peer(root)
+	fb.emitFacts(rootPeer, true)
+	return combined, naming, nil
+}
+
+// topoOrder returns the peers reachable from root, most-trusted first
+// (post-order DFS over trust edges), rejecting cycles.
+func topoOrder(s *core.System, root core.PeerID) ([]core.PeerID, error) {
+	const (
+		gray  = 1
+		black = 2
+	)
+	color := map[core.PeerID]int{}
+	var order []core.PeerID
+	var visit func(id core.PeerID) error
+	visit = func(id core.PeerID) error {
+		switch color[id] {
+		case gray:
+			return fmt.Errorf("program: cyclic trust/DEC dependencies through peer %s (the paper's transitive case requires acyclicity)", id)
+		case black:
+			return nil
+		}
+		color[id] = gray
+		p, ok := s.Peer(id)
+		if !ok {
+			return fmt.Errorf("program: unknown peer %s", id)
+		}
+		for _, lvl := range []core.TrustLevel{core.TrustLess, core.TrustSame} {
+			for _, q := range s.TrustedPeers(id, lvl) {
+				if len(p.DECs[q]) == 0 {
+					continue
+				}
+				if err := visit(q); err != nil {
+					return err
+				}
+			}
+		}
+		color[id] = black
+		order = append(order, id) // post-order: most trusted first
+		return nil
+	}
+	if err := visit(root); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

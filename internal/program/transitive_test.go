@@ -1,0 +1,125 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// TestTransitiveChainDepth3: imports cascade through a three-peer
+// chain; the root's relation absorbs everything downstream.
+func TestTransitiveChainDepth3(t *testing.T) {
+	s := workload.Chain(3, 1, 9)
+	sols, err := SolutionsViaLP(s, "P0", RunOptions{Transitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %d", len(sols))
+	}
+	if got := sols[0].Count("t0"); got != 3 {
+		t.Fatalf("t0 = %d, want 3 (own + P1 + P2 through P1)", got)
+	}
+}
+
+// TestTransitiveDiamond: P imports from both Q1 and Q2, which both
+// import from R — the diamond must be compiled once per peer and R's
+// facts must reach P through both paths without duplication issues.
+func TestTransitiveDiamond(t *testing.T) {
+	p := core.NewPeer("P").Declare("tp", 2).
+		SetTrust("Q1", core.TrustLess).SetTrust("Q2", core.TrustLess).
+		AddDEC("Q1", constraint.Inclusion("iq1", "tq1", "tp", 2)).
+		AddDEC("Q2", constraint.Inclusion("iq2", "tq2", "tp", 2))
+	q1 := core.NewPeer("Q1").Declare("tq1", 2).
+		SetTrust("R", core.TrustLess).
+		AddDEC("R", constraint.Inclusion("ir1", "tr", "tq1", 2))
+	q2 := core.NewPeer("Q2").Declare("tq2", 2).
+		SetTrust("R", core.TrustLess).
+		AddDEC("R", constraint.Inclusion("ir2", "tr", "tq2", 2))
+	r := core.NewPeer("R").Declare("tr", 2).Fact("tr", "x", "y")
+	s := core.NewSystem().MustAddPeer(p).MustAddPeer(q1).MustAddPeer(q2).MustAddPeer(r)
+
+	prog, _, err := BuildTransitive(s, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each peer must be compiled exactly once: one persistence rule per
+	// mutable relation.
+	count := strings.Count(prog.String(), "tq1_p(X1,X2) :- tq1(X1,X2), not -tq1_p(X1,X2).")
+	if count != 1 {
+		t.Fatalf("Q1 compiled %d times:\n%s", count, prog)
+	}
+	sols, err := SolutionsViaLP(s, "P", RunOptions{Transitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %d", len(sols))
+	}
+	if !sols[0].Has("tp", relation.Tuple{"x", "y"}) {
+		t.Fatalf("R's fact did not reach P: %v", sols[0])
+	}
+	if !sols[0].Has("tq1", relation.Tuple{"x", "y"}) || !sols[0].Has("tq2", relation.Tuple{"x", "y"}) {
+		t.Fatalf("intermediate imports missing: %v", sols[0])
+	}
+}
+
+// TestTransitiveCycleRejected: cyclic trust/DEC dependencies are
+// rejected, as the paper requires ("a problematic case appears when
+// there are implicit cyclic dependencies").
+func TestTransitiveCycleRejected(t *testing.T) {
+	a := core.NewPeer("A").Declare("ta", 2).
+		SetTrust("B", core.TrustLess).
+		AddDEC("B", constraint.Inclusion("iab", "tb", "ta", 2))
+	b := core.NewPeer("B").Declare("tb", 2).
+		SetTrust("A", core.TrustLess).
+		AddDEC("A", constraint.Inclusion("iba", "ta", "tb", 2))
+	s := core.NewSystem().MustAddPeer(a).MustAddPeer(b)
+	if _, _, err := BuildTransitive(s, "A"); err == nil {
+		t.Fatal("cyclic overlay must be rejected")
+	}
+}
+
+// TestTransitiveWithConflictDownstream: an EGD at the root interacting
+// with facts imported transitively (Example 4's pattern with an EGD
+// instead of the referential DEC).
+func TestTransitiveWithConflictDownstream(t *testing.T) {
+	p := core.NewPeer("P").Declare("rp", 2).
+		Fact("rp", "k", "v1").
+		SetTrust("Q", core.TrustLess).
+		AddDEC("Q", constraint.KeyEGD("egd", "rp", "sq"))
+	q := core.NewPeer("Q").Declare("sq", 2).
+		SetTrust("C", core.TrustLess).
+		AddDEC("C", constraint.Inclusion("inc", "uc", "sq", 2))
+	c := core.NewPeer("C").Declare("uc", 2).Fact("uc", "k", "v2")
+	s := core.NewSystem().MustAddPeer(p).MustAddPeer(q).MustAddPeer(c)
+
+	// Direct: sq is empty, no conflict, P keeps its tuple.
+	direct, err := SolutionsViaLP(s, "P", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != 1 || !direct[0].Has("rp", relation.Tuple{"k", "v1"}) {
+		t.Fatalf("direct = %v", instKeys(direct))
+	}
+	// Transitive: Q imports sq(k,v2); P's EGD now conflicts and P (the
+	// only mutable side — sq is Q's and Q is more trusted) must drop
+	// its tuple.
+	trans, err := SolutionsViaLP(s, "P", RunOptions{Transitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trans) != 1 {
+		t.Fatalf("transitive = %v", instKeys(trans))
+	}
+	if trans[0].Has("rp", relation.Tuple{"k", "v1"}) {
+		t.Fatalf("conflicting tuple survived: %v", trans[0])
+	}
+	if !trans[0].Has("sq", relation.Tuple{"k", "v2"}) {
+		t.Fatalf("upstream import missing: %v", trans[0])
+	}
+}

@@ -1,0 +1,405 @@
+// Package relation implements the in-memory relational storage engine
+// underlying the P2P data exchange system: database schemas, relation
+// instances as sets of ground tuples, instance algebra (union,
+// restriction, symmetric difference) and the active domain. It is the
+// concrete realization of the instances r(P) of Definition 2 and of the
+// distance Δ(r1,r2) of Definition 1 in the paper.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Tuple is an ordered list of constant values.
+type Tuple []string
+
+// Key returns the canonical encoding of the tuple used for set
+// membership. Values are joined with a separator that may not occur in
+// constants produced by the parsers (US, unit separator).
+func (t Tuple) Key() string { return strings.Join(t, "\x1f") }
+
+// String renders the tuple as (a,b).
+func (t Tuple) String() string { return "(" + strings.Join(t, ",") + ")" }
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// RelDecl declares a relation: its name and arity. Relation names are
+// globally unique across peers (Definition 2 assumes disjoint schemas).
+type RelDecl struct {
+	Name  string
+	Arity int
+}
+
+// Schema is a set of relation declarations.
+type Schema struct {
+	decls map[string]RelDecl
+	order []string
+}
+
+// NewSchema builds a schema from declarations.
+func NewSchema(decls ...RelDecl) *Schema {
+	s := &Schema{decls: make(map[string]RelDecl)}
+	for _, d := range decls {
+		s.Add(d)
+	}
+	return s
+}
+
+// Add inserts or overwrites a declaration.
+func (s *Schema) Add(d RelDecl) {
+	if _, ok := s.decls[d.Name]; !ok {
+		s.order = append(s.order, d.Name)
+	}
+	s.decls[d.Name] = d
+}
+
+// Decl returns the declaration of a relation, if present.
+func (s *Schema) Decl(name string) (RelDecl, bool) {
+	d, ok := s.decls[name]
+	return d, ok
+}
+
+// Has reports whether the schema declares the relation.
+func (s *Schema) Has(name string) bool { _, ok := s.decls[name]; return ok }
+
+// Relations returns the declared relation names in declaration order.
+func (s *Schema) Relations() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Union returns a new schema containing the declarations of both.
+func (s *Schema) Union(t *Schema) *Schema {
+	u := NewSchema()
+	for _, n := range s.order {
+		u.Add(s.decls[n])
+	}
+	for _, n := range t.order {
+		u.Add(t.decls[n])
+	}
+	return u
+}
+
+// Instance is a database instance: for each relation name, a set of
+// tuples. The zero value is not usable; use NewInstance.
+type Instance struct {
+	rels map[string]map[string]Tuple // name -> key -> tuple
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{rels: make(map[string]map[string]Tuple)}
+}
+
+// Insert adds a tuple to the named relation. It reports whether the
+// tuple was newly added.
+func (in *Instance) Insert(rel string, t Tuple) bool {
+	m, ok := in.rels[rel]
+	if !ok {
+		m = make(map[string]Tuple)
+		in.rels[rel] = m
+	}
+	k := t.Key()
+	if _, dup := m[k]; dup {
+		return false
+	}
+	m[k] = t.Clone()
+	return true
+}
+
+// InsertAtom adds a ground atom; it panics on non-ground atoms.
+func (in *Instance) InsertAtom(a term.Atom) bool {
+	t := make(Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		if arg.IsVar {
+			panic(fmt.Sprintf("relation: InsertAtom on non-ground atom %s", a))
+		}
+		t[i] = arg.Name
+	}
+	return in.Insert(a.Pred, t)
+}
+
+// Delete removes a tuple; it reports whether the tuple was present.
+func (in *Instance) Delete(rel string, t Tuple) bool {
+	m, ok := in.rels[rel]
+	if !ok {
+		return false
+	}
+	k := t.Key()
+	if _, present := m[k]; !present {
+		return false
+	}
+	delete(m, k)
+	return true
+}
+
+// Has reports membership of a tuple.
+func (in *Instance) Has(rel string, t Tuple) bool {
+	m, ok := in.rels[rel]
+	if !ok {
+		return false
+	}
+	_, present := m[t.Key()]
+	return present
+}
+
+// HasAtom reports membership of a ground atom.
+func (in *Instance) HasAtom(a term.Atom) bool {
+	t := make(Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		if arg.IsVar {
+			return false
+		}
+		t[i] = arg.Name
+	}
+	return in.Has(a.Pred, t)
+}
+
+// Tuples returns the tuples of a relation in deterministic (sorted)
+// order. The returned tuples are copies.
+func (in *Instance) Tuples(rel string) []Tuple {
+	m := in.rels[rel]
+	out := make([]Tuple, 0, len(m))
+	for _, t := range m {
+		out = append(out, t.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Count returns the number of tuples in a relation.
+func (in *Instance) Count(rel string) int { return len(in.rels[rel]) }
+
+// Size returns the total number of tuples in the instance.
+func (in *Instance) Size() int {
+	n := 0
+	for _, m := range in.rels {
+		n += len(m)
+	}
+	return n
+}
+
+// Relations returns the names of the non-empty relations, sorted.
+func (in *Instance) Relations() []string {
+	out := make([]string, 0, len(in.rels))
+	for name, m := range in.rels {
+		if len(m) > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the instance.
+func (in *Instance) Clone() *Instance {
+	c := NewInstance()
+	for rel, m := range in.rels {
+		cm := make(map[string]Tuple, len(m))
+		for k, t := range m {
+			cm[k] = t.Clone()
+		}
+		c.rels[rel] = cm
+	}
+	return c
+}
+
+// Union returns a new instance holding the tuples of both. This is the
+// global instance r̄ of Definition 3(b).
+func (in *Instance) Union(other *Instance) *Instance {
+	u := in.Clone()
+	for rel, m := range other.rels {
+		for _, t := range m {
+			u.Insert(rel, t)
+		}
+	}
+	return u
+}
+
+// Restrict returns the restriction of the instance to the relations of
+// the given schema (Definition 3(c), r|S').
+func (in *Instance) Restrict(s *Schema) *Instance {
+	r := NewInstance()
+	for rel, m := range in.rels {
+		if !s.Has(rel) {
+			continue
+		}
+		for _, t := range m {
+			r.Insert(rel, t)
+		}
+	}
+	return r
+}
+
+// RestrictRels returns the restriction to an explicit set of relation
+// names.
+func (in *Instance) RestrictRels(names map[string]bool) *Instance {
+	r := NewInstance()
+	for rel, m := range in.rels {
+		if !names[rel] {
+			continue
+		}
+		for _, t := range m {
+			r.Insert(rel, t)
+		}
+	}
+	return r
+}
+
+// Equal reports whether two instances contain exactly the same tuples.
+func (in *Instance) Equal(other *Instance) bool {
+	if in.Size() != other.Size() {
+		return false
+	}
+	for rel, m := range in.rels {
+		om := other.rels[rel]
+		if len(m) != len(om) {
+			return false
+		}
+		for k := range m {
+			if _, ok := om[k]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string for the whole instance, usable for
+// de-duplication of instances (e.g. of peer solutions).
+func (in *Instance) Key() string {
+	var parts []string
+	for _, rel := range in.Relations() {
+		for _, t := range in.Tuples(rel) {
+			parts = append(parts, rel+t.String())
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// String renders the instance as a sorted list of facts.
+func (in *Instance) String() string {
+	var parts []string
+	for _, rel := range in.Relations() {
+		for _, t := range in.Tuples(rel) {
+			parts = append(parts, rel+t.String())
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Atoms returns every tuple of the instance as a ground atom, in
+// deterministic order. This is Σ(r) in Definition 1 of the paper.
+func (in *Instance) Atoms() []term.Atom {
+	var out []term.Atom
+	for _, rel := range in.Relations() {
+		for _, t := range in.Tuples(rel) {
+			args := make([]term.Term, len(t))
+			for i, v := range t {
+				args[i] = term.C(v)
+			}
+			out = append(out, term.Atom{Pred: rel, Args: args})
+		}
+	}
+	return out
+}
+
+// ActiveDomain returns the sorted set of constants occurring in the
+// instance.
+func (in *Instance) ActiveDomain() []string {
+	seen := make(map[string]bool)
+	for _, m := range in.rels {
+		for _, t := range m {
+			for _, v := range t {
+				seen[v] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fact is a (relation, tuple) pair, used to describe instance deltas.
+type Fact struct {
+	Rel   string
+	Tuple Tuple
+}
+
+// String renders the fact as rel(a,b).
+func (f Fact) String() string { return f.Rel + f.Tuple.String() }
+
+// Key returns the canonical key for the fact.
+func (f Fact) Key() string { return f.Rel + "\x1e" + f.Tuple.Key() }
+
+// SymDiff computes the symmetric difference Δ(r1,r2) of Definition 1:
+// the facts in r1 but not r2, and the facts in r2 but not r1.
+func SymDiff(r1, r2 *Instance) []Fact {
+	var out []Fact
+	for rel, m := range r1.rels {
+		for _, t := range m {
+			if !r2.Has(rel, t) {
+				out = append(out, Fact{rel, t.Clone()})
+			}
+		}
+	}
+	for rel, m := range r2.rels {
+		for _, t := range m {
+			if !r1.Has(rel, t) {
+				out = append(out, Fact{rel, t.Clone()})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// DeltaKeySet converts a delta into a set of fact keys, for ⊆ tests.
+func DeltaKeySet(delta []Fact) map[string]bool {
+	s := make(map[string]bool, len(delta))
+	for _, f := range delta {
+		s[f.Key()] = true
+	}
+	return s
+}
+
+// SubsetOf reports whether delta a is a subset of delta b (as fact
+// sets). Used for the ≤r minimality order of Definition 1(b).
+func SubsetOf(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+package repair
+
+import (
+	"repro/internal/constraint"
+	"repro/internal/foquery"
+	"repro/internal/relation"
+)
+
+// ConsistentAnswers computes the consistent answers to a query in the
+// sense of [Arenas, Bertossi, Chomicki, PODS 99]: the tuples returned
+// by the query in every repair of the instance. This is the
+// single-database CQA baseline against which the paper contrasts peer
+// consistent answers (Section 2).
+func ConsistentAnswers(inst *relation.Instance, deps []*constraint.Dependency, q foquery.Formula, vars []string, opt Options) ([]relation.Tuple, error) {
+	reps, err := Repairs(inst, deps, opt)
+	if err != nil && err != ErrBound {
+		return nil, err
+	}
+	boundErr := err
+	ans, err := IntersectAnswers(reps, q, vars)
+	if err != nil {
+		return nil, err
+	}
+	return ans, boundErr
+}
+
+// IntersectAnswers evaluates the query on each instance and returns
+// the tuples present in all of them, sorted. With no instances it
+// returns nil (no solutions: every tuple vacuously qualifies is the
+// other convention; we follow the paper's practice of reporting
+// "no solutions" separately).
+func IntersectAnswers(insts []*relation.Instance, q foquery.Formula, vars []string) ([]relation.Tuple, error) {
+	if len(insts) == 0 {
+		return nil, nil
+	}
+	counts := make(map[string]int)
+	tuples := make(map[string]relation.Tuple)
+	for _, in := range insts {
+		ans, err := foquery.Answers(in, q, vars)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[string]bool)
+		for _, t := range ans {
+			k := t.Key()
+			if !seen[k] {
+				seen[k] = true
+				counts[k]++
+				tuples[k] = t
+			}
+		}
+	}
+	var out []relation.Tuple
+	for k, c := range counts {
+		if c == len(insts) {
+			out = append(out, tuples[k])
+		}
+	}
+	sortTuples(out)
+	return out, nil
+}
+
+func sortTuples(ts []relation.Tuple) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Key() < ts[j-1].Key(); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

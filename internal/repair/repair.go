@@ -1,0 +1,305 @@
+// Package repair enumerates the minimal repairs of Definition 1 of the
+// paper: consistent instances at minimal symmetric-difference distance
+// from a given instance, with a designated set of predicates held
+// fixed. It is both the consistent-query-answering baseline [Arenas,
+// Bertossi, Chomicki, PODS 99] and the building block of the two-stage
+// peer solutions of Definition 4 (implemented in internal/core).
+//
+// Repairs are searched by branching over the ways of fixing one
+// violation at a time: deleting a mutable body atom, or (for
+// tuple-generating dependencies) inserting the missing head atoms under
+// a witness assignment. Witnesses for existential head variables are
+// bound by matching head atoms on fixed predicates against the current
+// instance, with active-domain enumeration for any remaining variables,
+// which mirrors how the paper's choice-operator programs pick witnesses
+// from the trusted peer's data (Section 3.1).
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/relation"
+	"repro/internal/term"
+)
+
+// Options configures a repair search.
+type Options struct {
+	// Fixed lists the predicates that may not be inserted into or
+	// deleted from (other peers' relations per Definition 4).
+	Fixed map[string]bool
+	// MaxDelta bounds the number of insert/delete actions along a
+	// branch; 0 means a default derived from the instance size. The
+	// search returns ErrBound if the bound prunes any branch, since the
+	// result may then be incomplete.
+	MaxDelta int
+	// MaxRepairs stops the search after this many consistent instances
+	// have been found (before minimality filtering); 0 means unlimited.
+	MaxRepairs int
+}
+
+// ErrBound reports that the search hit Options.MaxDelta and the set of
+// repairs may be incomplete (e.g. cyclic DEC cascades).
+var ErrBound = fmt.Errorf("repair: delta bound exceeded; repair set may be incomplete")
+
+type searcher struct {
+	orig       *relation.Instance
+	deps       []*constraint.Dependency
+	opt        Options
+	visited    map[string]bool
+	found      []*relation.Instance
+	foundDelta []map[string]bool
+	hitBound   bool
+}
+
+// Repairs returns the ≤r-minimal repairs of inst w.r.t. deps. The
+// result is deterministic (sorted by canonical instance key). If inst
+// is already consistent, it is its own unique repair.
+func Repairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options) ([]*relation.Instance, error) {
+	for _, d := range deps {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if opt.MaxDelta == 0 {
+		opt.MaxDelta = inst.Size() + 64
+	}
+	s := &searcher{orig: inst, deps: deps, opt: opt, visited: make(map[string]bool)}
+	if err := s.search(inst.Clone(), 0); err != nil {
+		return nil, err
+	}
+	min := minimalByDelta(s.found, s.foundDelta)
+	sort.Slice(min, func(i, j int) bool { return min[i].Key() < min[j].Key() })
+	if s.hitBound {
+		return min, ErrBound
+	}
+	return min, nil
+}
+
+func (s *searcher) search(cur *relation.Instance, depth int) error {
+	if s.opt.MaxRepairs > 0 && len(s.found) >= s.opt.MaxRepairs {
+		return nil
+	}
+	key := cur.Key()
+	if s.visited[key] {
+		return nil
+	}
+	s.visited[key] = true
+
+	delta := relation.DeltaKeySet(relation.SymDiff(s.orig, cur))
+	// Subsumption: a state whose delta contains an already-found
+	// consistent delta cannot lead to a new minimal repair.
+	for _, fd := range s.foundDelta {
+		if relation.SubsetOf(fd, delta) && len(fd) < len(delta) {
+			return nil
+		}
+	}
+
+	v, err := constraint.FirstViolation(cur, s.deps)
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		s.found = append(s.found, cur.Clone())
+		s.foundDelta = append(s.foundDelta, delta)
+		return nil
+	}
+	if len(delta) >= s.opt.MaxDelta {
+		s.hitBound = true
+		return nil
+	}
+
+	acts, err := s.actions(cur, v)
+	if err != nil {
+		return err
+	}
+	for _, a := range acts {
+		next := cur.Clone()
+		a.apply(next)
+		if err := s.search(next, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// action is a set of simultaneous tuple changes fixing one violation.
+type action struct {
+	deletes []relation.Fact
+	inserts []relation.Fact
+}
+
+func (a action) apply(in *relation.Instance) {
+	for _, f := range a.deletes {
+		in.Delete(f.Rel, f.Tuple)
+	}
+	for _, f := range a.inserts {
+		in.Insert(f.Rel, f.Tuple)
+	}
+}
+
+// actions enumerates the ways of fixing a violation: deleting any one
+// mutable body atom, or inserting the missing head atoms under some
+// witness assignment.
+func (s *searcher) actions(cur *relation.Instance, v *constraint.Violation) ([]action, error) {
+	var out []action
+	d := v.Dep
+	// Deletions of mutable body atoms.
+	for _, ba := range d.Body {
+		g := v.Subst.Apply(ba)
+		if s.opt.Fixed[g.Pred] {
+			continue
+		}
+		if !cur.HasAtom(g) {
+			continue // duplicate body atom already handled
+		}
+		out = append(out, action{deletes: []relation.Fact{atomFact(g)}})
+	}
+	// Insertions (TGDs only). Witnesses for existential variables come
+	// from matching head atoms on fixed predicates; leftover variables
+	// range over the active domain.
+	if d.IsTGD() {
+		wits, err := s.witnesses(cur, d, v.Subst)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range wits {
+			var ins []relation.Fact
+			ok := true
+			for _, ha := range d.Head {
+				g := w.Apply(ha)
+				if !g.IsGround() {
+					ok = false
+					break
+				}
+				if cur.HasAtom(g) {
+					continue
+				}
+				if s.opt.Fixed[g.Pred] {
+					ok = false // cannot create the witness on a fixed relation
+					break
+				}
+				ins = append(ins, atomFact(g))
+			}
+			if ok && len(ins) > 0 {
+				out = append(out, action{inserts: ins})
+			}
+		}
+	}
+	return out, nil
+}
+
+// witnesses enumerates assignments extending the body match over the
+// dependency's existential variables such that all head equalities
+// hold. Head atoms over fixed predicates must be matched against
+// existing tuples (they cannot be created), binding their variables;
+// remaining unbound existential variables enumerate the active domain.
+func (s *searcher) witnesses(cur *relation.Instance, d *constraint.Dependency, base term.Subst) ([]term.Subst, error) {
+	// Order head atoms: fixed predicates first (they constrain).
+	var fixedAtoms, mutAtoms []term.Atom
+	for _, ha := range d.Head {
+		if s.opt.Fixed[ha.Pred] {
+			fixedAtoms = append(fixedAtoms, ha)
+		} else {
+			mutAtoms = append(mutAtoms, ha)
+		}
+	}
+	dom := cur.ActiveDomain()
+	var out []term.Subst
+	var matchFixed func(i int, sub term.Subst) error
+	matchFixed = func(i int, sub term.Subst) error {
+		if i == len(fixedAtoms) {
+			// Enumerate any still-unbound existential variables.
+			var unbound []string
+			for _, v := range d.ExVars {
+				if sub.Lookup(term.V(v)).IsVar {
+					unbound = append(unbound, v)
+				}
+			}
+			var enum func(j int, sub term.Subst) error
+			enum = func(j int, sub term.Subst) error {
+				if j == len(unbound) {
+					for _, c := range d.HeadEq {
+						ok, err := c.Eval(sub)
+						if err != nil {
+							return err
+						}
+						if !ok {
+							return nil
+						}
+					}
+					out = append(out, sub.Clone())
+					return nil
+				}
+				for _, c := range dom {
+					s2 := sub.Clone()
+					s2[unbound[j]] = term.C(c)
+					if err := enum(j+1, s2); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return enum(0, sub)
+		}
+		pat := sub.Apply(fixedAtoms[i])
+		for _, tup := range cur.Tuples(pat.Pred) {
+			s2 := sub.Clone()
+			if term.Match(pat, tupAtom(pat.Pred, tup), s2) {
+				if err := matchFixed(i+1, s2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := matchFixed(0, base.Clone()); err != nil {
+		return nil, err
+	}
+	_ = mutAtoms
+	return out, nil
+}
+
+// minimalByDelta filters instances whose delta (vs the original) is
+// ⊆-minimal.
+func minimalByDelta(insts []*relation.Instance, deltas []map[string]bool) []*relation.Instance {
+	var out []*relation.Instance
+	seen := make(map[string]bool)
+	for i := range insts {
+		minimal := true
+		for j := range insts {
+			if i == j {
+				continue
+			}
+			if relation.SubsetOf(deltas[j], deltas[i]) && len(deltas[j]) < len(deltas[i]) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			k := insts[i].Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, insts[i])
+			}
+		}
+	}
+	return out
+}
+
+func atomFact(a term.Atom) relation.Fact {
+	t := make(relation.Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		t[i] = arg.Name
+	}
+	return relation.Fact{Rel: a.Pred, Tuple: t}
+}
+
+func tupAtom(pred string, t relation.Tuple) term.Atom {
+	args := make([]term.Term, len(t))
+	for i, v := range t {
+		args[i] = term.C(v)
+	}
+	return term.Atom{Pred: pred, Args: args}
+}

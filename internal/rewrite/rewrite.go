@@ -1,0 +1,240 @@
+// Package rewrite implements the first-order query rewriting technique
+// of Section 2 (Example 2): the query posed to a peer is transformed so
+// that its standard answers over the *current* instances are the peer
+// consistent answers — no repairs or stable models are computed.
+//
+// Supported class (checked; ErrNotApplicable otherwise):
+//
+//   - the query is atomic over one of the peer's relations;
+//   - DECs toward more-trusted peers are full inclusion dependencies
+//     importing into the peer's relations ("relaxation" disjuncts);
+//   - DECs toward equally-trusted peers are key EGDs
+//     ∀xyz (R(x,y) ∧ O(x,z) → y = z) guarding kept tuples;
+//   - EGD partner relations receive no imports themselves.
+//
+// This mirrors the paper's observation that FO rewriting "is bound to
+// have important limitations in terms of completeness" for existential
+// queries and DECs — those cases are served by the LP route
+// (internal/program) and the repair route (internal/core).
+//
+// Guard refinement: the paper's formula (1) protects a kept tuple
+// R1(x,y) from a conflict R3(x,z1) when ∃z2 R2(x,z2). An import with
+// z2 = z1 does not actually force the deletion of R3(x,z1), so this
+// package emits the refined protection ∃z2 (R2(x,z2) ∧ z2 ≠ z1), which
+// coincides with the paper's guard on Example 1's instance and agrees
+// with the Definition 4/5 semantics on the whole class (property-tested
+// against both other engines). Option PaperGuard reproduces formula (1)
+// verbatim.
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/relation"
+	"repro/internal/term"
+)
+
+// ErrNotApplicable reports that the system or query falls outside the
+// rewriting class.
+type ErrNotApplicable struct{ Reason string }
+
+func (e ErrNotApplicable) Error() string {
+	return "rewrite: not applicable: " + e.Reason
+}
+
+// Options tunes the rewriting.
+type Options struct {
+	// PaperGuard emits the exact guard of formula (1) in the paper
+	// (protection by any import on the key) instead of the refined
+	// guard (protection by an import differing from the conflicting
+	// value). Both coincide on Example 1.
+	PaperGuard bool
+}
+
+// RewriteAtom rewrites the atomic query rel(v1,...,vk) posed to peer
+// id into a first-order formula over the current global schema whose
+// standard answers are the peer consistent answers.
+func RewriteAtom(s *core.System, id core.PeerID, rel string, vars []string, opt Options) (foquery.Formula, error) {
+	p, ok := s.Peer(id)
+	if !ok {
+		return nil, fmt.Errorf("rewrite: unknown peer %s", id)
+	}
+	decl, ok := p.Schema.Decl(rel)
+	if !ok {
+		return nil, ErrNotApplicable{fmt.Sprintf("relation %s is not in L(%s)", rel, id)}
+	}
+	if len(vars) != decl.Arity {
+		return nil, fmt.Errorf("rewrite: %s has arity %d, got %d variables", rel, decl.Arity, len(vars))
+	}
+
+	shape, err := analyze(s, p)
+	if err != nil {
+		return nil, err
+	}
+
+	args := make([]term.Term, len(vars))
+	for i, v := range vars {
+		if !foquery.IsVarName(v) {
+			return nil, fmt.Errorf("rewrite: %q is not a variable name", v)
+		}
+		args[i] = term.V(v)
+	}
+
+	// Kept disjunct: rel(x̄) guarded by one condition per EGD on rel.
+	kept := []foquery.Formula{foquery.Atom{A: term.Atom{Pred: rel, Args: args}}}
+	for _, egd := range shape.egds[rel] {
+		if decl.Arity != 2 {
+			return nil, ErrNotApplicable{"key EGD guards require binary relations"}
+		}
+		kept = append(kept, guardFor(rel, egd, args, shape.imports[rel], opt))
+	}
+	var out foquery.Formula
+	if len(kept) == 1 {
+		out = kept[0]
+	} else {
+		out = foquery.And{Fs: kept}
+	}
+
+	// Relaxation disjuncts: one per import source.
+	fs := []foquery.Formula{out}
+	for _, src := range shape.imports[rel] {
+		fs = append(fs, foquery.Atom{A: term.Atom{Pred: src, Args: args}})
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return foquery.Or{Fs: fs}, nil
+}
+
+// egdInfo describes a key EGD ∀xyz (rel(x,y) ∧ partner(x,z) → y = z).
+type egdInfo struct {
+	partner string
+	// partnerMutable: the partner belongs to an equally-trusted peer,
+	// so conflicts may be resolved by deleting the partner tuple.
+	partnerMutable bool
+}
+
+type systemShape struct {
+	imports map[string][]string  // rel -> import sources (fixed, forced)
+	egds    map[string][]egdInfo // rel -> key EGDs
+}
+
+// analyze classifies the peer's trusted DECs into the rewriting class.
+func analyze(s *core.System, p *core.Peer) (*systemShape, error) {
+	shape := &systemShape{imports: map[string][]string{}, egds: map[string][]egdInfo{}}
+	for _, lvl := range []core.TrustLevel{core.TrustLess, core.TrustSame} {
+		for _, q := range s.TrustedPeers(p.ID, lvl) {
+			for _, d := range p.DECs[q] {
+				switch {
+				case d.IsFullTGD() && len(d.Body) == 1 && len(d.Head) == 1 && len(d.Cond) == 0:
+					src, dst := d.Body[0].Pred, d.Head[0].Pred
+					if !p.Schema.Has(dst) || p.Schema.Has(src) {
+						return nil, ErrNotApplicable{fmt.Sprintf("inclusion %s must import a neighbour relation into L(%s)", d.Name, p.ID)}
+					}
+					shape.imports[dst] = append(shape.imports[dst], src)
+				case d.IsEGD() && isKeyEGD(d):
+					a, b := d.Body[0].Pred, d.Body[1].Pred
+					var mine, partner string
+					switch {
+					case p.Schema.Has(a) && !p.Schema.Has(b):
+						mine, partner = a, b
+					case p.Schema.Has(b) && !p.Schema.Has(a):
+						mine, partner = b, a
+					default:
+						return nil, ErrNotApplicable{fmt.Sprintf("EGD %s must relate one peer relation to one neighbour relation", d.Name)}
+					}
+					shape.egds[mine] = append(shape.egds[mine], egdInfo{
+						partner:        partner,
+						partnerMutable: lvl == core.TrustSame,
+					})
+				default:
+					return nil, ErrNotApplicable{fmt.Sprintf("DEC %s outside the rewriting class", d.Name)}
+				}
+			}
+		}
+	}
+	// EGD partners must not receive imports (would invalidate guards).
+	for _, egds := range shape.egds {
+		for _, e := range egds {
+			if len(shape.imports[e.partner]) > 0 {
+				return nil, ErrNotApplicable{fmt.Sprintf("EGD partner %s receives imports", e.partner)}
+			}
+		}
+	}
+	return shape, nil
+}
+
+// isKeyEGD recognizes ∀xyz (a(x,y) ∧ b(x,z) → y = z): two binary body
+// atoms sharing their first variable, with a single head equality over
+// their second variables.
+func isKeyEGD(d *constraint.Dependency) bool {
+	if len(d.Body) != 2 || len(d.HeadEq) != 1 || len(d.Cond) != 0 {
+		return false
+	}
+	a, b := d.Body[0], d.Body[1]
+	if len(a.Args) != 2 || len(b.Args) != 2 {
+		return false
+	}
+	if !a.Args[0].IsVar || !a.Args[0].Equal(b.Args[0]) {
+		return false
+	}
+	eq := d.HeadEq[0]
+	if eq.Op != "=" {
+		return false
+	}
+	y, z := a.Args[1], b.Args[1]
+	return (eq.L.Equal(y) && eq.R.Equal(z)) || (eq.L.Equal(z) && eq.R.Equal(y))
+}
+
+// guardFor builds the universal guard protecting a kept tuple rel(x,y)
+// from the key EGD with the given partner:
+//
+//	∀z1 ( partner(x,z1) ∧ ¬protected(x,z1) → z1 = y )
+//
+// where protected(x,z1) = ∃z2 (import(x,z2) ∧ z2 ≠ z1) for a mutable
+// partner with imports (refined guard; the paper's formula (1) omits
+// the inequality), and protected ≡ false for a fixed partner.
+func guardFor(rel string, egd egdInfo, args []term.Term, imports []string, opt Options) foquery.Formula {
+	x, y := args[0], args[1]
+	z1 := term.V("Z1_" + egd.partner)
+	conflict := foquery.Atom{A: term.NewAtom(egd.partner, x, z1)}
+
+	var ante foquery.Formula = conflict
+	if egd.partnerMutable && len(imports) > 0 {
+		var prots []foquery.Formula
+		z2 := term.V("Z2_" + egd.partner)
+		for _, src := range imports {
+			inner := []foquery.Formula{foquery.Atom{A: term.NewAtom(src, x, z2)}}
+			if !opt.PaperGuard {
+				inner = append(inner, foquery.Cmp{Op: "!=", L: z2, R: z1})
+			}
+			prots = append(prots, foquery.Quant{Vars: []string{z2.Name}, Body: foquery.And{Fs: inner}})
+		}
+		var prot foquery.Formula
+		if len(prots) == 1 {
+			prot = prots[0]
+		} else {
+			prot = foquery.Or{Fs: prots}
+		}
+		ante = foquery.And{Fs: []foquery.Formula{conflict, foquery.Not{F: prot}}}
+	}
+	return foquery.Quant{
+		Forall: true,
+		Vars:   []string{z1.Name},
+		Body:   foquery.Implies{A: ante, B: foquery.Cmp{Op: "=", L: z1, R: y}},
+	}
+}
+
+// PCAByRewriting computes peer consistent answers to the atomic query
+// rel(vars) by rewriting and direct evaluation over the current global
+// instance — no repairs, no stable models.
+func PCAByRewriting(s *core.System, id core.PeerID, rel string, vars []string, opt Options) ([]relation.Tuple, error) {
+	f, err := RewriteAtom(s, id, rel, vars, opt)
+	if err != nil {
+		return nil, err
+	}
+	return foquery.Answers(s.Global(), f, vars)
+}

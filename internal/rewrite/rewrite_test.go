@@ -1,0 +1,192 @@
+package rewrite
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/relation"
+)
+
+// TestExample2Formula checks the shape of the rewriting against the
+// paper's formula (1): with the PaperGuard option, the guard is
+// exactly ∀z1 (R3(x,z1) ∧ ¬∃z2 R2(x,z2) → z1 = y), plus the R2
+// relaxation disjunct.
+func TestExample2Formula(t *testing.T) {
+	s := core.Example1System()
+	f, err := RewriteAtom(s, "P1", "r1", []string{"X", "Y"}, Options{PaperGuard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.String()
+	want := "(r1(X,Y) & (forall Z1_r3 ((r3(X,Z1_r3) & !(exists Z2_r3 (r2(X,Z2_r3)))) -> Z1_r3 = Y))) | r2(X,Y)"
+	if got != want {
+		t.Fatalf("formula = %q\nwant      %q", got, want)
+	}
+}
+
+// TestExample2Answers: both guard variants must produce the paper's
+// answers (a,b), (c,d), (a,e) on Example 1's instance.
+func TestExample2Answers(t *testing.T) {
+	s := core.Example1System()
+	want := []relation.Tuple{{"a", "b"}, {"a", "e"}, {"c", "d"}}
+	for _, opt := range []Options{{}, {PaperGuard: true}} {
+		got, err := PCAByRewriting(s, "P1", "r1", []string{"X", "Y"}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("opt %+v: answers = %v, want %v", opt, got, want)
+		}
+	}
+}
+
+// TestRewritingAgreesWithSemantics property-tests the refined rewriting
+// against the Definition 4/5 engine on random Example-1-shaped systems.
+func TestRewritingAgreesWithSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dom := []string{"a", "b", "c", "d"}
+	pick := func() string { return dom[rng.Intn(len(dom))] }
+	for trial := 0; trial < 60; trial++ {
+		p1 := core.NewPeer("P1").Declare("r1", 2).
+			SetTrust("P2", core.TrustLess).SetTrust("P3", core.TrustSame).
+			AddDEC("P2", constraint.Inclusion("inc", "r2", "r1", 2)).
+			AddDEC("P3", constraint.KeyEGD("egd", "r1", "r3"))
+		p2 := core.NewPeer("P2").Declare("r2", 2)
+		p3 := core.NewPeer("P3").Declare("r3", 2)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			p1.Fact("r1", pick(), pick())
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			p2.Fact("r2", pick(), pick())
+		}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			p3.Fact("r3", pick(), pick())
+		}
+		s := core.NewSystem().MustAddPeer(p1).MustAddPeer(p2).MustAddPeer(p3)
+
+		want, err := core.PeerConsistentAnswers(s, "P1", foquery.MustParse("r1(X,Y)"), []string{"X", "Y"}, core.SolveOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: core: %v", trial, err)
+		}
+		got, err := PCAByRewriting(s, "P1", "r1", []string{"X", "Y"}, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: rewrite: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: system %s\nrewrite = %v\nsemantic = %v", trial, s.Global(), got, want)
+		}
+	}
+}
+
+// TestPaperGuardCornerCase documents the corner the refined guard
+// fixes: an import equal to the conflicting partner value does not
+// force the partner tuple's deletion, so the paper's formula (1) keeps
+// a tuple that is not in every solution.
+func TestPaperGuardCornerCase(t *testing.T) {
+	p1 := core.NewPeer("P1").Declare("r1", 2).
+		Fact("r1", "a", "b").
+		SetTrust("P2", core.TrustLess).SetTrust("P3", core.TrustSame).
+		AddDEC("P2", constraint.Inclusion("inc", "r2", "r1", 2)).
+		AddDEC("P3", constraint.KeyEGD("egd", "r1", "r3"))
+	// Import r2(a,f) equals the conflicting value r3(a,f): R1(a,f) and
+	// R3(a,f) do not conflict, so R3(a,f) survives in some solutions
+	// and R1(a,b) must go in those.
+	p2 := core.NewPeer("P2").Declare("r2", 2).Fact("r2", "a", "f")
+	p3 := core.NewPeer("P3").Declare("r3", 2).Fact("r3", "a", "f")
+	s := core.NewSystem().MustAddPeer(p1).MustAddPeer(p2).MustAddPeer(p3)
+
+	semantic, err := core.PeerConsistentAnswers(s, "P1", foquery.MustParse("r1(X,Y)"), []string{"X", "Y"}, core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := PCAByRewriting(s, "P1", "r1", []string{"X", "Y"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := PCAByRewriting(s, "P1", "r1", []string{"X", "Y"}, Options{PaperGuard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refined, semantic) {
+		t.Fatalf("refined guard should match semantics: %v vs %v", refined, semantic)
+	}
+	if reflect.DeepEqual(paper, semantic) {
+		t.Fatalf("corner case should separate the paper guard from the semantics (both %v)", paper)
+	}
+	// (a,b) is the spurious keep under the paper guard.
+	if !tupleIn(paper, relation.Tuple{"a", "b"}) || tupleIn(semantic, relation.Tuple{"a", "b"}) {
+		t.Fatalf("paper=%v semantic=%v", paper, semantic)
+	}
+}
+
+func tupleIn(ts []relation.Tuple, t relation.Tuple) bool {
+	for _, x := range ts {
+		if x.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestNotApplicable checks that out-of-class inputs are rejected with
+// ErrNotApplicable rather than silently mis-rewritten.
+func TestNotApplicable(t *testing.T) {
+	// Referential DEC: outside the rewriting class.
+	s := core.Section31System()
+	_, err := RewriteAtom(s, "P", "r1", []string{"X", "Y"}, Options{})
+	if _, ok := err.(ErrNotApplicable); !ok {
+		t.Fatalf("want ErrNotApplicable, got %v", err)
+	}
+	// Unknown relation.
+	s2 := core.Example1System()
+	if _, err := RewriteAtom(s2, "P1", "zzz", []string{"X"}, Options{}); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+	// Arity mismatch.
+	if _, err := RewriteAtom(s2, "P1", "r1", []string{"X"}, Options{}); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	// Non-variable answer position.
+	if _, err := RewriteAtom(s2, "P1", "r1", []string{"X", "c"}, Options{}); err == nil {
+		t.Fatal("constant answer variable must fail")
+	}
+}
+
+// TestFixedPartnerGuard: with a less-trusted EGD partner the conflict
+// cannot be resolved on the partner side, so kept tuples must have no
+// conflict at all.
+func TestFixedPartnerGuard(t *testing.T) {
+	p1 := core.NewPeer("P1").Declare("r1", 2).
+		Fact("r1", "a", "b").Fact("r1", "k", "v").
+		SetTrust("P3", core.TrustLess).
+		AddDEC("P3", constraint.KeyEGD("egd", "r1", "r3"))
+	p3 := core.NewPeer("P3").Declare("r3", 2).Fact("r3", "a", "f")
+	s := core.NewSystem().MustAddPeer(p1).MustAddPeer(p3)
+
+	f, err := RewriteAtom(s, "P1", "r1", []string{"X", "Y"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(f.String(), "exists") {
+		t.Fatalf("fixed partner must have no protection disjunct: %s", f)
+	}
+	got, err := PCAByRewriting(s, "P1", "r1", []string{"X", "Y"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.PeerConsistentAnswers(s, "P1", foquery.MustParse("r1(X,Y)"), []string{"X", "Y"}, core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rewrite=%v semantic=%v", got, want)
+	}
+	if len(got) != 1 || !got[0].Equal(relation.Tuple{"k", "v"}) {
+		t.Fatalf("answers = %v", got)
+	}
+}

@@ -1,0 +1,201 @@
+package sysdsl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/relation"
+)
+
+// example1DSL is the paper's Example 1 in the DSL.
+const example1DSL = `
+% Example 1 of Bertossi & Bravo 2004
+peer P1 {
+  relation r1/2
+  fact r1(a, b).
+  fact r1(s, t).
+  trust less P2
+  trust same P3
+  dec P2: r2(X,Y) -> r1(X,Y).
+  dec P3: r1(X,Y), r3(X,Z) -> Y = Z.
+}
+peer P2 {
+  relation r2/2
+  fact r2(c, d).
+  fact r2(a, e).
+}
+peer P3 {
+  relation r3/2
+  fact r3(a, f).
+  fact r3(s, u).
+}
+`
+
+func TestParseExample1(t *testing.T) {
+	s, err := Parse(example1DSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must behave exactly like the programmatic fixture.
+	want := core.Example1System()
+	if !s.Global().Equal(want.Global()) {
+		t.Fatalf("instances differ: %s vs %s", s.Global(), want.Global())
+	}
+	sols, err := core.SolutionsFor(s, "P1", core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 {
+		t.Fatalf("solutions = %d", len(sols))
+	}
+	ans, err := core.PeerConsistentAnswers(s, "P1", foquery.MustParse("r1(X,Y)"), []string{"X", "Y"}, core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := []relation.Tuple{{"a", "b"}, {"a", "e"}, {"c", "d"}}
+	if !reflect.DeepEqual(ans, want2) {
+		t.Fatalf("PCAs = %v", ans)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := MustParse(example1DSL)
+	text := Format(s)
+	s2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if !s.Global().Equal(s2.Global()) {
+		t.Fatal("facts lost in round trip")
+	}
+	if Format(s2) != text {
+		t.Fatalf("format not stable:\n%s\nvs\n%s", text, Format(s2))
+	}
+}
+
+func TestParseReferentialDEC(t *testing.T) {
+	src := `
+peer P {
+  relation r1/2
+  relation r2/2
+  fact r1(a, b).
+  trust less Q
+  dec Q: r1(X,Y), s1(Z,Y) -> exists W: r2(X,W), s2(Z,W).
+}
+peer Q {
+  relation s1/2
+  relation s2/2
+  fact s1(c, b).
+  fact s2(c, e).
+  fact s2(c, f).
+}
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Peer("P")
+	decs := p.DECs["Q"]
+	if len(decs) != 1 {
+		t.Fatalf("decs = %v", decs)
+	}
+	d := decs[0]
+	if len(d.ExVars) != 1 || d.ExVars[0] != "W" || len(d.Head) != 2 {
+		t.Fatalf("dependency = %s", d)
+	}
+	sols, err := core.SolutionsFor(s, "P", core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 3 {
+		t.Fatalf("Section 3.1 scenario via DSL: %d solutions", len(sols))
+	}
+}
+
+func TestParseDenialAndIC(t *testing.T) {
+	src := `
+peer P {
+  relation r/2
+  fact r(a, b).
+  ic r(X,Y), r(X,Z) -> Y = Z.
+  trust less Q
+  dec Q: r(X,X2), s(X,X2) -> false.
+}
+peer Q {
+  relation s/2
+}
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Peer("P")
+	if len(p.ICs) != 1 || !p.ICs[0].IsEGD() {
+		t.Fatalf("ICs = %v", p.ICs)
+	}
+	if len(p.DECs["Q"]) != 1 || !p.DECs["Q"][0].IsDenial() {
+		t.Fatalf("DECs = %v", p.DECs["Q"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"peer P { relation r/1 fact r(X). }",              // non-ground fact
+		"peer P { relation r/1 fact q(a). }",              // undeclared relation
+		"peer P { trust friend Q }",                       // bad trust level
+		"peer P { relation r/x }",                         // bad arity
+		"peer P { dec Q r(X) -> false. }",                 // missing colon
+		"peer P { relation r/1 } peer P { }",              // duplicate peer
+		"peer A { relation r/1 } peer B { relation r/1 }", // schema overlap
+		"nonsense",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseConstraintStandalone(t *testing.T) {
+	d, err := ParseConstraint("test", "r1(X,Y), r3(X,Z) -> Y = Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsEGD() {
+		t.Fatalf("dependency = %s", d)
+	}
+	if got := FormatConstraint(d); got != "r1(X,Y), r3(X,Z) -> Y = Z" {
+		t.Fatalf("FormatConstraint = %q", got)
+	}
+	// Conditions in bodies.
+	d2, err := ParseConstraint("cond", "p(X,Y), X != Y -> q(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Cond) != 1 || len(d2.Body) != 1 {
+		t.Fatalf("dependency = %s", d2)
+	}
+	if !strings.Contains(FormatConstraint(d2), "X != Y") {
+		t.Fatalf("FormatConstraint = %q", FormatConstraint(d2))
+	}
+}
+
+func TestFormatConstraintShapes(t *testing.T) {
+	cases := []string{
+		"r(X) -> false",
+		"r1(X,Y), s1(Z,Y) -> exists W: r2(X,W), s2(Z,W)",
+		"r2(X,Y) -> r1(X,Y)",
+	}
+	for _, c := range cases {
+		d, err := ParseConstraint("t", c)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c, err)
+		}
+		if got := FormatConstraint(d); got != c {
+			t.Errorf("round trip %q -> %q", c, got)
+		}
+	}
+}

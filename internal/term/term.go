@@ -1,0 +1,261 @@
+// Package term provides the shared symbolic layer used throughout the
+// system: terms (constants and variables), atoms, substitutions,
+// matching and unification. Logic programs (internal/lp), constraints
+// (internal/constraint) and first-order queries (internal/foquery) are
+// all built on these types.
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is either a constant or a variable. The zero value is the empty
+// constant. Constants are uninterpreted symbols drawn from a shared
+// domain (Definition 2(b) of the paper assumes a common domain D).
+type Term struct {
+	// IsVar reports whether the term is a variable.
+	IsVar bool
+	// Name is the symbol: a constant value or a variable name.
+	Name string
+}
+
+// C returns a constant term.
+func C(name string) Term { return Term{Name: name} }
+
+// V returns a variable term.
+func V(name string) Term { return Term{IsVar: true, Name: name} }
+
+// String renders the term; variables are rendered as-is (by convention
+// they are written starting with an upper-case letter or declared as
+// variables by the enclosing syntax).
+func (t Term) String() string { return t.Name }
+
+// Equal reports whether two terms are identical.
+func (t Term) Equal(u Term) bool { return t.IsVar == u.IsVar && t.Name == u.Name }
+
+// Atom is a predicate applied to terms, e.g. R1(x, b).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars appends the names of the variables occurring in the atom to dst,
+// in order of occurrence, without duplicates relative to dst.
+func (a Atom) Vars(dst []string) []string {
+	for _, t := range a.Args {
+		if t.IsVar && !containsStr(dst, t.Name) {
+			dst = append(dst, t.Name)
+		}
+	}
+	return dst
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the atom as pred(a,B,c).
+func (a Atom) String() string {
+	if len(a.Args) == 0 {
+		return a.Pred
+	}
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.Name)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key returns a canonical string for a ground atom, used as a map key.
+// It panics if the atom is not ground.
+func (a Atom) Key() string {
+	for _, t := range a.Args {
+		if t.IsVar {
+			panic(fmt.Sprintf("term: Key on non-ground atom %s", a))
+		}
+	}
+	return a.String()
+}
+
+// Equal reports structural equality of atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !a.Args[i].Equal(b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the atom.
+func (a Atom) Clone() Atom {
+	args := make([]Term, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// Subst is a substitution: a mapping from variable names to terms.
+type Subst map[string]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	c := make(Subst, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Lookup resolves a term under the substitution, following variable
+// bindings transitively.
+func (s Subst) Lookup(t Term) Term {
+	for t.IsVar {
+		u, ok := s[t.Name]
+		if !ok {
+			return t
+		}
+		if u.IsVar && u.Name == t.Name {
+			return t
+		}
+		t = u
+	}
+	return t
+}
+
+// Apply returns the atom with all bound variables replaced.
+func (s Subst) Apply(a Atom) Atom {
+	out := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+	for i, t := range a.Args {
+		out.Args[i] = s.Lookup(t)
+	}
+	return out
+}
+
+// ApplyTerm resolves a single term.
+func (s Subst) ApplyTerm(t Term) Term { return s.Lookup(t) }
+
+// Bind adds a binding var -> t. It returns false if var is already
+// bound to a different term.
+func (s Subst) Bind(v string, t Term) bool {
+	if cur, ok := s[v]; ok {
+		cur = s.Lookup(cur)
+		t = s.Lookup(t)
+		return cur.Equal(t)
+	}
+	s[v] = t
+	return true
+}
+
+// Match extends s so that pattern, a possibly non-ground atom, matches
+// the ground atom fact. Match is one-way (only pattern variables are
+// bound). It reports success; on failure s may be partially extended,
+// so callers should match against a clone when backtracking.
+func Match(pattern, fact Atom, s Subst) bool {
+	if pattern.Pred != fact.Pred || len(pattern.Args) != len(fact.Args) {
+		return false
+	}
+	for i, pt := range pattern.Args {
+		ft := fact.Args[i]
+		if ft.IsVar {
+			return false // facts must be ground
+		}
+		pt = s.Lookup(pt)
+		if pt.IsVar {
+			s[pt.Name] = ft
+			continue
+		}
+		if pt.Name != ft.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// Unify extends s so that a and b become equal, binding variables on
+// either side. It reports success; on failure s may be partially
+// extended.
+func Unify(a, b Atom, s Subst) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		x := s.Lookup(a.Args[i])
+		y := s.Lookup(b.Args[i])
+		switch {
+		case x.Equal(y):
+		case x.IsVar:
+			s[x.Name] = y
+		case y.IsVar:
+			s[y.Name] = x
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// RenameApart returns a copy of the atom with every variable renamed by
+// appending the given suffix; used to keep rule variables disjoint.
+func RenameApart(a Atom, suffix string) Atom {
+	out := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+	for i, t := range a.Args {
+		if t.IsVar {
+			out.Args[i] = V(t.Name + suffix)
+		} else {
+			out.Args[i] = t
+		}
+	}
+	return out
+}
+
+// SortAtoms sorts atoms by their string rendering, for deterministic
+// output.
+func SortAtoms(atoms []Atom) {
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].String() < atoms[j].String() })
+}
+
+// ConstsIn appends all constant names occurring in the atom to dst,
+// without duplicates relative to dst.
+func ConstsIn(a Atom, dst []string) []string {
+	for _, t := range a.Args {
+		if !t.IsVar && !containsStr(dst, t.Name) {
+			dst = append(dst, t.Name)
+		}
+	}
+	return dst
+}

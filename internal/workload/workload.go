@@ -1,0 +1,130 @@
+// Package workload generates synthetic P2P data exchange systems with
+// controlled size and inconsistency, the quantities that drive the cost
+// of peer consistent query answering (the paper's semantics is Π^p_2 in
+// data complexity; the number of independent conflicts controls the
+// number of solutions). No real 2004 peer datasets exist, so these
+// generators stand in for the evaluation workloads a systems paper
+// would have used; every benchmark in EXPERIMENTS.md states which
+// generator and parameters it uses.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+)
+
+// Example1Shaped builds a P1/P2/P3 system with the Example 1 DEC shape
+// (inclusion import from P2, key EGD against P3):
+//
+//   - cleanFacts: r1 tuples with unique keys and no conflicts;
+//   - imports: r2 tuples absent from r1 (each forces one import);
+//   - conflicts: r1/r3 key collisions with different values (each
+//     yields an independent binary repair choice, doubling the number
+//     of solutions).
+//
+// Keys are disjoint across the three groups so the counts are exact.
+func Example1Shaped(cleanFacts, imports, conflicts int, seed int64) *core.System {
+	rng := rand.New(rand.NewSource(seed))
+	p1 := core.NewPeer("P1").Declare("r1", 2).
+		SetTrust("P2", core.TrustLess).SetTrust("P3", core.TrustSame).
+		AddDEC("P2", constraint.Inclusion("inc", "r2", "r1", 2)).
+		AddDEC("P3", constraint.KeyEGD("egd", "r1", "r3"))
+	p2 := core.NewPeer("P2").Declare("r2", 2)
+	p3 := core.NewPeer("P3").Declare("r3", 2)
+	for i := 0; i < cleanFacts; i++ {
+		p1.Fact("r1", fmt.Sprintf("k%d", i), val(rng))
+	}
+	for i := 0; i < imports; i++ {
+		p2.Fact("r2", fmt.Sprintf("m%d", i), val(rng))
+	}
+	for i := 0; i < conflicts; i++ {
+		key := fmt.Sprintf("c%d", i)
+		p1.Fact("r1", key, "v1")
+		p3.Fact("r3", key, "v2")
+	}
+	return core.NewSystem().MustAddPeer(p1).MustAddPeer(p2).MustAddPeer(p3)
+}
+
+// ReferentialShaped builds a Section-3.1-shaped system: peer P with
+// {r1, r2}, peer Q with {s1, s2}, DEC (3), (P, less, Q):
+//
+//   - violations: r1/s1 pairs with no witness in r2×s2;
+//   - witnesses: s2 tuples per violation key (each violation then has
+//     witnesses+1 repairs: delete or insert one of the witnesses);
+//   - satisfied: r1/s1 pairs already witnessed in r2×s2.
+func ReferentialShaped(violations, witnesses, satisfied int, seed int64) *core.System {
+	_ = seed
+	p := core.NewPeer("P").Declare("r1", 2).Declare("r2", 2).
+		SetTrust("Q", core.TrustLess).
+		AddDEC("Q", constraint.Referential("dec3", "r1", "s1", "r2", "s2"))
+	q := core.NewPeer("Q").Declare("s1", 2).Declare("s2", 2)
+	for i := 0; i < violations; i++ {
+		y := fmt.Sprintf("y%d", i)
+		p.Fact("r1", fmt.Sprintf("x%d", i), y)
+		q.Fact("s1", fmt.Sprintf("z%d", i), y)
+		for w := 0; w < witnesses; w++ {
+			q.Fact("s2", fmt.Sprintf("z%d", i), fmt.Sprintf("w%d_%d", i, w))
+		}
+	}
+	for i := 0; i < satisfied; i++ {
+		y := fmt.Sprintf("sy%d", i)
+		x := fmt.Sprintf("sx%d", i)
+		z := fmt.Sprintf("sz%d", i)
+		w := fmt.Sprintf("sw%d", i)
+		p.Fact("r1", x, y)
+		q.Fact("s1", z, y)
+		p.Fact("r2", x, w)
+		q.Fact("s2", z, w)
+	}
+	return core.NewSystem().MustAddPeer(p).MustAddPeer(q)
+}
+
+// Chain builds a transitive import chain of depth peers:
+// P0 ← P1 ← ... ← P(depth-1), each peer trusting the next more and
+// importing its relation, with factsPerPeer facts at every level
+// (Section 4.3 workloads).
+func Chain(depth, factsPerPeer int, seed int64) *core.System {
+	if depth < 1 {
+		panic("workload: Chain depth must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := core.NewSystem()
+	for i := 0; i < depth; i++ {
+		id := core.PeerID(fmt.Sprintf("P%d", i))
+		rel := fmt.Sprintf("t%d", i)
+		p := core.NewPeer(id).Declare(rel, 2)
+		for j := 0; j < factsPerPeer; j++ {
+			p.Fact(rel, fmt.Sprintf("p%d_k%d", i, j), val(rng))
+		}
+		if i+1 < depth {
+			next := core.PeerID(fmt.Sprintf("P%d", i+1))
+			p.SetTrust(next, core.TrustLess)
+			p.AddDEC(next, constraint.Inclusion(
+				fmt.Sprintf("inc%d", i), fmt.Sprintf("t%d", i+1), rel, 2))
+		}
+		s.MustAddPeer(p)
+	}
+	return s
+}
+
+// IndependentConflicts builds a two-peer system with k independent
+// same-trust EGD conflicts: the peer has exactly 2^k solutions,
+// exhibiting the exponential blow-up behind the Π^p_2 data complexity
+// (benchmark B2).
+func IndependentConflicts(k int) *core.System {
+	p1 := core.NewPeer("A").Declare("ra", 2).
+		SetTrust("B", core.TrustSame).
+		AddDEC("B", constraint.KeyEGD("egd", "ra", "rb"))
+	p2 := core.NewPeer("B").Declare("rb", 2)
+	for i := 0; i < k; i++ {
+		key := fmt.Sprintf("k%d", i)
+		p1.Fact("ra", key, "u")
+		p2.Fact("rb", key, "v")
+	}
+	return core.NewSystem().MustAddPeer(p1).MustAddPeer(p2)
+}
+
+func val(rng *rand.Rand) string { return fmt.Sprintf("v%d", rng.Intn(1000)) }

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/program"
+)
+
+func TestExample1ShapedCounts(t *testing.T) {
+	s := Example1Shaped(3, 2, 2, 1)
+	g := s.Global()
+	if g.Count("r1") != 5 { // 3 clean + 2 conflict keys
+		t.Fatalf("r1 = %d", g.Count("r1"))
+	}
+	if g.Count("r2") != 2 || g.Count("r3") != 2 {
+		t.Fatalf("r2=%d r3=%d", g.Count("r2"), g.Count("r3"))
+	}
+	// Each conflict doubles the solutions: 2 conflicts → 4 solutions.
+	sols, err := core.SolutionsFor(s, "P1", core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 4 {
+		t.Fatalf("solutions = %d, want 4", len(sols))
+	}
+}
+
+func TestExample1ShapedImportsForce(t *testing.T) {
+	s := Example1Shaped(1, 3, 0, 1)
+	sols, err := core.SolutionsFor(s, "P1", core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %d, want 1 (imports are forced)", len(sols))
+	}
+	if sols[0].Count("r1") != 1+3 {
+		t.Fatalf("r1 after import = %d", sols[0].Count("r1"))
+	}
+}
+
+func TestReferentialShapedRepairCount(t *testing.T) {
+	// 1 violation with 2 witnesses: 3 solutions (delete, insert w0,
+	// insert w1) — exactly the Section 3.1 shape.
+	s := ReferentialShaped(1, 2, 1, 1)
+	sols, err := core.SolutionsFor(s, "P", core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 3 {
+		t.Fatalf("solutions = %d, want 3", len(sols))
+	}
+	// Two independent violations with 1 witness each: (1+1)^2 = 4.
+	s2 := ReferentialShaped(2, 1, 0, 1)
+	sols2, err := core.SolutionsFor(s2, "P", core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols2) != 4 {
+		t.Fatalf("solutions = %d, want 4", len(sols2))
+	}
+}
+
+func TestIndependentConflictsExponential(t *testing.T) {
+	for k := 0; k <= 3; k++ {
+		s := IndependentConflicts(k)
+		sols, err := core.SolutionsFor(s, "A", core.SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 << k
+		if len(sols) != want {
+			t.Fatalf("k=%d: solutions = %d, want %d", k, len(sols), want)
+		}
+	}
+}
+
+func TestChainTransitiveImports(t *testing.T) {
+	s := Chain(3, 2, 1)
+	if len(s.Peers()) != 3 {
+		t.Fatalf("peers = %v", s.Peers())
+	}
+	// Transitive solutions for P0: everything cascades down, and with
+	// inclusions only there is a single solution containing all facts.
+	sols, err := program.SolutionsViaLP(s, "P0", program.RunOptions{Transitive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %d", len(sols))
+	}
+	// P0's relation absorbs the whole chain: 2 own + 2 from P1 + 2 from
+	// P2 (which also flow through P1).
+	if got := sols[0].Count("t0"); got != 6 {
+		t.Fatalf("t0 = %d, want 6", got)
+	}
+	if got := sols[0].Count("t1"); got != 4 {
+		t.Fatalf("t1 = %d, want 4", got)
+	}
+}
+
+func TestChainDirectStopsAtNeighbor(t *testing.T) {
+	s := Chain(3, 2, 1)
+	sols, err := program.SolutionsViaLP(s, "P0", program.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %d", len(sols))
+	}
+	// Direct case only imports from the immediate neighbour.
+	if got := sols[0].Count("t0"); got != 4 {
+		t.Fatalf("t0 = %d, want 4 (direct is local)", got)
+	}
+}
