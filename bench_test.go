@@ -162,6 +162,30 @@ func BenchmarkB1PCAVsSize(b *testing.B) {
 	}
 }
 
+// BenchmarkB1PCAVsSizeParallel is the parallel variant of B1: the
+// repair engine at Parallelism 1 vs 4 vs GOMAXPROCS on the largest B1
+// workload. On multi-core, par=4 tracks the sequential time divided by
+// min(4, cores); par=1 is the byte-identical sequential baseline.
+func BenchmarkB1PCAVsSizeParallel(b *testing.B) {
+	for _, n := range []int{20, 40} {
+		s := workload.Example1Shaped(n, 3, 2, 1)
+		q := foquery.MustParse("r1(X,Y)")
+		for _, par := range []int{1, 4, 0} {
+			name := fmt.Sprintf("repair/par=%d/n=%d", par, n)
+			if par == 0 {
+				name = fmt.Sprintf("repair/par=max/n=%d", n)
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.PeerConsistentAnswers(s, "P1", q, []string{"X", "Y"}, core.SolveOptions{Parallelism: par}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkB2ConflictBlowup sweeps the number of independent conflicts.
 func BenchmarkB2ConflictBlowup(b *testing.B) {
 	for _, k := range []int{1, 2, 3, 4, 5} {
@@ -268,6 +292,54 @@ func BenchmarkB6Network(b *testing.B) {
 		for _, id := range sys.Peers() {
 			p, _ := sys.Peer(id)
 			n := peernet.NewNode(p, tr, nil)
+			if err := n.Start(":0"); err != nil {
+				b.Fatal(err)
+			}
+			defer n.Stop()
+			nodes[id] = n
+		}
+		for _, n := range nodes {
+			for _, m := range nodes {
+				if n != m {
+					n.SetNeighbor(m.Peer.ID, m.Addr)
+				}
+			}
+		}
+		q := foquery.MustParse("r1(X,Y)")
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ans, err := nodes["P1"].PeerConsistentAnswers(q, []string{"X", "Y"}, false)
+				if err != nil || len(ans) != 3 {
+					b.Fatalf("%v %v", ans, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkB6NetworkParallel is the parallel variant of B6: networked
+// PCA at 1ms link latency with sequential fan-out, 4-way concurrent
+// fan-out, and a warm TTL snapshot cache. The fan-out win is
+// latency-bound, so it shows even on a single core.
+func BenchmarkB6NetworkParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name        string
+		parallelism int
+		cacheTTL    time.Duration
+	}{
+		{"fanout=seq", 1, 0},
+		{"fanout=par4", 4, 0},
+		{"cache=warm", 1, time.Hour},
+	} {
+		sys := core.Example1System()
+		tr := peernet.NewInProc()
+		tr.Latency = time.Millisecond
+		nodes := map[core.PeerID]*peernet.Node{}
+		for _, id := range sys.Peers() {
+			p, _ := sys.Peer(id)
+			n := peernet.NewNode(p, tr, nil)
+			n.Parallelism = cfg.parallelism
+			n.CacheTTL = cfg.cacheTTL
 			if err := n.Start(":0"); err != nil {
 				b.Fatal(err)
 			}

@@ -44,10 +44,17 @@ var experiments = []experiment{
 	{"B8", "Solver ablation: support propagation on/off", runB8},
 }
 
+// benchParallelism is the worker-pool bound used by the parallel
+// variants inside B1 and B6 (engine fan-out, networked snapshot
+// fetch). Set by -parallelism; 0 means GOMAXPROCS.
+var benchParallelism = 4
+
 func main() {
 	fs := flag.NewFlagSet("p2pbench", flag.ContinueOnError)
 	which := fs.String("experiment", "", "experiment id (E1..E7, B1..B8); empty = all")
 	list := fs.Bool("list", false, "list experiments")
+	fs.IntVar(&benchParallelism, "parallelism", benchParallelism,
+		"worker-pool bound for the parallel benchmark variants; 0 = GOMAXPROCS")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}

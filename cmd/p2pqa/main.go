@@ -47,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	possible := fs.Bool("possible", false, "compute possible (brave) answers instead of peer consistent (certain) ones; repair engine only")
 	solutions := fs.Bool("solutions", false, "print the peer's solutions instead of answering a query")
 	showProgram := fs.Bool("program", false, "print the specification program instead of solving (lp/lav engines)")
+	par := fs.Int("parallelism", 0, "worker-pool bound for the repair fan-out, per-solution query evaluation and stable-model search; 0 = GOMAXPROCS for the fan-outs with a sequential solver, 1 = fully sequential, >1 also splits the solver search")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,11 +93,11 @@ func run(args []string, out io.Writer) error {
 		var sols []*relation.Instance
 		switch *engine {
 		case "repair":
-			sols, err = core.SolutionsFor(sys, id, core.SolveOptions{})
+			sols, err = core.SolutionsFor(sys, id, core.SolveOptions{Parallelism: *par})
 		case "lp":
-			sols, err = program.SolutionsViaLP(sys, id, program.RunOptions{Transitive: *transitive})
+			sols, err = program.SolutionsViaLP(sys, id, program.RunOptions{Transitive: *transitive, Parallelism: *par})
 		case "lav":
-			sols, err = program.SolutionsViaLAV(sys, id, program.RunOptions{})
+			sols, err = program.SolutionsViaLAV(sys, id, program.RunOptions{Parallelism: *par})
 		default:
 			return fmt.Errorf("engine %q cannot enumerate solutions", *engine)
 		}
@@ -126,22 +127,22 @@ func run(args []string, out io.Writer) error {
 			return perr
 		}
 		if *possible {
-			ans, err = core.PossibleAnswers(sys, id, f, varList, core.SolveOptions{})
+			ans, err = core.PossibleAnswers(sys, id, f, varList, core.SolveOptions{Parallelism: *par})
 		} else {
-			ans, err = core.PeerConsistentAnswers(sys, id, f, varList, core.SolveOptions{})
+			ans, err = core.PeerConsistentAnswers(sys, id, f, varList, core.SolveOptions{Parallelism: *par})
 		}
 	case "lp":
 		f, perr := foquery.Parse(*query)
 		if perr != nil {
 			return perr
 		}
-		ans, err = program.PeerConsistentAnswersViaLP(sys, id, f, varList, program.RunOptions{Transitive: *transitive})
+		ans, err = program.PeerConsistentAnswersViaLP(sys, id, f, varList, program.RunOptions{Transitive: *transitive, Parallelism: *par})
 	case "lav":
 		f, perr := foquery.Parse(*query)
 		if perr != nil {
 			return perr
 		}
-		ans, err = lavAnswers(sys, id, f, varList)
+		ans, err = lavAnswers(sys, id, f, varList, *par)
 	case "rewrite":
 		rel, rerr := atomicQueryRel(*query, varList)
 		if rerr != nil {
@@ -173,12 +174,12 @@ func run(args []string, out io.Writer) error {
 // lavAnswers computes peer consistent answers through the LAV program
 // of Section 4.2: solutions from the tss projections, restricted to the
 // peer's schema, intersected.
-func lavAnswers(sys *core.System, id core.PeerID, q foquery.Formula, vars []string) ([]relation.Tuple, error) {
+func lavAnswers(sys *core.System, id core.PeerID, q foquery.Formula, vars []string, par int) ([]relation.Tuple, error) {
 	p, ok := sys.Peer(id)
 	if !ok {
 		return nil, fmt.Errorf("unknown peer %s", id)
 	}
-	sols, err := program.SolutionsViaLAV(sys, id, program.RunOptions{})
+	sols, err := program.SolutionsViaLAV(sys, id, program.RunOptions{Parallelism: par})
 	if err != nil {
 		return nil, err
 	}

@@ -18,4 +18,29 @@
 // (regenerates every experiment in EXPERIMENTS.md). Runnable examples
 // are under examples/. The root package holds the benchmark suite
 // (bench_test.go), one benchmark per experiment row.
+//
+// # Concurrency and caching
+//
+// Peer consistent answering is an intersection over all solutions of a
+// peer (Definition 5) — an embarrassingly parallel computation. Every
+// layer exposes a Parallelism knob (0 = GOMAXPROCS, 1 = the sequential
+// seed behaviour; results are byte-identical at every level, with one
+// exception: solve with MaxModels set and Parallelism > 1 returns a
+// scheduling-dependent subset of the models):
+//
+//   - repair.Options.Parallelism fans the per-repair query evaluation
+//     of IntersectAnswers over a bounded worker pool (internal/parallel);
+//   - core.SolveOptions.Parallelism additionally fans out the stage-2
+//     repair loop of SolutionsFor, merged deterministically;
+//   - solve.Options.Parallelism splits the stable-model DFS on the
+//     first k choice atoms into 2^k parallel subtrees with a shared
+//     atomic model counter honoring MaxModels;
+//   - program.RunOptions.Parallelism threads the knob through the whole
+//     LP route;
+//   - peernet.Node.Parallelism fetches neighbour specifications
+//     concurrently per BFS level, and peernet.Node.CacheTTL caches
+//     assembled snapshots and fetched relations for a TTL window
+//     (SetNeighbor invalidates). Node is safe for concurrent use.
+//
+// Both CLIs surface the knob as -parallelism.
 package repro

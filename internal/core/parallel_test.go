@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/foquery"
+	"repro/internal/relation"
+)
+
+// fixtureSystems are the paper fixtures the parallel engine must agree
+// with the sequential engine on (Example 1/2 share a system; Example 4
+// and Section 3.1 exercise multi-peer trust).
+func fixtureSystems() map[string]*System {
+	return map[string]*System{
+		"example1":  Example1System(),
+		"example4":  Example4System(),
+		"section31": Section31System(),
+	}
+}
+
+// TestSolutionsForParallelIdentical asserts that the stage-2 fan-out
+// produces byte-identical solution sets at every parallelism level,
+// per the Definition 4 determinism contract.
+func TestSolutionsForParallelIdentical(t *testing.T) {
+	for name, mk := range fixtureSystems() {
+		t.Run(name, func(t *testing.T) {
+			s := mk
+			for _, id := range s.Peers() {
+				seq, seqErr := SolutionsFor(s, id, SolveOptions{Parallelism: 1})
+				for _, p := range []int{0, 2, 4, 8} {
+					par, parErr := SolutionsFor(s, id, SolveOptions{Parallelism: p})
+					if (seqErr == nil) != (parErr == nil) {
+						t.Fatalf("peer %s parallelism %d: err %v vs sequential %v", id, p, parErr, seqErr)
+					}
+					if !sameInstances(seq, par) {
+						t.Fatalf("peer %s parallelism %d: solutions differ", id, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPCAParallelIdentical asserts that PeerConsistentAnswers and
+// PossibleAnswers are identical to the sequential run on the Example
+// 1/2 system at every parallelism level.
+func TestPCAParallelIdentical(t *testing.T) {
+	s := Example1System()
+	q := foquery.MustParse("r1(X,Y)")
+	vars := []string{"X", "Y"}
+
+	seqPCA, err := PeerConsistentAnswers(s, "P1", q, vars, SolveOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqPCA) != 3 {
+		t.Fatalf("Example 2 expects 3 peer consistent answers, got %v", seqPCA)
+	}
+	seqPoss, err := PossibleAnswers(s, "P1", q, vars, SolveOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 2, 4, 8} {
+		pca, err := PeerConsistentAnswers(s, "P1", q, vars, SolveOptions{Parallelism: p})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(pca, seqPCA) {
+			t.Fatalf("parallelism %d: PCA %v != sequential %v", p, pca, seqPCA)
+		}
+		poss, err := PossibleAnswers(s, "P1", q, vars, SolveOptions{Parallelism: p})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(poss, seqPoss) {
+			t.Fatalf("parallelism %d: possible %v != sequential %v", p, poss, seqPoss)
+		}
+	}
+}
+
+// TestSolutionsForParallelManyStage1 forces a stage-2 fan-out wider
+// than the pool (many stage-1 repairs) to exercise work distribution.
+func TestSolutionsForParallelManyStage1(t *testing.T) {
+	s := manyConflictSystem(5)
+	seq, err := SolutionsFor(s, "A", SolveOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 1<<5 {
+		t.Fatalf("want %d solutions, got %d", 1<<5, len(seq))
+	}
+	par, err := SolutionsFor(s, "A", SolveOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameInstances(seq, par) {
+		t.Fatal("parallel solutions differ from sequential")
+	}
+}
+
+// manyConflictSystem builds a system whose queried peer has k
+// independent FD conflicts resolved in stage 1 (2^k stage-1 repairs)
+// plus a same-trust neighbour so stage 2 actually runs: the stage-2
+// fan-out is 2^k wide, far beyond the worker pool.
+func manyConflictSystem(k int) *System {
+	a := NewPeer("A").Declare("ra", 2)
+	for i := 0; i < k; i++ {
+		key := fmt.Sprintf("k%d", i)
+		a.Fact("ra", key, fmt.Sprintf("u%d", i))
+		a.Fact("ra", key, fmt.Sprintf("v%d", i))
+	}
+	b := NewPeer("B").Declare("rb", 2).Fact("rb", "x", "y")
+	c := NewPeer("C").Declare("rc", 2)
+	a.SetTrust("B", TrustLess).AddDEC("B", constraint.FD("fd_ra", "ra"))
+	a.SetTrust("C", TrustSame).AddDEC("C", constraint.Inclusion("dec_ac", "rc", "ra", 2))
+	return NewSystem().MustAddPeer(a).MustAddPeer(b).MustAddPeer(c)
+}
+
+func sameInstances(a, b []*relation.Instance) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return false
+		}
+	}
+	return true
+}

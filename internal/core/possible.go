@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/foquery"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 )
 
@@ -29,13 +30,18 @@ func PossibleAnswers(s *System, id PeerID, q foquery.Formula, vars []string, opt
 	if len(sols) == 0 {
 		return nil, ErrNoSolutions
 	}
+	// Per-solution evaluation fans out like PeerConsistentAnswers; the
+	// union merge is order-independent and the output sorted, so the
+	// result is identical at every parallelism level.
+	perSol, err := parallel.MapErr(len(sols), opt.workers(), func(i int) ([]relation.Tuple, error) {
+		return foquery.Answers(sols[i].Restrict(p.Schema), q, vars)
+	})
+	if err != nil {
+		return nil, err
+	}
 	seen := map[string]bool{}
 	var out []relation.Tuple
-	for _, r := range sols {
-		ans, err := foquery.Answers(r.Restrict(p.Schema), q, vars)
-		if err != nil {
-			return nil, err
-		}
+	for _, ans := range perSol {
 		for _, t := range ans {
 			if !seen[t.Key()] {
 				seen[t.Key()] = true

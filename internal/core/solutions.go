@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/foquery"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 	"repro/internal/repair"
 )
@@ -15,7 +16,27 @@ type SolveOptions struct {
 	// MaxDelta and MaxRepairs are passed to the repair engine per stage.
 	MaxDelta   int
 	MaxRepairs int
+	// Parallelism bounds the worker pool used for the stage-2 repair
+	// fan-out of SolutionsFor and for the per-solution query evaluation
+	// of PeerConsistentAnswers. 0 means GOMAXPROCS; 1 forces the
+	// sequential path. Results are merged through the deterministic
+	// dedupSorted keying, so every parallelism level produces
+	// byte-identical output.
+	Parallelism int
 }
+
+// repairOptions translates SolveOptions into per-stage repair options.
+func (o SolveOptions) repairOptions(fixed map[string]bool) repair.Options {
+	return repair.Options{
+		Fixed:       fixed,
+		MaxDelta:    o.MaxDelta,
+		MaxRepairs:  o.MaxRepairs,
+		Parallelism: o.Parallelism,
+	}
+}
+
+// workers resolves Parallelism for a fan-out.
+func (o SolveOptions) workers() int { return parallel.Workers(o.Parallelism) }
 
 // SolutionsFor computes the solutions for peer P (Definition 4, direct
 // case) on the system's current global instance:
@@ -57,11 +78,7 @@ func SolutionsFor(s *System, id PeerID, opt SolveOptions) ([]*relation.Instance,
 		}
 	}
 	stage1Deps := append(append([]*constraint.Dependency{}, lessDeps...), p.ICs...)
-	stage1, err := repair.Repairs(global, stage1Deps, repair.Options{
-		Fixed:      fixed1,
-		MaxDelta:   opt.MaxDelta,
-		MaxRepairs: opt.MaxRepairs,
-	})
+	stage1, err := repair.Repairs(global, stage1Deps, opt.repairOptions(fixed1))
 	if err != nil && err != repair.ErrBound {
 		return nil, fmt.Errorf("core: stage-1 repairs for %s: %w", id, err)
 	}
@@ -85,16 +102,23 @@ func SolutionsFor(s *System, id PeerID, opt SolveOptions) ([]*relation.Instance,
 	stage2Deps := append(append([]*constraint.Dependency{}, sameDeps...), lessDeps...)
 	stage2Deps = append(stage2Deps, p.ICs...)
 
-	var out []*relation.Instance
-	for _, r1 := range stage1 {
-		reps, err := repair.Repairs(r1, stage2Deps, repair.Options{
-			Fixed:      fixed2,
-			MaxDelta:   opt.MaxDelta,
-			MaxRepairs: opt.MaxRepairs,
-		})
+	// Stage 2 is embarrassingly parallel: each stage-1 repair is an
+	// independent repair problem. Fan out across a bounded worker pool
+	// and flatten in stage-1 order before the deterministic
+	// dedupSorted merge, so the result is byte-identical to the
+	// sequential loop at every parallelism level.
+	perRepair, err := parallel.MapErr(len(stage1), opt.workers(), func(i int) ([]*relation.Instance, error) {
+		reps, err := repair.Repairs(stage1[i], stage2Deps, opt.repairOptions(fixed2))
 		if err != nil && err != repair.ErrBound {
-			return nil, fmt.Errorf("core: stage-2 repairs for %s: %w", id, err)
+			return nil, err
 		}
+		return reps, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: stage-2 repairs for %s: %w", id, err)
+	}
+	var out []*relation.Instance
+	for _, reps := range perRepair {
 		out = append(out, reps...)
 	}
 	return dedupSorted(out), nil
@@ -140,10 +164,10 @@ func PeerConsistentAnswers(s *System, id PeerID, q foquery.Formula, vars []strin
 		return nil, ErrNoSolutions
 	}
 	restricted := make([]*relation.Instance, len(sols))
-	for i, r := range sols {
-		restricted[i] = r.Restrict(p.Schema)
-	}
-	return repair.IntersectAnswers(restricted, q, vars)
+	parallel.Run(len(sols), opt.workers(), func(i int) {
+		restricted[i] = sols[i].Restrict(p.Schema)
+	})
+	return repair.IntersectAnswersOpt(restricted, q, vars, repair.Options{Parallelism: opt.Parallelism})
 }
 
 func checkQuerySchema(p *Peer, q foquery.Formula) error {

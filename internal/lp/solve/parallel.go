@@ -1,0 +1,108 @@
+package solve
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lp/ground"
+)
+
+// maxSplitDepth caps the number of choice atoms the parallel driver
+// branches on: 2^10 subtrees is plenty for any realistic pool and keeps
+// the per-subtree setup cost bounded.
+const maxSplitDepth = 10
+
+// stableModelsParallel splits the DPLL search on the first k choice
+// points (the lowest-indexed atoms that occur in some head, i.e. the
+// atoms the sequential search would branch on first) and runs each of
+// the 2^k assignment prefixes as an independent subtree DFS on a
+// bounded goroutine pool. The subtrees partition the space of total
+// assignments, so no model can be found twice; the merged result is
+// canonically sorted, making the output identical to the sequential
+// search whenever MaxModels is unset. MaxModels is enforced globally
+// through an atomic counter shared by all subtree solvers.
+func stableModelsParallel(gp *ground.Program, opt Options) ([]Model, error) {
+	ix := buildIndex(gp)
+
+	// Branch candidates: atoms the search can actually assign either
+	// way (headless atoms are pre-forced false).
+	var cands []int
+	for a := 0; a < len(gp.Atoms); a++ {
+		if len(ix.inHead[a]) > 0 {
+			cands = append(cands, a)
+		}
+	}
+	k := 0
+	for (1<<k) < opt.Parallelism && k < len(cands) && k < maxSplitDepth {
+		k++
+	}
+	if k == 0 {
+		// Nothing to split on (trivial program or Parallelism <= 1).
+		s := newSolver(gp, opt, ix)
+		s.search()
+		sortModels(s.models)
+		return s.models, nil
+	}
+
+	var counter atomic.Int64
+	subtrees := 1 << k
+	results := make([][]Model, subtrees)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := opt.Parallelism
+	if workers > subtrees {
+		workers = subtrees
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= subtrees {
+					return
+				}
+				s := newSolver(gp, opt, ix)
+				s.counter = &counter
+				if s.done() {
+					return
+				}
+				ok := true
+				for bit := 0; bit < k; bit++ {
+					v := vFalse
+					if p>>bit&1 == 1 {
+						v = vTrue
+					}
+					if !s.set(cands[bit], v) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					s.search()
+				}
+				results[p] = s.models
+			}
+		}()
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool)
+	var all []Model
+	for _, ms := range results {
+		for _, m := range ms {
+			sig := strings.Join(m, "\x1f")
+			if !seen[sig] {
+				seen[sig] = true
+				all = append(all, m)
+			}
+		}
+	}
+	sortModels(all)
+	if opt.MaxModels > 0 && len(all) > opt.MaxModels {
+		all = all[:opt.MaxModels]
+	}
+	return all, nil
+}

@@ -1,0 +1,81 @@
+package solve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParallelMatchesSequentialOnPrograms checks the split-subtree
+// search against the sequential search on the suite's characteristic
+// programs: the result must be byte-identical at every parallelism
+// level when MaxModels is unset.
+func TestParallelMatchesSequentialOnPrograms(t *testing.T) {
+	progs := map[string]string{
+		"facts":        "p(a). q(b).",
+		"even-loop":    "p :- not q. q :- not p.",
+		"odd-loop":     "p :- not p.",
+		"disjunctive":  "p | q. r :- p. r :- q.",
+		"choice-chain": "a | b. c | d :- a. e :- not b.",
+		"conflicts": "ra(k1,u) | ra(k1,v). ra(k2,u) | ra(k2,v). " +
+			"ra(k3,u) | ra(k3,v). ra(k4,u) | ra(k4,v).",
+	}
+	for name, src := range progs {
+		t.Run(name, func(t *testing.T) {
+			seq := models(t, src, Options{Parallelism: 1})
+			for _, p := range []int{2, 4, 8} {
+				par := models(t, src, Options{Parallelism: p})
+				if !reflect.DeepEqual(par, seq) {
+					t.Fatalf("parallelism %d: %v != sequential %v", p, par, seq)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialRandom cross-checks the parallel search
+// against the sequential one on random ground programs (the same
+// generator the brute-force oracle tests use).
+func TestParallelMatchesSequentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		gp := randomGroundProgram(rng, 6, 8)
+		seq, err := StableModels(gp, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := StableModels(gp, Options{Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("program %d: parallel %v != sequential %v", i, par, seq)
+		}
+	}
+}
+
+// TestParallelMaxModels checks that the shared atomic counter enforces
+// MaxModels as a global bound across subtrees.
+func TestParallelMaxModels(t *testing.T) {
+	// 2^6 models from six independent binary choices.
+	var b strings.Builder
+	for i := 1; i <= 6; i++ {
+		fmt.Fprintf(&b, "u%d | v%d. ", i, i)
+	}
+	src := b.String()
+	for _, max := range []int{1, 3, 7} {
+		ms := models(t, src, Options{Parallelism: 4, MaxModels: max})
+		if len(ms) != max {
+			t.Fatalf("MaxModels=%d: got %d models", max, len(ms))
+		}
+		// Every returned model must be a genuine stable model.
+		all := modelSet(models(t, src, Options{}))
+		for _, m := range ms {
+			if !all["{"+strings.Join(m, ",")+"}"] {
+				t.Fatalf("MaxModels=%d returned non-model %v", max, m)
+			}
+		}
+	}
+}

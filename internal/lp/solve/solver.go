@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/lp/ground"
 )
@@ -30,6 +31,18 @@ type Options struct {
 	// falling back to pure clause propagation plus leaf checks. Used by
 	// the ablation benchmark (B8); results are identical, only slower.
 	NoSupportPropagation bool
+	// Parallelism > 1 splits the search on the first k choice atoms
+	// (2^k >= Parallelism) and runs the subtree DFS in that many
+	// goroutines, sharing an atomic model counter so MaxModels is
+	// honored globally. 0 or 1 keeps the sequential search. Without
+	// MaxModels the model set is identical at every parallelism level
+	// (subtrees partition the assignment space and the result is
+	// canonically sorted). With MaxModels the bound is respected, but
+	// which models are kept depends on goroutine scheduling and can
+	// vary run to run — unlike the sequential cut, which is
+	// deterministic. Callers needing a reproducible truncated model
+	// list should keep Parallelism at 1.
+	Parallelism int
 }
 
 // Model is a stable model: the sorted canonical keys of its true atoms.
@@ -55,12 +68,16 @@ type solver struct {
 	opt    Options
 	assign []int8
 	trail  []int
-	// occurrence lists
+	// occurrence lists (shared read-only between parallel subtree
+	// solvers)
 	inHead [][]int
 	inPos  [][]int
 	inNeg  [][]int
 	models []Model
 	seen   map[string]bool
+	// counter, when non-nil, is the global model count shared between
+	// parallel subtree solvers; it makes MaxModels a global bound.
+	counter *atomic.Int64
 	// propagation worklists
 	ruleQueue  []int
 	ruleQueued []bool
@@ -70,31 +87,48 @@ type solver struct {
 	seeded     bool
 }
 
-// StableModels enumerates the stable models of the ground program,
-// deterministically ordered by their canonical rendering.
-func StableModels(gp *ground.Program, opt Options) ([]Model, error) {
+// occIndex holds the per-atom occurrence lists, built once per program
+// and shared read-only by every (sequential or parallel) solver.
+type occIndex struct {
+	inHead [][]int
+	inPos  [][]int
+	inNeg  [][]int
+}
+
+func buildIndex(gp *ground.Program) *occIndex {
+	n := len(gp.Atoms)
+	ix := &occIndex{
+		inHead: make([][]int, n),
+		inPos:  make([][]int, n),
+		inNeg:  make([][]int, n),
+	}
+	for ri, r := range gp.Rules {
+		for _, a := range r.Head {
+			ix.inHead[a] = append(ix.inHead[a], ri)
+		}
+		for _, a := range r.Pos {
+			ix.inPos[a] = append(ix.inPos[a], ri)
+		}
+		for _, a := range r.Neg {
+			ix.inNeg[a] = append(ix.inNeg[a], ri)
+		}
+	}
+	return ix
+}
+
+// newSolver builds a fresh solver over the (shared) occurrence index.
+func newSolver(gp *ground.Program, opt Options, ix *occIndex) *solver {
 	n := len(gp.Atoms)
 	s := &solver{
 		gp:         gp,
 		opt:        opt,
 		assign:     make([]int8, n),
-		inHead:     make([][]int, n),
-		inPos:      make([][]int, n),
-		inNeg:      make([][]int, n),
+		inHead:     ix.inHead,
+		inPos:      ix.inPos,
+		inNeg:      ix.inNeg,
 		seen:       make(map[string]bool),
 		ruleQueued: make([]bool, len(gp.Rules)),
 		supQueued:  make([]bool, n),
-	}
-	for ri, r := range gp.Rules {
-		for _, a := range r.Head {
-			s.inHead[a] = append(s.inHead[a], ri)
-		}
-		for _, a := range r.Pos {
-			s.inPos[a] = append(s.inPos[a], ri)
-		}
-		for _, a := range r.Neg {
-			s.inNeg[a] = append(s.inNeg[a], ri)
-		}
 	}
 	// Atoms that never occur in any head can never be true.
 	for a := 0; a < n; a++ {
@@ -102,15 +136,37 @@ func StableModels(gp *ground.Program, opt Options) ([]Model, error) {
 			s.assign[a] = vFalse
 		}
 	}
+	return s
+}
+
+// StableModels enumerates the stable models of the ground program,
+// deterministically ordered by their canonical rendering. With
+// Options.Parallelism > 1 the search tree is split across goroutines
+// (see stableModelsParallel); the default is the sequential search.
+func StableModels(gp *ground.Program, opt Options) ([]Model, error) {
+	if opt.Parallelism > 1 {
+		return stableModelsParallel(gp, opt)
+	}
+	s := newSolver(gp, opt, buildIndex(gp))
 	s.search()
-	sort.Slice(s.models, func(i, j int) bool {
-		return strings.Join(s.models[i], "\x1f") < strings.Join(s.models[j], "\x1f")
-	})
+	sortModels(s.models)
 	return s.models, nil
 }
 
+func sortModels(models []Model) {
+	sort.Slice(models, func(i, j int) bool {
+		return strings.Join(models[i], "\x1f") < strings.Join(models[j], "\x1f")
+	})
+}
+
 func (s *solver) done() bool {
-	return s.opt.MaxModels > 0 && len(s.models) >= s.opt.MaxModels
+	if s.opt.MaxModels <= 0 {
+		return false
+	}
+	if s.counter != nil {
+		return s.counter.Load() >= int64(s.opt.MaxModels)
+	}
+	return len(s.models) >= s.opt.MaxModels
 }
 
 // set assigns an atom, recording it on the trail; it reports false on
@@ -417,6 +473,9 @@ func (s *solver) leaf() {
 	if !s.seen[sig] {
 		s.seen[sig] = true
 		s.models = append(s.models, Model(keys))
+		if s.counter != nil {
+			s.counter.Add(1)
+		}
 	}
 }
 

@@ -1,0 +1,69 @@
+// Package parallel is the tiny worker-pool substrate shared by the
+// concurrent engines (repair intersection, core stage-2 fan-out,
+// peernet neighbour fetch): bounded fan-out over an index space with
+// an inline fast path, so Parallelism: 1 code paths stay goroutine-free
+// and byte-identical to the historical sequential loops.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a Parallelism knob: values <= 0 mean GOMAXPROCS.
+func Workers(p int) int {
+	if p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes f(0..n-1) on at most p concurrent workers. With p <= 1
+// or a single item it runs inline on the calling goroutine, avoiding
+// any scheduling overhead on the sequential path. f must write results
+// only to its own index slot (or otherwise synchronize).
+func Run(n, p int, f func(int)) {
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// MapErr runs f(0..n-1) on at most p workers, collecting the results
+// by index. If any call fails it returns the first error in index
+// order (deterministic regardless of scheduling); the results are
+// discarded in that case.
+func MapErr[T any](n, p int, f func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	Run(n, p, func(i int) {
+		out[i], errs[i] = f(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

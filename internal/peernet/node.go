@@ -3,10 +3,13 @@ package peernet
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/foquery"
+	"repro/internal/parallel"
 	"repro/internal/program"
 	"repro/internal/relation"
 	"repro/internal/sysdsl"
@@ -15,12 +18,49 @@ import (
 // Node hosts one peer at a network address: it serves the peer's data
 // and specification to others and gathers its neighbours' data to
 // answer queries with peer-consistent semantics.
+//
+// A Node is safe for concurrent use: the neighbour table is guarded by
+// an internal lock (use SetNeighbor / NeighborAddr, not direct map
+// writes, once the node is shared between goroutines), and the
+// snapshot/relation caches are internally synchronized.
 type Node struct {
-	Peer      *core.Peer
-	Addr      string
-	Neighbors map[core.PeerID]string // peer id -> address
-	tr        Transport
-	stop      func()
+	Peer *core.Peer
+	Addr string
+	// Neighbors maps peer ids to addresses. It is guarded by mu;
+	// concurrent mutation must go through SetNeighbor.
+	Neighbors map[core.PeerID]string
+	// CacheTTL, when positive, caches assembled snapshots and fetched
+	// relations for that duration: repeated queries inside the window
+	// skip the network fan-out entirely. SetNeighbor invalidates the
+	// caches. Zero (the default) disables caching — every query sees
+	// the neighbours' live data, the seed behaviour.
+	CacheTTL time.Duration
+	// Parallelism bounds the concurrent neighbour fetches of Snapshot
+	// and is forwarded to the answering engines (core.SolveOptions /
+	// program.RunOptions). 0 means GOMAXPROCS; 1 restores the fully
+	// sequential seed behaviour. Set before Start.
+	Parallelism int
+
+	mu   sync.RWMutex // guards Neighbors
+	tr   Transport
+	stop func()
+
+	cacheMu   sync.Mutex
+	cacheGen  uint64              // bumped by SetNeighbor to invalidate in-flight builds
+	snapCache map[bool]*snapEntry // keyed by the transitive flag
+	relCache  map[string]*relEntry
+
+	clock func() time.Time // test hook; nil means time.Now
+}
+
+type snapEntry struct {
+	sys     *core.System
+	expires time.Time
+}
+
+type relEntry struct {
+	tuples  []relation.Tuple
+	expires time.Time
 }
 
 // NewNode creates a node for a peer on the given transport. neighbours
@@ -53,8 +93,44 @@ func (n *Node) Stop() {
 	}
 }
 
-// SetNeighbor records (or updates) a neighbour address.
-func (n *Node) SetNeighbor(id core.PeerID, addr string) { n.Neighbors[id] = addr }
+// SetNeighbor records (or updates) a neighbour address and invalidates
+// the caches (the overlay changed, so cached snapshots may be stale).
+func (n *Node) SetNeighbor(id core.PeerID, addr string) {
+	n.mu.Lock()
+	n.Neighbors[id] = addr
+	n.mu.Unlock()
+	n.cacheMu.Lock()
+	n.cacheGen++
+	n.snapCache = nil
+	n.relCache = nil
+	n.cacheMu.Unlock()
+}
+
+// NeighborAddr looks up a neighbour address under the lock.
+func (n *Node) NeighborAddr(id core.PeerID) (string, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	addr, ok := n.Neighbors[id]
+	return addr, ok
+}
+
+// neighborsCopy snapshots the neighbour table under the lock.
+func (n *Node) neighborsCopy() map[core.PeerID]string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make(map[core.PeerID]string, len(n.Neighbors))
+	for k, v := range n.Neighbors {
+		out[k] = v
+	}
+	return out
+}
+
+func (n *Node) now() time.Time {
+	if n.clock != nil {
+		return n.clock()
+	}
+	return time.Now()
+}
 
 func errResp(err error) Response { return Response{Err: err.Error()} }
 
@@ -90,8 +166,9 @@ func (n *Node) handle(req Request) Response {
 		if err != nil {
 			return errResp(err)
 		}
-		neigh := make(map[string]string, len(n.Neighbors))
-		for id, addr := range n.Neighbors {
+		ns := n.neighborsCopy()
+		neigh := make(map[string]string, len(ns))
+		for id, addr := range ns {
 			neigh[string(id)] = addr
 		}
 		return Response{Spec: spec, Neighbors: neigh}
@@ -129,62 +206,112 @@ func (n *Node) exportSpec() (string, error) {
 // their own DECs/trust are dropped (Definition 4 is a local notion); in
 // the transitive case the whole reachable overlay is fetched with
 // specifications intact (Section 4.3).
+//
+// Each BFS level is fetched concurrently on up to Parallelism workers,
+// and with CacheTTL > 0 an assembled snapshot is reused until it
+// expires. Queries never mutate a snapshot, so a cached system is safe
+// to share between concurrent readers.
 func (n *Node) Snapshot(transitive bool) (*core.System, error) {
+	if n.CacheTTL <= 0 {
+		return n.buildSnapshot(transitive)
+	}
+	n.cacheMu.Lock()
+	if e, ok := n.snapCache[transitive]; ok && n.now().Before(e.expires) {
+		n.cacheMu.Unlock()
+		return e.sys, nil
+	}
+	gen := n.cacheGen
+	n.cacheMu.Unlock()
+	// Build outside the lock: the fan-out can take multiple network
+	// round trips and must not serialize concurrent queries (or block
+	// SetNeighbor). Concurrent misses may build duplicate snapshots;
+	// the last store wins, which is harmless.
+	sys, err := n.buildSnapshot(transitive)
+	if err != nil {
+		return nil, err
+	}
+	n.cacheMu.Lock()
+	if n.cacheGen == gen {
+		// Don't store a snapshot built against a neighbour table that
+		// SetNeighbor has invalidated since.
+		if n.snapCache == nil {
+			n.snapCache = make(map[bool]*snapEntry)
+		}
+		n.snapCache[transitive] = &snapEntry{sys: sys, expires: n.now().Add(n.CacheTTL)}
+	}
+	n.cacheMu.Unlock()
+	return sys, nil
+}
+
+func (n *Node) buildSnapshot(transitive bool) (*core.System, error) {
 	sys := core.NewSystem()
 	if err := sys.AddPeer(n.Peer); err != nil {
 		return nil, err
 	}
 	fetched := map[core.PeerID]bool{n.Peer.ID: true}
+	addrs := n.neighborsCopy()
 	frontier := n.neighborIDs()
-	addrs := map[core.PeerID]string{}
-	for id, a := range n.Neighbors {
-		addrs[id] = a
-	}
 	for len(frontier) > 0 {
-		id := frontier[0]
-		frontier = frontier[1:]
-		if fetched[id] {
-			continue
+		// Deduplicate the level, dropping peers already fetched.
+		var level []core.PeerID
+		queued := map[core.PeerID]bool{}
+		for _, id := range frontier {
+			if !fetched[id] && !queued[id] {
+				queued[id] = true
+				level = append(level, id)
+			}
 		}
-		addr, ok := addrs[id]
-		if !ok {
-			return nil, fmt.Errorf("peernet: no address known for peer %s", id)
+		frontier = frontier[:0]
+		if len(level) == 0 {
+			break
 		}
-		resp, err := n.tr.Call(addr, Request{Op: OpExport})
+		// Fetch the whole level concurrently; merge sequentially in
+		// level order so the assembled system (and any error) is
+		// deterministic.
+		resps, err := parallel.MapErr(len(level), parallel.Workers(n.Parallelism), func(i int) (Response, error) {
+			addr, ok := addrs[level[i]]
+			if !ok {
+				return Response{}, fmt.Errorf("peernet: no address known for peer %s", level[i])
+			}
+			return n.tr.Call(addr, Request{Op: OpExport})
+		})
 		if err != nil {
 			return nil, err
 		}
-		if resp.Err != "" {
-			return nil, fmt.Errorf("peernet: export from %s: %s", id, resp.Err)
-		}
-		remote, err := sysdsl.ParsePartial(resp.Spec)
-		if err != nil {
-			return nil, fmt.Errorf("peernet: bad spec from %s: %w", id, err)
-		}
-		for _, rid := range remote.Peers() {
-			rp, _ := remote.Peer(rid)
-			if rid != id {
-				return nil, fmt.Errorf("peernet: peer %s exported a fragment for %s", id, rid)
+		for i, id := range level {
+			resp := resps[i]
+			if resp.Err != "" {
+				return nil, fmt.Errorf("peernet: export from %s: %s", id, resp.Err)
 			}
-			if !transitive {
-				// Direct case: the neighbour contributes data only
-				// (Definition 4 is a local notion).
-				rp.DECs = make(map[core.PeerID][]*constraint.Dependency)
-				rp.Trust = make(map[core.PeerID]core.TrustLevel)
+			remote, err := sysdsl.ParsePartial(resp.Spec)
+			if err != nil {
+				return nil, fmt.Errorf("peernet: bad spec from %s: %w", id, err)
 			}
-			if err := sys.AddPeer(rp); err != nil {
-				return nil, err
-			}
-		}
-		fetched[id] = true
-		if transitive {
-			for rid, raddr := range resp.Neighbors {
-				pid := core.PeerID(rid)
-				if _, known := addrs[pid]; !known {
-					addrs[pid] = raddr
+			for _, rid := range remote.Peers() {
+				rp, _ := remote.Peer(rid)
+				if rid != id {
+					return nil, fmt.Errorf("peernet: peer %s exported a fragment for %s", id, rid)
 				}
-				if !fetched[pid] {
-					frontier = append(frontier, pid)
+				if !transitive {
+					// Direct case: the neighbour contributes data only
+					// (Definition 4 is a local notion).
+					rp.DECs = make(map[core.PeerID][]*constraint.Dependency)
+					rp.Trust = make(map[core.PeerID]core.TrustLevel)
+				}
+				if err := sys.AddPeer(rp); err != nil {
+					return nil, err
+				}
+			}
+			fetched[id] = true
+			if transitive {
+				for _, rid := range sortedNeighborIDs(resp.Neighbors) {
+					pid := core.PeerID(rid)
+					if _, known := addrs[pid]; !known {
+						addrs[pid] = resp.Neighbors[rid]
+					}
+					if !fetched[pid] {
+						frontier = append(frontier, pid)
+					}
 				}
 			}
 		}
@@ -193,6 +320,15 @@ func (n *Node) Snapshot(transitive bool) (*core.System, error) {
 		return nil, err
 	}
 	return sys, nil
+}
+
+func sortedNeighborIDs(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (n *Node) neighborIDs() []core.PeerID {
@@ -207,21 +343,37 @@ func (n *Node) neighborIDs() []core.PeerID {
 // PeerConsistentAnswers answers a query posed to this peer with
 // Definition 5 semantics, gathering remote data over the network first.
 // With transitive=true the combined-program semantics of Section 4.3 is
-// used.
+// used. The node's Parallelism is forwarded to the answering engine.
 func (n *Node) PeerConsistentAnswers(q foquery.Formula, vars []string, transitive bool) ([]relation.Tuple, error) {
 	sys, err := n.Snapshot(transitive)
 	if err != nil {
 		return nil, err
 	}
 	if transitive {
-		return program.PeerConsistentAnswersViaLP(sys, n.Peer.ID, q, vars, program.RunOptions{Transitive: true})
+		return program.PeerConsistentAnswersViaLP(sys, n.Peer.ID, q, vars,
+			program.RunOptions{Transitive: true, Parallelism: n.Parallelism})
 	}
-	return core.PeerConsistentAnswers(sys, n.Peer.ID, q, vars, core.SolveOptions{})
+	return core.PeerConsistentAnswers(sys, n.Peer.ID, q, vars,
+		core.SolveOptions{Parallelism: n.Parallelism})
 }
 
-// FetchRelation retrieves a neighbour's relation over the network.
+// FetchRelation retrieves a neighbour's relation over the network,
+// serving from the TTL cache when enabled.
 func (n *Node) FetchRelation(id core.PeerID, rel string) ([]relation.Tuple, error) {
-	addr, ok := n.Neighbors[id]
+	key := string(id) + "\x00" + rel
+	var gen uint64
+	if n.CacheTTL > 0 {
+		n.cacheMu.Lock()
+		if e, ok := n.relCache[key]; ok && n.now().Before(e.expires) {
+			out := make([]relation.Tuple, len(e.tuples))
+			copy(out, e.tuples)
+			n.cacheMu.Unlock()
+			return out, nil
+		}
+		gen = n.cacheGen
+		n.cacheMu.Unlock()
+	}
+	addr, ok := n.NeighborAddr(id)
 	if !ok {
 		return nil, fmt.Errorf("peernet: no address known for peer %s", id)
 	}
@@ -235,6 +387,18 @@ func (n *Node) FetchRelation(id core.PeerID, rel string) ([]relation.Tuple, erro
 	out := make([]relation.Tuple, len(resp.Tuples))
 	for i, t := range resp.Tuples {
 		out[i] = relation.Tuple(t)
+	}
+	if n.CacheTTL > 0 {
+		cached := make([]relation.Tuple, len(out))
+		copy(cached, out)
+		n.cacheMu.Lock()
+		if n.cacheGen == gen {
+			if n.relCache == nil {
+				n.relCache = make(map[string]*relEntry)
+			}
+			n.relCache[key] = &relEntry{tuples: cached, expires: n.now().Add(n.CacheTTL)}
+		}
+		n.cacheMu.Unlock()
 	}
 	return out, nil
 }

@@ -1,0 +1,76 @@
+package program
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/foquery"
+)
+
+// TestLPRouteParallelIdentical runs the whole LP route (build, ground,
+// parallel stable-model search, model projection, intersected query
+// answers) at several parallelism levels against the sequential run on
+// the paper fixtures.
+func TestLPRouteParallelIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  *core.System
+		peer core.PeerID
+		opt  RunOptions
+	}{
+		{"example1-direct", core.Example1System(), "P1", RunOptions{}},
+		{"section31-direct", core.Section31System(), "P", RunOptions{}},
+		{"example4-transitive", core.Example4System(), "P", RunOptions{Transitive: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqOpt := tc.opt
+			seqOpt.Parallelism = 1
+			seq, err := SolutionsViaLP(tc.sys, tc.peer, seqOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{2, 4, 8} {
+				parOpt := tc.opt
+				parOpt.Parallelism = p
+				par, err := SolutionsViaLP(tc.sys, tc.peer, parOpt)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", p, err)
+				}
+				if len(par) != len(seq) {
+					t.Fatalf("parallelism %d: %d solutions != %d", p, len(par), len(seq))
+				}
+				for i := range par {
+					if par[i].Key() != seq[i].Key() {
+						t.Fatalf("parallelism %d: solution %d differs", p, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPCAViaLPParallelIdentical checks Definition 5 answers through the
+// LP engine at several parallelism levels on the Example 1/2 system.
+func TestPCAViaLPParallelIdentical(t *testing.T) {
+	s := core.Example1System()
+	q := foquery.MustParse("r1(X,Y)")
+	vars := []string{"X", "Y"}
+	seq, err := PeerConsistentAnswersViaLP(s, "P1", q, vars, RunOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 3 {
+		t.Fatalf("Example 2 expects 3 answers, got %v", seq)
+	}
+	for _, p := range []int{2, 4, 8} {
+		par, err := PeerConsistentAnswersViaLP(s, "P1", q, vars, RunOptions{Parallelism: p})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("parallelism %d: %v != %v", p, par, seq)
+		}
+	}
+}

@@ -24,6 +24,12 @@ type RunOptions struct {
 	// Transitive uses the combined program of Section 4.3 instead of
 	// the direct-case program.
 	Transitive bool
+	// Parallelism bounds the worker pools of the whole LP route: the
+	// stable-model search (solve.Options.Parallelism) and the
+	// per-solution query evaluation of PeerConsistentAnswersViaLP.
+	// 0 means the solver stays sequential and query evaluation uses
+	// GOMAXPROCS workers; 1 forces both sequential.
+	Parallelism int
 	// SolverOptions are passed through to the stable-model solver.
 	Solver solve.Options
 }
@@ -48,6 +54,9 @@ func Solve(prog *lp.Program, opt RunOptions) ([]solve.Model, error) {
 	so := opt.Solver
 	if opt.MaxModels > 0 {
 		so.MaxModels = opt.MaxModels
+	}
+	if so.Parallelism == 0 {
+		so.Parallelism = opt.Parallelism
 	}
 	return solve.StableModels(g, so)
 }
@@ -140,7 +149,7 @@ func PeerConsistentAnswersViaLP(s *core.System, id core.PeerID, q foquery.Formul
 	for i, r := range sols {
 		restricted[i] = r.Restrict(p.Schema)
 	}
-	return repair.IntersectAnswers(restricted, q, vars)
+	return repair.IntersectAnswersOpt(restricted, q, vars, repair.Options{Parallelism: opt.Parallelism})
 }
 
 // ConjunctiveQueryProgram appends a query rule

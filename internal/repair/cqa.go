@@ -1,8 +1,11 @@
 package repair
 
 import (
+	"sort"
+
 	"repro/internal/constraint"
 	"repro/internal/foquery"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 )
 
@@ -10,14 +13,17 @@ import (
 // sense of [Arenas, Bertossi, Chomicki, PODS 99]: the tuples returned
 // by the query in every repair of the instance. This is the
 // single-database CQA baseline against which the paper contrasts peer
-// consistent answers (Section 2).
+// consistent answers (Section 2). Query evaluation over the repairs is
+// fanned out across Options.Parallelism workers; the intersection is
+// order-independent, so the result does not depend on the degree of
+// parallelism.
 func ConsistentAnswers(inst *relation.Instance, deps []*constraint.Dependency, q foquery.Formula, vars []string, opt Options) ([]relation.Tuple, error) {
 	reps, err := Repairs(inst, deps, opt)
 	if err != nil && err != ErrBound {
 		return nil, err
 	}
 	boundErr := err
-	ans, err := IntersectAnswers(reps, q, vars)
+	ans, err := IntersectAnswersOpt(reps, q, vars, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -28,18 +34,31 @@ func ConsistentAnswers(inst *relation.Instance, deps []*constraint.Dependency, q
 // the tuples present in all of them, sorted. With no instances it
 // returns nil (no solutions: every tuple vacuously qualifies is the
 // other convention; we follow the paper's practice of reporting
-// "no solutions" separately).
+// "no solutions" separately). Evaluation uses the default worker pool
+// (GOMAXPROCS); use IntersectAnswersOpt to bound it.
 func IntersectAnswers(insts []*relation.Instance, q foquery.Formula, vars []string) ([]relation.Tuple, error) {
+	return IntersectAnswersOpt(insts, q, vars, Options{})
+}
+
+// IntersectAnswersOpt is IntersectAnswers with an explicit worker-pool
+// bound (Options.Parallelism; 0 means GOMAXPROCS, 1 is sequential).
+// Each instance is queried independently — the embarrassingly parallel
+// step of Definition 5 — and the per-instance answer sets are merged by
+// counting, which is commutative: the output is byte-identical at every
+// parallelism level.
+func IntersectAnswersOpt(insts []*relation.Instance, q foquery.Formula, vars []string, opt Options) ([]relation.Tuple, error) {
 	if len(insts) == 0 {
 		return nil, nil
 	}
+	perInst, err := parallel.MapErr(len(insts), parallel.Workers(opt.Parallelism), func(i int) ([]relation.Tuple, error) {
+		return foquery.Answers(insts[i], q, vars)
+	})
+	if err != nil {
+		return nil, err
+	}
 	counts := make(map[string]int)
 	tuples := make(map[string]relation.Tuple)
-	for _, in := range insts {
-		ans, err := foquery.Answers(in, q, vars)
-		if err != nil {
-			return nil, err
-		}
+	for _, ans := range perInst {
 		seen := make(map[string]bool)
 		for _, t := range ans {
 			k := t.Key()
@@ -61,9 +80,5 @@ func IntersectAnswers(insts []*relation.Instance, q foquery.Formula, vars []stri
 }
 
 func sortTuples(ts []relation.Tuple) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && ts[j].Key() < ts[j-1].Key(); j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
-		}
-	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
 }

@@ -1,0 +1,104 @@
+package repair
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/foquery"
+	"repro/internal/relation"
+)
+
+// TestSortTuplesLarge is the regression test for the sort.Slice
+// replacement of the old O(n²) bubble sort: a 1k-tuple input in
+// adversarial (reverse-keyed, with duplicates) order must come out in
+// nondecreasing key order with the multiset preserved.
+func TestSortTuplesLarge(t *testing.T) {
+	const n = 1000
+	ts := make([]relation.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		// Reverse order plus a duplicate every eighth tuple.
+		v := n - 1 - i
+		if i%8 == 0 {
+			v = n / 2
+		}
+		ts = append(ts, relation.Tuple{fmt.Sprintf("k%06d", v), "x"})
+	}
+	want := make([]string, len(ts))
+	for i, tp := range ts {
+		want[i] = tp.Key()
+	}
+	sort.Strings(want)
+
+	sortTuples(ts)
+
+	got := make([]string, len(ts))
+	for i, tp := range ts {
+		got[i] = tp.Key()
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sortTuples produced wrong order (first diff around %d)", firstDiff(got, want))
+	}
+}
+
+func firstDiff(a, b []string) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestConsistentAnswersParallelIdentical checks that the worker-pool
+// evaluation of IntersectAnswers is byte-identical to the sequential
+// path at every parallelism level, on the classic FD-conflict workload
+// (2^k repairs).
+func TestConsistentAnswersParallelIdentical(t *testing.T) {
+	in := relation.NewInstance()
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("k%d", i)
+		in.Insert("r1", relation.Tuple{key, "u"})
+		in.Insert("r1", relation.Tuple{key, "v"})
+		in.Insert("r1", relation.Tuple{fmt.Sprintf("c%d", i), "w"})
+	}
+	deps := []*constraint.Dependency{constraint.FD("fd", "r1")}
+	q := foquery.MustParse("r1(X,Y)")
+	vars := []string{"X", "Y"}
+
+	seq, err := ConsistentAnswers(in, deps, q, vars, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 6 {
+		t.Fatalf("sequential answers = %d, want the 6 conflict-free tuples", len(seq))
+	}
+	for _, p := range []int{0, 2, 4, 8} {
+		par, err := ConsistentAnswers(in, deps, q, vars, Options{Parallelism: p})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("parallelism %d: answers %v != sequential %v", p, par, seq)
+		}
+	}
+}
+
+// TestIntersectAnswersOptErrorSurfaces checks that a query error inside
+// a worker is reported, not swallowed, at every parallelism level.
+func TestIntersectAnswersOptErrorSurfaces(t *testing.T) {
+	insts := []*relation.Instance{
+		mkInst(map[string][]relation.Tuple{"r1": {{"a", "b"}}}),
+		mkInst(map[string][]relation.Tuple{"r1": {{"a", "c"}}}),
+	}
+	// Requesting an answer variable that is not free in the query makes
+	// every per-instance evaluation fail inside its worker.
+	q := foquery.MustParse("r1(X,Y)")
+	for _, p := range []int{1, 4} {
+		if _, err := IntersectAnswersOpt(insts, q, []string{"Z"}, Options{Parallelism: p}); err == nil {
+			t.Fatalf("parallelism %d: expected error for non-free answer variable", p)
+		}
+	}
+}

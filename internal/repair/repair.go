@@ -37,6 +37,13 @@ type Options struct {
 	// MaxRepairs stops the search after this many consistent instances
 	// have been found (before minimality filtering); 0 means unlimited.
 	MaxRepairs int
+	// Parallelism bounds the worker pool used by the parallel helpers
+	// built on the repair engine (IntersectAnswers and the engines in
+	// internal/core). 0 means GOMAXPROCS; 1 forces sequential
+	// execution. The repair search itself stays sequential — its
+	// visited/subsumption pruning is inherently stateful — but every
+	// per-repair evaluation downstream fans out.
+	Parallelism int
 }
 
 // ErrBound reports that the search hit Options.MaxDelta and the set of
