@@ -18,6 +18,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"repro/internal/core"
 )
 
 type experiment struct {
@@ -55,6 +57,7 @@ func main() {
 	list := fs.Bool("list", false, "list experiments")
 	fs.IntVar(&benchParallelism, "parallelism", benchParallelism,
 		"worker-pool bound for the parallel benchmark variants; 0 = GOMAXPROCS")
+	stats := fs.Bool("stats", false, "print fixture system statistics (peers, tuples, per-system interned symbols) and exit")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -62,6 +65,10 @@ func main() {
 		for _, e := range experiments {
 			fmt.Printf("%-3s %s\n", e.id, e.title)
 		}
+		return
+	}
+	if *stats {
+		printFixtureStats(os.Stdout)
 		return
 	}
 	var ids []string
@@ -85,6 +92,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+}
+
+// printFixtureStats reports, per paper fixture, the size of the
+// per-system symbol table every instance of the system interns into.
+func printFixtureStats(w io.Writer) {
+	for _, f := range []struct {
+		name string
+		sys  *core.System
+	}{
+		{"Example1", core.Example1System()},
+		{"Section31", core.Section31System()},
+		{"Example4", core.Example4System()},
+	} {
+		fmt.Fprintf(w, "%-10s peers=%d tuples=%d symbols=%d\n",
+			f.name, len(f.sys.Peers()), f.sys.Global().Size(), f.sys.Symtab().Len())
 	}
 }
 

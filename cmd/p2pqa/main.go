@@ -48,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	solutions := fs.Bool("solutions", false, "print the peer's solutions instead of answering a query")
 	showProgram := fs.Bool("program", false, "print the specification program instead of solving (lp/lav engines)")
 	par := fs.Int("parallelism", 0, "worker-pool bound for the repair fan-out, per-solution query evaluation and stable-model search; 0 = GOMAXPROCS for the fan-outs with a sequential solver, 1 = fully sequential, >1 also splits the solver search")
+	stats := fs.Bool("stats", false, "print system statistics (peers, tuples, interned symbols) after loading")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +70,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	id := core.PeerID(*peer)
+
+	if *stats {
+		// The parser built every peer instance onto one per-system
+		// symbol table; its size is the number of distinct constants
+		// (plus relation symbols) in the whole system.
+		fmt.Fprintf(out, "system: %d peer(s), %d tuple(s), %d interned symbol(s)\n",
+			len(sys.Peers()), sys.Global().Size(), sys.Symtab().Len())
+	}
 
 	if *showProgram {
 		var p fmt.Stringer

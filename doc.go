@@ -43,4 +43,41 @@
 //     (SetNeighbor invalidates). Node is safe for concurrent use.
 //
 // Both CLIs surface the knob as -parallelism.
+//
+// # Interned-symbol core and indexing
+//
+// All hot paths run over interned symbols instead of raw strings:
+//
+//   - internal/symtab is a concurrent string↔uint32 interner. Every
+//     core.System owns one table (adopted from its first peer;
+//     System.AddPeer re-homes later peers onto it), so constants
+//     compare and hash as machine words across the whole system.
+//   - internal/relation stores tuples as packed id vectors keyed by
+//     their byte encoding, with lazily built, internally synchronized
+//     read caches per relation: a sorted string view (Tuples /
+//     TuplesShared) and per-column hash indexes driving
+//     Instance.MatchingTuples, the indexed lookup used by constraint
+//     matching, FO query generation and the repair search's witness
+//     joins. The string API is a thin view; every enumeration order is
+//     unchanged.
+//   - internal/term provides trail-based matching (MatchTrail /
+//     UnbindTrail) so grounding and constraint matching backtrack
+//     without cloning substitutions, and Keyer, which interns
+//     canonical ground-atom keys.
+//   - internal/lp/ground keeps its possible-atom set sharded by
+//     predicate hash (ready for per-shard parallel grounding) with
+//     per-column value indexes, and dedups ground rules by packed
+//     atom-id keys.
+//   - internal/repair describes candidate states by sorted fact-id
+//     deltas: the visited set, the subsumption check and the final
+//     ⊆-minimality filter (minimalByDelta) all compare id sets with
+//     merge walks instead of string-keyed maps.
+//   - internal/lp/solve dedups models by atom-id bitsets.
+//   - internal/peernet keeps the wire format plain strings (ids are
+//     node-local); tuples are re-interned at the boundary. OpFetchBatch
+//     / Node.FetchRelations retrieve several relations per round-trip.
+//
+// The interned pipeline is byte-identical to the string pipeline on
+// every fixture; internal/repair/equiv_quick_test.go cross-validates it
+// against a seed-style reference on random instances.
 package repro

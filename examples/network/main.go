@@ -47,6 +47,13 @@ func main() {
 	}
 	fmt.Println("\nP1 fetched r2 from P2 over TCP:", tuples)
 
+	// ... batch several relations into one round-trip (OpFetchBatch) ...
+	batch, err := nodes["P2"].FetchRelations("P1", []string{"r1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("P2 batch-fetched r1 from P1:   ", batch["r1"])
+
 	// ... and ask P1 for peer consistent answers; P1 gathers its
 	// neighbours' data over the network, repairs virtually, intersects.
 	ans, err := nodes["P1"].PeerConsistentAnswers(

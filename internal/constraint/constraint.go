@@ -207,10 +207,17 @@ func (v Violation) String() string {
 }
 
 // matchBody enumerates substitutions matching all body atoms against
-// the instance and satisfying the conditions.
+// the instance and satisfying the conditions. Candidate facts come from
+// the instance's per-column indexes (Instance.MatchingTuples) and
+// backtracking uses a binding trail instead of cloning the substitution
+// per candidate; the enumeration order is identical to a full sorted
+// scan, so every caller sees the seed's deterministic match order.
 func matchBody(inst *relation.Instance, body []term.Atom, cond []Comparison, fn func(term.Subst) error) error {
-	var rec func(i int, s term.Subst) error
-	rec = func(i int, s term.Subst) error {
+	s := term.NewSubst()
+	var trail []string
+	var argsBuf []term.Term
+	var rec func(i int) error
+	rec = func(i int) error {
 		if i == len(body) {
 			for _, c := range cond {
 				ok, err := c.Eval(s)
@@ -224,17 +231,19 @@ func matchBody(inst *relation.Instance, body []term.Atom, cond []Comparison, fn 
 			return fn(s.Clone())
 		}
 		pat := s.Apply(body[i])
-		for _, tup := range inst.Tuples(pat.Pred) {
-			s2 := s.Clone()
-			if term.Match(pat, tupleAtom(pat.Pred, tup), s2) {
-				if err := rec(i+1, s2); err != nil {
+		for _, tup := range inst.MatchingTuples(pat) {
+			mark := len(trail)
+			argsBuf = term.ConstArgs(argsBuf[:0], tup)
+			if term.MatchTrail(pat, term.Atom{Pred: pat.Pred, Args: argsBuf}, s, &trail) {
+				if err := rec(i + 1); err != nil {
 					return err
 				}
 			}
+			trail = term.UnbindTrail(s, trail, mark)
 		}
 		return nil
 	}
-	return rec(0, term.NewSubst())
+	return rec(0)
 }
 
 // headSatisfied checks whether a head witness exists for the body
@@ -294,13 +303,17 @@ func matchHead(inst *relation.Instance, head []term.Atom, s term.Subst, i int, f
 		}
 		return matchHead(inst, head, s, i+1, fn)
 	}
-	for _, tup := range inst.Tuples(pat.Pred) {
-		s2 := s.Clone()
-		if term.Match(pat, tupleAtom(pat.Pred, tup), s2) {
-			if err := matchHead(inst, head, s2, i+1, fn); err != nil {
+	var trail []string
+	fact := term.Atom{Pred: pat.Pred}
+	for _, tup := range inst.MatchingTuples(pat) {
+		mark := len(trail)
+		fact.Args = term.ConstArgs(fact.Args[:0], tup)
+		if term.MatchTrail(pat, fact, s, &trail) {
+			if err := matchHead(inst, head, s, i+1, fn); err != nil {
 				return err
 			}
 		}
+		trail = term.UnbindTrail(s, trail, mark)
 	}
 	return nil
 }
@@ -381,14 +394,6 @@ func FirstViolation(inst *relation.Instance, deps []*Dependency) (*Violation, er
 		}
 	}
 	return nil, nil
-}
-
-func tupleAtom(pred string, t relation.Tuple) term.Atom {
-	args := make([]term.Term, len(t))
-	for i, v := range t {
-		args[i] = term.C(v)
-	}
-	return term.Atom{Pred: pred, Args: args}
 }
 
 // --- convenience constructors -------------------------------------------

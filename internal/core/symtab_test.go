@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+// TestSymtabBeforeAddPeerAdoptsFirstPeer: peeking at an empty system's
+// symbol table must not change AddPeer's guarantee that the first
+// peer's instance is adopted, never re-homed (peernet snapshot builds
+// rely on the live peer staying untouched).
+func TestSymtabBeforeAddPeerAdoptsFirstPeer(t *testing.T) {
+	p := NewPeer("P").Declare("r", 1).Fact("r", "a")
+	tabBefore := p.Inst.Table()
+	s := NewSystem()
+	_ = s.Symtab() // allocate the empty system's table first
+	if err := s.AddPeer(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Inst.Table() != tabBefore {
+		t.Fatal("first peer's instance was re-homed instead of adopted")
+	}
+	if s.Symtab() != tabBefore {
+		t.Fatal("system did not adopt the first peer's table")
+	}
+	q := NewPeer("Q").Declare("s", 1).Fact("s", "b")
+	if err := s.AddPeer(q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Inst.Table() != tabBefore {
+		t.Fatal("second peer was not re-homed onto the system table")
+	}
+}

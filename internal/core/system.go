@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/relation"
+	"repro/internal/symtab"
 )
 
 // PeerID names a peer.
@@ -107,11 +108,16 @@ func (p *Peer) SetTrust(other PeerID, lvl TrustLevel) *Peer {
 }
 
 // System is a P2P data exchange system: a finite set of peers with
-// disjoint schemas (Definition 2(a)-(b)).
+// disjoint schemas (Definition 2(a)-(b)). Every system owns one symbol
+// table: the first added peer's table is adopted and every later
+// peer's instance is re-interned onto it, so all cross-peer operations
+// (the global instance, repairs, constraint matching) compare constants
+// by interned id rather than by string.
 type System struct {
 	peers map[PeerID]*Peer
 	order []PeerID
 	owner map[string]PeerID // relation name -> owning peer
+	tab   *symtab.Table     // shared symbol table; nil until the first peer
 }
 
 // NewSystem creates an empty system.
@@ -119,7 +125,22 @@ func NewSystem() *System {
 	return &System{peers: make(map[PeerID]*Peer), owner: make(map[string]PeerID)}
 }
 
-// AddPeer registers a peer; schemas must stay disjoint.
+// Symtab returns the system's shared symbol table (the first peer's
+// table; a fresh one for an empty system). Note that an empty system's
+// table is replaced when the first peer is added — query it after the
+// peers are registered.
+func (s *System) Symtab() *symtab.Table {
+	if s.tab == nil {
+		s.tab = symtab.New()
+	}
+	return s.tab
+}
+
+// AddPeer registers a peer; schemas must stay disjoint. The peer's
+// instance is re-homed onto the system's symbol table (adopting the
+// peer's own table if this is the first peer, which leaves the peer's
+// instance untouched — nodes sharing one live peer across snapshot
+// systems rely on that).
 func (s *System) AddPeer(p *Peer) error {
 	if _, dup := s.peers[p.ID]; dup {
 		return fmt.Errorf("core: duplicate peer %s", p.ID)
@@ -128,6 +149,14 @@ func (s *System) AddPeer(p *Peer) error {
 		if o, taken := s.owner[rel]; taken {
 			return fmt.Errorf("core: relation %s of peer %s already owned by %s (schemas must be disjoint)", rel, p.ID, o)
 		}
+	}
+	// Adopt the first peer's table even if Symtab() was called on the
+	// empty system: the "first peer is never mutated" guarantee must
+	// not depend on whether anyone peeked at the table beforehand.
+	if len(s.order) == 0 {
+		s.tab = p.Inst.Table()
+	} else {
+		p.Inst.Rehome(s.tab)
 	}
 	s.peers[p.ID] = p
 	s.order = append(s.order, p.ID)
@@ -165,11 +194,12 @@ func (s *System) Owner(rel string) (PeerID, bool) {
 }
 
 // Global returns the union of all peer instances — the instance r̄ on
-// the combined schema (Definition 3(b)).
+// the combined schema (Definition 3(b)). All peers share the system's
+// symbol table, so the union reuses interned id tuples directly.
 func (s *System) Global() *relation.Instance {
-	g := relation.NewInstance()
+	g := relation.NewInstanceIn(s.tab)
 	for _, id := range s.order {
-		g = g.Union(s.peers[id].Inst)
+		g.AddAll(s.peers[id].Inst)
 	}
 	return g
 }

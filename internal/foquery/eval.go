@@ -185,11 +185,16 @@ func Holds(inst *relation.Instance, f Formula) (bool, error) {
 func (e *Env) bindings(f Formula, in []term.Subst) ([]term.Subst, error) {
 	switch g := f.(type) {
 	case Atom:
+		// Candidates come from the instance's per-column indexes; the
+		// clone happens only for the (index-filtered) matches that are
+		// kept, and the enumeration order matches a full sorted scan.
 		var out []term.Subst
+		fact := term.Atom{}
 		for _, s := range in {
 			pat := s.Apply(g.A)
-			for _, tup := range e.Inst.Tuples(pat.Pred) {
-				fact := tupleAtom(pat.Pred, tup)
+			fact.Pred = pat.Pred
+			for _, tup := range e.Inst.MatchingTuples(pat) {
+				fact.Args = term.ConstArgs(fact.Args[:0], tup)
 				s2 := s.Clone()
 				if term.Match(pat, fact, s2) {
 					out = append(out, s2)
@@ -349,12 +354,4 @@ func (e *Env) filter(f Formula, in []term.Subst) ([]term.Subst, error) {
 		}
 	}
 	return out, nil
-}
-
-func tupleAtom(pred string, t relation.Tuple) term.Atom {
-	args := make([]term.Term, len(t))
-	for i, v := range t {
-		args[i] = term.C(v)
-	}
-	return term.Atom{Pred: pred, Args: args}
 }

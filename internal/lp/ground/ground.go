@@ -7,6 +7,7 @@
 package ground
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -123,6 +124,7 @@ func Ground(p *lp.Program) (*Program, error) {
 
 	gp := &Program{Index: make(map[string]int)}
 	seenRules := make(map[string]bool)
+	var keyBuf []byte
 	for _, r := range p.Rules {
 		err := matchPos(r, possible, func(s term.Subst) error {
 			gr := Rule{}
@@ -144,9 +146,11 @@ func Ground(p *lp.Program) (*Program, error) {
 				}
 				gr.Neg = append(gr.Neg, gp.AtomID(g.Key()))
 			}
-			key := gp.RuleString(gr)
-			if !seenRules[key] {
-				seenRules[key] = true
+			// Dedup by the packed atom-id sections instead of rendering
+			// the rule: the id lists determine the rendering.
+			keyBuf = packRuleKey(keyBuf[:0], gr)
+			if !seenRules[string(keyBuf)] {
+				seenRules[string(keyBuf)] = true
 				gp.Rules = append(gp.Rules, gr)
 			}
 			return nil
@@ -158,6 +162,25 @@ func Ground(p *lp.Program) (*Program, error) {
 
 	addCoherence(gp)
 	return gp, nil
+}
+
+// packRuleKey appends a canonical byte encoding of the rule's atom-id
+// sections (head/pos/neg, length-prefixed) to dst, for duplicate-rule
+// detection without rendering the rule.
+func packRuleKey(dst []byte, r Rule) []byte {
+	section := func(ids []int) {
+		var w [4]byte
+		binary.BigEndian.PutUint32(w[:], uint32(len(ids)))
+		dst = append(dst, w[:]...)
+		for _, id := range ids {
+			binary.BigEndian.PutUint32(w[:], uint32(id))
+			dst = append(dst, w[:]...)
+		}
+	}
+	section(r.Head)
+	section(r.Pos)
+	section(r.Neg)
+	return dst
 }
 
 // addCoherence adds ":- a, -a" for every complementary pair of interned
@@ -172,15 +195,45 @@ func addCoherence(gp *Program) {
 	}
 }
 
+// atomShards is the number of predicate-hash shards of the possible
+// atom set. Sharding keeps each shard's maps independent, so a future
+// parallel grounder can give each worker its own shard (or lock shards
+// individually) without restructuring the index; with the current
+// sequential fixpoint it simply bounds per-map size.
+const atomShards = 8
+
 // atomSet stores ground literals by predicate (with strong negation
-// folded into the predicate name) for fast matching.
+// folded into the predicate name) for indexed matching: per predicate,
+// the atoms in insertion order plus per-column value indexes into that
+// order, sharded by predicate hash.
 type atomSet struct {
-	byPred map[string][]term.Atom
-	keys   map[string]bool
+	shards [atomShards]atomShard
+	// keyer interns literal keys, so membership tests hash a uint32
+	// instead of building and hashing the rendered atom string. It is
+	// shared across shards; a parallel grounder would give each shard
+	// its own keyer (symtab tables are concurrent, Keyers are not).
+	keyer *term.Keyer
+}
+
+type atomShard struct {
+	keys   map[uint32]bool // interned literal-key ids (see atomSet.keyer)
+	byPred map[string]*predAtoms
+}
+
+// predAtoms is the per-predicate extension: atoms in insertion order
+// (which preserves the seed's deterministic enumeration) and, per
+// column, the indices of the atoms holding each constant.
+type predAtoms struct {
+	atoms []term.Atom
+	cols  []map[string][]int
 }
 
 func newAtomSet() *atomSet {
-	return &atomSet{byPred: make(map[string][]term.Atom), keys: make(map[string]bool)}
+	s := &atomSet{keyer: term.NewKeyer(nil)}
+	for i := range s.shards {
+		s.shards[i] = atomShard{keys: make(map[uint32]bool), byPred: make(map[string]*predAtoms)}
+	}
+	return s
 }
 
 func litPred(l lp.Literal) string {
@@ -190,25 +243,95 @@ func litPred(l lp.Literal) string {
 	return l.Atom.Pred
 }
 
+// litID interns the canonical key of a ground literal (strong negation
+// folded into the predicate, matching Literal.Key).
+func (s *atomSet) litID(p string, l lp.Literal) uint32 {
+	return s.keyer.KeyID(term.Atom{Pred: p, Args: l.Atom.Args})
+}
+
+// shardOf hashes a predicate to its shard (FNV-1a).
+func shardOf(pred string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(pred); i++ {
+		h ^= uint32(pred[i])
+		h *= 16777619
+	}
+	return int(h % atomShards)
+}
+
 func (s *atomSet) add(l lp.Literal) bool {
-	k := l.Key()
-	if s.keys[k] {
+	p := litPred(l)
+	sh := &s.shards[shardOf(p)]
+	k := s.litID(p, l)
+	if sh.keys[k] {
 		return false
 	}
-	s.keys[k] = true
-	p := litPred(l)
-	s.byPred[p] = append(s.byPred[p], l.Atom)
+	sh.keys[k] = true
+	pa := sh.byPred[p]
+	if pa == nil {
+		pa = &predAtoms{}
+		sh.byPred[p] = pa
+	}
+	idx := len(pa.atoms)
+	pa.atoms = append(pa.atoms, l.Atom)
+	for c, t := range l.Atom.Args {
+		if c >= len(pa.cols) {
+			grown := make([]map[string][]int, c+1)
+			copy(grown, pa.cols)
+			pa.cols = grown
+		}
+		if pa.cols[c] == nil {
+			pa.cols[c] = make(map[string][]int)
+		}
+		pa.cols[c][t.Name] = append(pa.cols[c][t.Name], idx)
+	}
 	return true
 }
 
-func (s *atomSet) has(l lp.Literal) bool { return s.keys[l.Key()] }
+func (s *atomSet) has(l lp.Literal) bool {
+	p := litPred(l)
+	return s.shards[shardOf(p)].keys[s.litID(p, l)]
+}
+
+func (s *atomSet) pred(p string) *predAtoms {
+	return s.shards[shardOf(p)].byPred[p]
+}
+
+// candidates returns the indices (in insertion order) of the atoms
+// that agree with the pattern's ground arguments, driven by the ground
+// column with the fewest entries; nil with found=false means "no index
+// applies, scan everything".
+func (pa *predAtoms) candidates(pat term.Atom) (idx []int, found bool) {
+	best := -1
+	for c, t := range pat.Args {
+		if t.IsVar {
+			continue
+		}
+		if c >= len(pa.cols) || pa.cols[c] == nil {
+			return nil, true // ground column never indexed: no atom can match
+		}
+		list := pa.cols[c][t.Name]
+		if len(list) == 0 {
+			return nil, true
+		}
+		if best == -1 || len(list) < len(idx) {
+			best, idx = c, list
+		}
+	}
+	return idx, best != -1
+}
 
 // matchPos enumerates all substitutions grounding the rule's positive
 // body against the possible-atom set, with comparisons checked as soon
-// as both sides are bound.
+// as both sides are bound. Candidates come from the per-column indexes
+// of the atom set, and backtracking uses a binding trail instead of
+// cloning the substitution per candidate; the enumeration order is the
+// insertion order of the possible-set fixpoint, as in the seed.
 func matchPos(r lp.Rule, possible *atomSet, fn func(term.Subst) error) error {
-	var rec func(i int, s term.Subst) error
-	rec = func(i int, s term.Subst) error {
+	s := term.NewSubst()
+	var trail []string
+	var rec func(i int) error
+	rec = func(i int) error {
 		if i == len(r.PosB) {
 			for _, c := range r.Cmps {
 				ok, err := c.Eval(s)
@@ -222,18 +345,37 @@ func matchPos(r lp.Rule, possible *atomSet, fn func(term.Subst) error) error {
 			return fn(s)
 		}
 		l := r.PosB[i]
+		pa := possible.pred(litPred(l))
+		if pa == nil {
+			return nil
+		}
 		pat := s.Apply(l.Atom)
-		for _, cand := range possible.byPred[litPred(l)] {
-			s2 := s.Clone()
-			if term.Match(pat, cand, s2) {
-				if err := rec(i+1, s2); err != nil {
+		try := func(cand term.Atom) error {
+			mark := len(trail)
+			if term.MatchTrail(pat, cand, s, &trail) {
+				if err := rec(i + 1); err != nil {
 					return err
 				}
+			}
+			trail = term.UnbindTrail(s, trail, mark)
+			return nil
+		}
+		if idx, ok := pa.candidates(pat); ok {
+			for _, ci := range idx {
+				if err := try(pa.atoms[ci]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, cand := range pa.atoms {
+			if err := try(cand); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
-	return rec(0, term.NewSubst())
+	return rec(0)
 }
 
 // Facts extracts the ground atoms of a ground program that occur as

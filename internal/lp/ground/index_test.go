@@ -1,0 +1,84 @@
+package ground
+
+import (
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/term"
+)
+
+func lit(neg bool, pred string, args ...string) lp.Literal {
+	ts := make([]term.Term, len(args))
+	for i, a := range args {
+		ts[i] = term.C(a)
+	}
+	return lp.Literal{Neg: neg, Atom: term.Atom{Pred: pred, Args: ts}}
+}
+
+// TestAtomSetIndexedCandidates checks the sharded per-column index:
+// candidates must be exactly the atoms agreeing on the pattern's ground
+// columns, in insertion order, with strong negation folded into the
+// predicate.
+func TestAtomSetIndexedCandidates(t *testing.T) {
+	s := newAtomSet()
+	atoms := []lp.Literal{
+		lit(false, "p", "a", "b"),
+		lit(false, "p", "a", "c"),
+		lit(false, "p", "d", "b"),
+		lit(true, "p", "a", "b"), // -p(a,b): separate predicate "-p"
+		lit(false, "q", "a"),
+	}
+	for _, l := range atoms {
+		if !s.add(l) {
+			t.Fatalf("add(%s) reported duplicate", l)
+		}
+	}
+	if s.add(atoms[0]) {
+		t.Fatal("re-add must report duplicate")
+	}
+	for _, l := range atoms {
+		if !s.has(l) {
+			t.Fatalf("has(%s) = false", l)
+		}
+	}
+	if s.has(lit(false, "p", "z", "z")) {
+		t.Fatal("has on absent atom")
+	}
+
+	pa := s.pred("p")
+	if pa == nil || len(pa.atoms) != 3 {
+		t.Fatalf("pred(p) = %+v", pa)
+	}
+	// p(a, Y): column 0 drives, insertion order preserved.
+	idx, found := pa.candidates(term.NewAtom("p", term.C("a"), term.V("Y")))
+	if !found || len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("candidates p(a,Y) = %v, %v", idx, found)
+	}
+	// p(X, b): column 1 drives.
+	idx, found = pa.candidates(term.NewAtom("p", term.V("X"), term.C("b")))
+	if !found || len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("candidates p(X,b) = %v, %v", idx, found)
+	}
+	// p(X, Y): no ground column — full scan requested.
+	if _, found = pa.candidates(term.NewAtom("p", term.V("X"), term.V("Y"))); found {
+		t.Fatal("all-variable pattern must request a full scan")
+	}
+	// p(z, Y): unknown constant — provably empty.
+	idx, found = pa.candidates(term.NewAtom("p", term.C("z"), term.V("Y")))
+	if !found || len(idx) != 0 {
+		t.Fatalf("candidates p(z,Y) = %v, %v", idx, found)
+	}
+	// The strongly negated atom lives under its own predicate.
+	if na := s.pred("-p"); na == nil || len(na.atoms) != 1 {
+		t.Fatalf("pred(-p) = %+v", na)
+	}
+}
+
+// TestShardOfStable pins the shard function's range.
+func TestShardOfStable(t *testing.T) {
+	for _, pred := range []string{"", "p", "-p", "edge", "some_long_predicate_name"} {
+		if sh := shardOf(pred); sh < 0 || sh >= atomShards {
+			t.Fatalf("shardOf(%q) = %d out of range", pred, sh)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package solve
 
 import (
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -93,7 +92,7 @@ func stableModelsParallel(gp *ground.Program, opt Options) ([]Model, error) {
 	var all []Model
 	for _, ms := range results {
 		for _, m := range ms {
-			sig := strings.Join(m, "\x1f")
+			sig := modelBits(gp, m)
 			if !seen[sig] {
 				seen[sig] = true
 				all = append(all, m)

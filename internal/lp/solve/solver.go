@@ -153,6 +153,17 @@ func StableModels(gp *ground.Program, opt Options) ([]Model, error) {
 	return s.models, nil
 }
 
+// modelBits renders a model as its atom-id bitset signature under the
+// program's atom index, the same keying leaf uses for deduplication.
+func modelBits(gp *ground.Program, m Model) string {
+	bits := make([]byte, (len(gp.Atoms)+7)/8)
+	for _, k := range m {
+		a := gp.Index[k]
+		bits[a>>3] |= 1 << uint(a&7)
+	}
+	return string(bits)
+}
+
 func sortModels(models []Model) {
 	sort.Slice(models, func(i, j int) bool {
 		return strings.Join(models[i], "\x1f") < strings.Join(models[j], "\x1f")
@@ -454,8 +465,22 @@ func (s *solver) search() {
 }
 
 // leaf verifies the total assignment is a stable model and records it.
+// Models are deduplicated by an atom-id bitset signature, so a repeated
+// leaf costs one bit scan instead of rendering and joining the sorted
+// atom keys (and known models skip the stability re-check entirely).
 func (s *solver) leaf() {
-	m := make(map[int]bool)
+	bits := make([]byte, (len(s.assign)+7)/8)
+	count := 0
+	for a, v := range s.assign {
+		if v == vTrue {
+			bits[a>>3] |= 1 << uint(a&7)
+			count++
+		}
+	}
+	if s.seen[string(bits)] {
+		return
+	}
+	m := make(map[int]bool, count)
 	for a, v := range s.assign {
 		if v == vTrue {
 			m[a] = true
@@ -464,18 +489,15 @@ func (s *solver) leaf() {
 	if !s.isStable(m) {
 		return
 	}
-	var keys []string
+	s.seen[string(bits)] = true
+	keys := make([]string, 0, count)
 	for a := range m {
 		keys = append(keys, s.gp.Atoms[a])
 	}
 	sort.Strings(keys)
-	sig := strings.Join(keys, "\x1f")
-	if !s.seen[sig] {
-		s.seen[sig] = true
-		s.models = append(s.models, Model(keys))
-		if s.counter != nil {
-			s.counter.Add(1)
-		}
+	s.models = append(s.models, Model(keys))
+	if s.counter != nil {
+		s.counter.Add(1)
 	}
 }
 

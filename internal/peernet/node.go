@@ -3,6 +3,7 @@ package peernet
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -147,6 +148,19 @@ func (n *Node) handle(req Request) Response {
 			tuples = append(tuples, []string(t))
 		}
 		return Response{Tuples: tuples}
+	case OpFetchBatch:
+		rt := make(map[string][][]string, len(req.Rels))
+		for _, rel := range req.Rels {
+			if !n.Peer.Schema.Has(rel) {
+				return errResp(fmt.Errorf("peer %s has no relation %s", n.Peer.ID, rel))
+			}
+			tuples := [][]string{}
+			for _, t := range n.Peer.Inst.Tuples(rel) {
+				tuples = append(tuples, []string(t))
+			}
+			rt[rel] = tuples
+		}
+		return Response{RelTuples: rt}
 	case OpQuery:
 		f, err := foquery.Parse(req.Query)
 		if err != nil {
@@ -360,43 +374,81 @@ func (n *Node) PeerConsistentAnswers(q foquery.Formula, vars []string, transitiv
 // FetchRelation retrieves a neighbour's relation over the network,
 // serving from the TTL cache when enabled.
 func (n *Node) FetchRelation(id core.PeerID, rel string) ([]relation.Tuple, error) {
-	key := string(id) + "\x00" + rel
+	m, err := n.FetchRelations(id, []string{rel})
+	if err != nil {
+		return nil, err
+	}
+	return m[rel], nil
+}
+
+func relCacheKey(id core.PeerID, rel string) string { return string(id) + "\x00" + rel }
+
+// FetchRelations retrieves several of a neighbour's relations in ONE
+// network round-trip (OpFetchBatch): the ROADMAP's batched alternative
+// to issuing one OpFetch per relation, which pays the link latency k
+// times. Relations already in the TTL cache are served locally and
+// only the misses travel; the result maps each requested relation to
+// its tuples (decoded from the plain-string wire form at this
+// boundary).
+func (n *Node) FetchRelations(id core.PeerID, rels []string) (map[string][]relation.Tuple, error) {
+	out := make(map[string][]relation.Tuple, len(rels))
+	missing := rels
 	var gen uint64
 	if n.CacheTTL > 0 {
+		missing = nil
 		n.cacheMu.Lock()
-		if e, ok := n.relCache[key]; ok && n.now().Before(e.expires) {
-			out := make([]relation.Tuple, len(e.tuples))
-			copy(out, e.tuples)
-			n.cacheMu.Unlock()
-			return out, nil
-		}
 		gen = n.cacheGen
+		for _, rel := range rels {
+			if e, ok := n.relCache[relCacheKey(id, rel)]; ok && n.now().Before(e.expires) {
+				cp := make([]relation.Tuple, len(e.tuples))
+				copy(cp, e.tuples)
+				out[rel] = cp
+			} else {
+				missing = append(missing, rel)
+			}
+		}
 		n.cacheMu.Unlock()
+	}
+	if len(missing) == 0 {
+		return out, nil
 	}
 	addr, ok := n.NeighborAddr(id)
 	if !ok {
 		return nil, fmt.Errorf("peernet: no address known for peer %s", id)
 	}
-	resp, err := n.tr.Call(addr, Request{Op: OpFetch, Rel: rel})
+	resp, err := n.tr.Call(addr, Request{Op: OpFetchBatch, Rels: missing})
 	if err != nil {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("peernet: fetch %s from %s: %s", rel, id, resp.Err)
+		return nil, fmt.Errorf("peernet: fetch %s from %s: %s", strings.Join(missing, ","), id, resp.Err)
 	}
-	out := make([]relation.Tuple, len(resp.Tuples))
-	for i, t := range resp.Tuples {
-		out[i] = relation.Tuple(t)
+	for _, rel := range missing {
+		raw, ok := resp.RelTuples[rel]
+		if !ok {
+			return nil, fmt.Errorf("peernet: peer %s returned no tuples for %s", id, rel)
+		}
+		tuples := make([]relation.Tuple, len(raw))
+		for i, t := range raw {
+			tuples[i] = relation.Tuple(t)
+		}
+		out[rel] = tuples
 	}
 	if n.CacheTTL > 0 {
-		cached := make([]relation.Tuple, len(out))
-		copy(cached, out)
+		// Store the whole batch in one critical section: the results
+		// arrived in one response, so they share one expiry and one
+		// generation check.
 		n.cacheMu.Lock()
 		if n.cacheGen == gen {
 			if n.relCache == nil {
 				n.relCache = make(map[string]*relEntry)
 			}
-			n.relCache[key] = &relEntry{tuples: cached, expires: n.now().Add(n.CacheTTL)}
+			expires := n.now().Add(n.CacheTTL)
+			for _, rel := range missing {
+				cached := make([]relation.Tuple, len(out[rel]))
+				copy(cached, out[rel])
+				n.relCache[relCacheKey(id, rel)] = &relEntry{tuples: cached, expires: expires}
+			}
 		}
 		n.cacheMu.Unlock()
 	}

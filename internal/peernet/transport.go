@@ -28,6 +28,10 @@ const (
 	OpRelations Op = "relations"
 	// OpFetch retrieves all tuples of one relation.
 	OpFetch Op = "fetch"
+	// OpFetchBatch retrieves several relations in one round-trip: the
+	// batched counterpart of OpFetch, so a peer needing k of a
+	// neighbour's relations pays one link latency instead of k.
+	OpFetchBatch Op = "fetchbatch"
 	// OpQuery evaluates a first-order query over the peer's local
 	// instance (no repair semantics; the remote peer's raw data).
 	OpQuery Op = "query"
@@ -39,10 +43,12 @@ const (
 	OpPCA Op = "pca"
 )
 
-// Request is a wire request.
+// Request is a wire request. Tuples travel as plain strings: interning
+// is a node-local concern, ids are never meaningful across peers.
 type Request struct {
 	Op    Op
 	Rel   string
+	Rels  []string // OpFetchBatch: the relations to retrieve
 	Query string
 	Vars  []string
 	// Transitive selects the Section 4.3 semantics for OpPCA.
@@ -54,6 +60,7 @@ type Response struct {
 	Err       string
 	Relations []string
 	Tuples    [][]string
+	RelTuples map[string][][]string // OpFetchBatch: relation -> tuples
 	Spec      string
 	Neighbors map[string]string // peer id -> address
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/relation"
+	"repro/internal/symtab"
 )
 
 // FilterMinimal keeps the instances whose symmetric difference from
@@ -14,26 +15,35 @@ import (
 // by delta minimality restores exact agreement with the
 // model-theoretic semantics of Definition 4 — tests cross-validate
 // core.SolutionsFor == FilterMinimal(SolutionsViaLP).
+//
+// Like repair's minimalByDelta, deltas are sorted fact-id sets:
+// candidates are scanned in ascending delta size and each subset test
+// is a merge walk, not a string-keyed map probe.
 func FilterMinimal(base *relation.Instance, sols []*relation.Instance) []*relation.Instance {
-	deltas := make([]map[string]bool, len(sols))
+	tab := symtab.New()
+	deltas := make([][]symtab.Sym, len(sols))
 	for i, s := range sols {
-		deltas[i] = relation.DeltaKeySet(relation.SymDiff(base, s))
+		deltas[i] = relation.DeltaIDs(tab, relation.SymDiff(base, s))
 	}
+	order := make([]int, len(sols))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return len(deltas[order[a]]) < len(deltas[order[b]]) })
 	var out []*relation.Instance
 	seen := map[string]bool{}
-	for i := range sols {
+	for oi, i := range order {
 		minimal := true
-		for j := range sols {
-			if i == j {
-				continue
-			}
-			if relation.SubsetOf(deltas[j], deltas[i]) && len(deltas[j]) < len(deltas[i]) {
+		for _, j := range order[:oi] {
+			if len(deltas[j]) < len(deltas[i]) && relation.SubsetOfIDs(deltas[j], deltas[i]) {
 				minimal = false
 				break
 			}
 		}
 		if minimal {
-			k := sols[i].Key()
+			// The delta identifies the instance (given base), so the
+			// packed delta doubles as the dedup key.
+			k := relation.PackIDKey(deltas[i])
 			if !seen[k] {
 				seen[k] = true
 				out = append(out, sols[i])

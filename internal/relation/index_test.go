@@ -1,0 +1,149 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/symtab"
+	"repro/internal/term"
+)
+
+func testInstance() *Instance {
+	in := NewInstance()
+	in.Insert("r", Tuple{"a", "b"})
+	in.Insert("r", Tuple{"a", "c"})
+	in.Insert("r", Tuple{"d", "b"})
+	in.Insert("s", Tuple{"a"})
+	return in
+}
+
+func TestTuplesSharedMatchesTuples(t *testing.T) {
+	in := testInstance()
+	if got, want := in.TuplesShared("r"), in.Tuples("r"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("TuplesShared = %v, Tuples = %v", got, want)
+	}
+	if got := in.TuplesShared("missing"); got != nil {
+		t.Fatalf("TuplesShared(missing) = %v", got)
+	}
+}
+
+// TestMatchingTuplesEqualsFilteredScan: for every pattern shape, the
+// indexed candidates must be the filtered full scan in the same order.
+func TestMatchingTuplesEqualsFilteredScan(t *testing.T) {
+	in := testInstance()
+	pats := []term.Atom{
+		term.NewAtom("r", term.V("X"), term.V("Y")),              // full scan
+		term.NewAtom("r", term.C("a"), term.V("Y")),              // col 0 bound
+		term.NewAtom("r", term.V("X"), term.C("b")),              // col 1 bound
+		term.NewAtom("r", term.C("d"), term.C("b")),              // both bound
+		term.NewAtom("r", term.C("z"), term.V("Y")),              // unknown constant
+		term.NewAtom("r", term.C("a"), term.C("a")),              // known consts, no tuple
+		term.NewAtom("missing", term.C("a"), term.V("Y")),        // unknown relation
+		term.NewAtom("s", term.C("a"), term.C("b"), term.C("c")), // arity beyond stored
+	}
+	for _, pat := range pats {
+		var want []Tuple
+		for _, tup := range in.Tuples(pat.Pred) {
+			ok := len(tup) >= 0
+			for c, arg := range pat.Args {
+				if arg.IsVar {
+					continue
+				}
+				if c >= len(tup) || tup[c] != arg.Name {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want = append(want, tup)
+			}
+		}
+		got := in.MatchingTuples(pat)
+		if len(got) != len(want) {
+			t.Fatalf("%s: MatchingTuples = %v, want %v", pat, got, want)
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%s: MatchingTuples = %v, want %v (order must match the sorted scan)", pat, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexInvalidation: mutations must be visible through the cached
+// views and indexes.
+func TestIndexInvalidation(t *testing.T) {
+	in := testInstance()
+	pat := term.NewAtom("r", term.C("a"), term.V("Y"))
+	if got := in.MatchingTuples(pat); len(got) != 2 {
+		t.Fatalf("before insert: %v", got)
+	}
+	in.Insert("r", Tuple{"a", "z"})
+	if got := in.MatchingTuples(pat); len(got) != 3 {
+		t.Fatalf("after insert: %v", got)
+	}
+	in.Delete("r", Tuple{"a", "b"})
+	if got := in.MatchingTuples(pat); len(got) != 2 {
+		t.Fatalf("after delete: %v", got)
+	}
+	if got := in.TuplesShared("r"); len(got) != 3 {
+		t.Fatalf("after mutations TuplesShared = %v", got)
+	}
+}
+
+// TestRehome: re-interning onto another table preserves contents and
+// makes the instances comparable by id.
+func TestRehome(t *testing.T) {
+	a := testInstance()
+	tab := symtab.New()
+	tab.Intern("unrelated") // shift ids so they differ from a's table
+	before := a.Key()
+	a.Rehome(tab)
+	if a.Table() != tab {
+		t.Fatal("Rehome did not adopt the table")
+	}
+	if a.Key() != before {
+		t.Fatalf("Rehome changed contents: %q -> %q", before, a.Key())
+	}
+	if !a.Has("r", Tuple{"a", "b"}) || a.Has("r", Tuple{"b", "a"}) {
+		t.Fatal("membership broken after Rehome")
+	}
+	// Fast-path SymDiff across instances sharing the table.
+	b := NewInstanceIn(tab)
+	b.AddAll(a)
+	if d := SymDiff(a, b); len(d) != 0 {
+		t.Fatalf("SymDiff after AddAll = %v", d)
+	}
+	b.Delete("r", Tuple{"a", "c"})
+	b.Insert("s", Tuple{"q"})
+	if d := SymDiff(a, b); len(d) != 2 {
+		t.Fatalf("SymDiff = %v, want 2 facts", d)
+	}
+}
+
+// TestCrossTableOps: instances on different tables still compare by
+// value through the string fallback paths.
+func TestCrossTableOps(t *testing.T) {
+	a := testInstance()
+	b := testInstance() // separate table with identical contents
+	if a.Table() == b.Table() {
+		t.Fatal("expected distinct tables")
+	}
+	if !a.Equal(b) {
+		t.Fatal("Equal must hold across tables")
+	}
+	if d := SymDiff(a, b); len(d) != 0 {
+		t.Fatalf("SymDiff across tables = %v", d)
+	}
+	b.Insert("r", Tuple{"new", "fact"})
+	if a.Equal(b) {
+		t.Fatal("Equal must see the extra fact")
+	}
+	if d := SymDiff(a, b); len(d) != 1 {
+		t.Fatalf("SymDiff across tables = %v, want 1", d)
+	}
+	u := a.Union(b)
+	if u.Size() != a.Size()+1 {
+		t.Fatalf("Union size = %d", u.Size())
+	}
+}

@@ -4,13 +4,27 @@
 // restriction, symmetric difference) and the active domain. It is the
 // concrete realization of the instances r(P) of Definition 2 and of the
 // distance Δ(r1,r2) of Definition 1 in the paper.
+//
+// Storage is interned: every constant is mapped to a dense uint32 id in
+// a symtab.Table (shared across the instances of one core.System), and
+// tuples are stored and hashed as packed id vectors instead of joined
+// strings. Each relation additionally carries lazily built per-column
+// hash indexes (value id → tuples), so constraint matching, grounding
+// and the repair search join through index lookups instead of full
+// scans. The string-level API (Tuple, Insert, Tuples, ...) is preserved
+// as a thin view over the interned core, and every enumeration order is
+// unchanged: tuples sort by their rendered string key exactly as
+// before.
 package relation
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"repro/internal/symtab"
 	"repro/internal/term"
 )
 
@@ -103,30 +117,152 @@ func (s *Schema) Union(t *Schema) *Schema {
 	return u
 }
 
-// Instance is a database instance: for each relation name, a set of
-// tuples. The zero value is not usable; use NewInstance.
-type Instance struct {
-	rels map[string]map[string]Tuple // name -> key -> tuple
+// idTuple is a tuple of interned constant ids.
+type idTuple []symtab.Sym
+
+// packIDs appends the 4-byte big-endian encoding of each id to dst.
+// The packed form is the canonical map key of the interned tuple.
+func packIDs(dst []byte, ids idTuple) []byte {
+	for _, id := range ids {
+		var w [4]byte
+		binary.BigEndian.PutUint32(w[:], id)
+		dst = append(dst, w[:]...)
+	}
+	return dst
 }
 
-// NewInstance returns an empty instance.
+// relData is the interned store of one relation: the tuple set keyed by
+// packed id vectors, plus lazily built read caches — the sorted string
+// view every enumeration is served from, and per-column value indexes
+// over that view. Mutations invalidate the caches; cache builds are
+// guarded by mu so concurrent readers (queries never mutate) stay
+// race-free.
+type relData struct {
+	tuples map[string]idTuple
+
+	mu        sync.Mutex
+	sorted    []Tuple                // sorted by Tuple.Key; read-only once built
+	sortedIDs []idTuple              // id tuples aligned with sorted
+	cols      []map[symtab.Sym][]int // column -> value id -> indices into sorted
+}
+
+func newRelData() *relData { return &relData{tuples: make(map[string]idTuple)} }
+
+// invalidate drops the read caches after a mutation.
+func (r *relData) invalidate() {
+	r.mu.Lock()
+	r.sorted = nil
+	r.sortedIDs = nil
+	r.cols = nil
+	r.mu.Unlock()
+}
+
+// Instance is a database instance: for each relation name, a set of
+// tuples. The zero value is not usable; use NewInstance (private table)
+// or NewInstanceIn (table shared with other instances, e.g. per
+// core.System). Mutations must not run concurrently with reads; the
+// lazily built read caches are internally synchronized, so read-only
+// sharing between goroutines is safe.
+type Instance struct {
+	tab  *symtab.Table
+	rels map[string]*relData
+}
+
+// NewInstance returns an empty instance with a fresh symbol table.
 func NewInstance() *Instance {
-	return &Instance{rels: make(map[string]map[string]Tuple)}
+	return NewInstanceIn(symtab.New())
+}
+
+// NewInstanceIn returns an empty instance interning into the given
+// table. Instances derived from this one (Clone, Union, Restrict)
+// share the table; tables are append-only and safe for concurrent use.
+func NewInstanceIn(tab *symtab.Table) *Instance {
+	if tab == nil {
+		tab = symtab.New()
+	}
+	return &Instance{tab: tab, rels: make(map[string]*relData)}
+}
+
+// Table returns the symbol table the instance interns into.
+func (in *Instance) Table() *symtab.Table { return in.tab }
+
+// Rehome re-interns the instance onto another symbol table, so that it
+// shares ids with the instances already living there (core.System does
+// this once per added peer). It is a no-op when tab is already the
+// instance's table.
+func (in *Instance) Rehome(tab *symtab.Table) {
+	if tab == nil || tab == in.tab {
+		return
+	}
+	old := in.tab
+	in.tab = tab
+	for _, r := range in.rels {
+		moved := make(map[string]idTuple, len(r.tuples))
+		var buf []byte
+		for _, ids := range r.tuples {
+			nids := make(idTuple, len(ids))
+			for i, id := range ids {
+				nids[i] = tab.Intern(old.Name(id))
+			}
+			buf = packIDs(buf[:0], nids)
+			moved[string(buf)] = nids
+		}
+		r.tuples = moved
+		r.invalidate()
+	}
+}
+
+// intern converts a string tuple to ids, interning unseen constants.
+func (in *Instance) intern(t Tuple) idTuple {
+	ids := make(idTuple, len(t))
+	for i, v := range t {
+		ids[i] = in.tab.Intern(v)
+	}
+	return ids
+}
+
+// lookupIDs converts a string tuple to ids without interning; ok is
+// false when some constant is unknown to the table (then the tuple
+// cannot be present in any relation of this instance).
+func (in *Instance) lookupIDs(t Tuple) (idTuple, bool) {
+	ids := make(idTuple, len(t))
+	for i, v := range t {
+		id, ok := in.tab.Lookup(v)
+		if !ok {
+			return nil, false
+		}
+		ids[i] = id
+	}
+	return ids, true
+}
+
+// strings renders an id tuple back to a string tuple.
+func (in *Instance) strings(ids idTuple) Tuple {
+	t := make(Tuple, len(ids))
+	for i, id := range ids {
+		t[i] = in.tab.Name(id)
+	}
+	return t
 }
 
 // Insert adds a tuple to the named relation. It reports whether the
 // tuple was newly added.
 func (in *Instance) Insert(rel string, t Tuple) bool {
-	m, ok := in.rels[rel]
+	return in.insertIDs(rel, in.intern(t))
+}
+
+func (in *Instance) insertIDs(rel string, ids idTuple) bool {
+	r, ok := in.rels[rel]
 	if !ok {
-		m = make(map[string]Tuple)
-		in.rels[rel] = m
+		r = newRelData()
+		in.rels[rel] = r
 	}
-	k := t.Key()
-	if _, dup := m[k]; dup {
+	key := packIDs(nil, ids)
+	if _, dup := r.tuples[string(key)]; dup {
 		return false
 	}
-	m[k] = t.Clone()
+	r.tuples[string(key)] = ids
+	r.invalidate()
 	return true
 }
 
@@ -144,60 +280,222 @@ func (in *Instance) InsertAtom(a term.Atom) bool {
 
 // Delete removes a tuple; it reports whether the tuple was present.
 func (in *Instance) Delete(rel string, t Tuple) bool {
-	m, ok := in.rels[rel]
+	r, ok := in.rels[rel]
 	if !ok {
 		return false
 	}
-	k := t.Key()
-	if _, present := m[k]; !present {
+	ids, ok := in.lookupIDs(t)
+	if !ok {
 		return false
 	}
-	delete(m, k)
+	key := packIDs(nil, ids)
+	if _, present := r.tuples[string(key)]; !present {
+		return false
+	}
+	delete(r.tuples, string(key))
+	r.invalidate()
 	return true
 }
 
 // Has reports membership of a tuple.
 func (in *Instance) Has(rel string, t Tuple) bool {
-	m, ok := in.rels[rel]
+	r, ok := in.rels[rel]
 	if !ok {
 		return false
 	}
-	_, present := m[t.Key()]
+	ids, ok := in.lookupIDs(t)
+	if !ok {
+		return false
+	}
+	var buf [32]byte
+	key := packIDs(buf[:0], ids)
+	_, present := r.tuples[string(key)]
 	return present
 }
 
 // HasAtom reports membership of a ground atom.
 func (in *Instance) HasAtom(a term.Atom) bool {
-	t := make(Tuple, len(a.Args))
-	for i, arg := range a.Args {
+	r, ok := in.rels[a.Pred]
+	if !ok {
+		return false
+	}
+	var buf [32]byte
+	key := buf[:0]
+	for _, arg := range a.Args {
 		if arg.IsVar {
 			return false
 		}
-		t[i] = arg.Name
+		id, known := in.tab.Lookup(arg.Name)
+		if !known {
+			return false
+		}
+		var w [4]byte
+		binary.BigEndian.PutUint32(w[:], id)
+		key = append(key, w[:]...)
 	}
-	return in.Has(a.Pred, t)
+	_, present := r.tuples[string(key)]
+	return present
+}
+
+// buildSorted (re)builds the relation's sorted views under r.mu: the
+// string tuples sorted by their canonical key, and the id tuples
+// aligned with that order.
+func (in *Instance) buildSorted(r *relData) {
+	if r.sorted != nil || len(r.tuples) == 0 {
+		return
+	}
+	type row struct {
+		t   Tuple
+		ids idTuple
+	}
+	rows := make([]row, 0, len(r.tuples))
+	for _, ids := range r.tuples {
+		rows = append(rows, row{t: in.strings(ids), ids: ids})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].t.Key() < rows[j].t.Key() })
+	r.sorted = make([]Tuple, len(rows))
+	r.sortedIDs = make([]idTuple, len(rows))
+	for i, rw := range rows {
+		r.sorted[i] = rw.t
+		r.sortedIDs[i] = rw.ids
+	}
+}
+
+// sortedView returns the relation's cached sorted string view, building
+// it on first use. The returned slice and its tuples are read-only.
+func (in *Instance) sortedView(rel string) []Tuple {
+	r, ok := in.rels[rel]
+	if !ok {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	in.buildSorted(r)
+	return r.sorted
+}
+
+// colIndex returns the relation's lazily built per-column indexes over
+// the sorted view. The indexes are built directly from the stored id
+// tuples (no string re-hashing).
+func (in *Instance) colIndex(rel string) ([]map[symtab.Sym][]int, []Tuple) {
+	r, ok := in.rels[rel]
+	if !ok {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	in.buildSorted(r)
+	if r.cols == nil && len(r.sortedIDs) > 0 {
+		arity := 0
+		for _, ids := range r.sortedIDs {
+			if len(ids) > arity {
+				arity = len(ids)
+			}
+		}
+		cols := make([]map[symtab.Sym][]int, arity)
+		for c := range cols {
+			cols[c] = make(map[symtab.Sym][]int)
+		}
+		for i, ids := range r.sortedIDs {
+			for c, id := range ids {
+				cols[c][id] = append(cols[c][id], i)
+			}
+		}
+		r.cols = cols
+	}
+	return r.cols, r.sorted
 }
 
 // Tuples returns the tuples of a relation in deterministic (sorted)
 // order. The returned tuples are copies.
 func (in *Instance) Tuples(rel string) []Tuple {
-	m := in.rels[rel]
-	out := make([]Tuple, 0, len(m))
-	for _, t := range m {
-		out = append(out, t.Clone())
+	view := in.sortedView(rel)
+	out := make([]Tuple, len(view))
+	for i, t := range view {
+		out[i] = t.Clone()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// TuplesShared returns the tuples of a relation in the same order as
+// Tuples but without copying. The result is a shared read-only view:
+// callers must not modify the slice or its tuples, and must not hold it
+// across mutations of the instance.
+func (in *Instance) TuplesShared(rel string) []Tuple {
+	return in.sortedView(rel)
+}
+
+// MatchingTuples returns the tuples of pat.Pred that agree with every
+// ground argument of the pattern, using the per-column indexes: the
+// ground column with the fewest candidates drives the lookup and the
+// remaining ground columns filter. Variables match anything, so
+// callers still need term.Match for variable consistency (repeated
+// variables) and arity. The result preserves the sorted enumeration
+// order of Tuples and is a shared read-only view like TuplesShared.
+// Patterns with no ground arguments fall back to the full (shared)
+// view.
+func (in *Instance) MatchingTuples(pat term.Atom) []Tuple {
+	cols, sorted := in.colIndex(pat.Pred)
+	if len(sorted) == 0 {
+		return nil
+	}
+	best := -1 // candidate index list; -1 means full scan
+	var bestList []int
+	for c, arg := range pat.Args {
+		if arg.IsVar {
+			continue
+		}
+		if c >= len(cols) {
+			return nil // ground column beyond every stored arity
+		}
+		id, known := in.tab.Lookup(arg.Name)
+		if !known {
+			return nil // constant never interned: no tuple can match
+		}
+		list := cols[c][id]
+		if len(list) == 0 {
+			return nil
+		}
+		if best == -1 || len(list) < len(bestList) {
+			best, bestList = c, list
+		}
+	}
+	if best == -1 {
+		return sorted
+	}
+	out := make([]Tuple, 0, len(bestList))
+	for _, idx := range bestList {
+		t := sorted[idx]
+		ok := true
+		for c, arg := range pat.Args {
+			if arg.IsVar || c == best {
+				continue
+			}
+			if c >= len(t) || t[c] != arg.Name {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
 	return out
 }
 
 // Count returns the number of tuples in a relation.
-func (in *Instance) Count(rel string) int { return len(in.rels[rel]) }
+func (in *Instance) Count(rel string) int {
+	if r, ok := in.rels[rel]; ok {
+		return len(r.tuples)
+	}
+	return 0
+}
 
 // Size returns the total number of tuples in the instance.
 func (in *Instance) Size() int {
 	n := 0
-	for _, m := range in.rels {
-		n += len(m)
+	for _, r := range in.rels {
+		n += len(r.tuples)
 	}
 	return n
 }
@@ -205,8 +503,8 @@ func (in *Instance) Size() int {
 // Relations returns the names of the non-empty relations, sorted.
 func (in *Instance) Relations() []string {
 	out := make([]string, 0, len(in.rels))
-	for name, m := range in.rels {
-		if len(m) > 0 {
+	for name, r := range in.rels {
+		if len(r.tuples) > 0 {
 			out = append(out, name)
 		}
 	}
@@ -214,57 +512,71 @@ func (in *Instance) Relations() []string {
 	return out
 }
 
-// Clone deep-copies the instance.
+// Clone deep-copies the instance. The clone shares the (append-only)
+// symbol table and the immutable id tuples; only the per-relation sets
+// are copied, so cloning inside the repair search stays cheap.
 func (in *Instance) Clone() *Instance {
-	c := NewInstance()
-	for rel, m := range in.rels {
-		cm := make(map[string]Tuple, len(m))
-		for k, t := range m {
-			cm[k] = t.Clone()
+	c := NewInstanceIn(in.tab)
+	for rel, r := range in.rels {
+		cr := newRelData()
+		cr.tuples = make(map[string]idTuple, len(r.tuples))
+		for k, ids := range r.tuples {
+			cr.tuples[k] = ids
 		}
-		c.rels[rel] = cm
+		c.rels[rel] = cr
 	}
 	return c
+}
+
+// AddAll inserts every tuple of other into the instance (in-place
+// union). When both instances share a symbol table the id tuples are
+// reused directly, without re-interning.
+func (in *Instance) AddAll(other *Instance) {
+	for rel, r := range other.rels {
+		if other.tab == in.tab {
+			for _, ids := range r.tuples {
+				in.insertIDs(rel, ids)
+			}
+		} else {
+			for _, ids := range r.tuples {
+				in.Insert(rel, other.strings(ids))
+			}
+		}
+	}
 }
 
 // Union returns a new instance holding the tuples of both. This is the
 // global instance r̄ of Definition 3(b).
 func (in *Instance) Union(other *Instance) *Instance {
 	u := in.Clone()
-	for rel, m := range other.rels {
-		for _, t := range m {
-			u.Insert(rel, t)
-		}
-	}
+	u.AddAll(other)
 	return u
 }
 
 // Restrict returns the restriction of the instance to the relations of
 // the given schema (Definition 3(c), r|S').
 func (in *Instance) Restrict(s *Schema) *Instance {
-	r := NewInstance()
-	for rel, m := range in.rels {
-		if !s.Has(rel) {
-			continue
-		}
-		for _, t := range m {
-			r.Insert(rel, t)
-		}
-	}
-	return r
+	return in.restrict(func(rel string) bool { return s.Has(rel) })
 }
 
 // RestrictRels returns the restriction to an explicit set of relation
 // names.
 func (in *Instance) RestrictRels(names map[string]bool) *Instance {
-	r := NewInstance()
-	for rel, m := range in.rels {
-		if !names[rel] {
+	return in.restrict(func(rel string) bool { return names[rel] })
+}
+
+func (in *Instance) restrict(keep func(string) bool) *Instance {
+	r := NewInstanceIn(in.tab)
+	for rel, rd := range in.rels {
+		if !keep(rel) {
 			continue
 		}
-		for _, t := range m {
-			r.Insert(rel, t)
+		cr := newRelData()
+		cr.tuples = make(map[string]idTuple, len(rd.tuples))
+		for k, ids := range rd.tuples {
+			cr.tuples[k] = ids
 		}
+		r.rels[rel] = cr
 	}
 	return r
 }
@@ -274,14 +586,27 @@ func (in *Instance) Equal(other *Instance) bool {
 	if in.Size() != other.Size() {
 		return false
 	}
-	for rel, m := range in.rels {
-		om := other.rels[rel]
-		if len(m) != len(om) {
+	sameTab := in.tab == other.tab
+	for rel, r := range in.rels {
+		or := other.rels[rel]
+		var on int
+		if or != nil {
+			on = len(or.tuples)
+		}
+		if len(r.tuples) != on {
 			return false
 		}
-		for k := range m {
-			if _, ok := om[k]; !ok {
-				return false
+		if sameTab {
+			for k := range r.tuples {
+				if _, ok := or.tuples[k]; !ok {
+					return false
+				}
+			}
+		} else {
+			for _, ids := range r.tuples {
+				if !other.Has(rel, in.strings(ids)) {
+					return false
+				}
 			}
 		}
 	}
@@ -293,7 +618,7 @@ func (in *Instance) Equal(other *Instance) bool {
 func (in *Instance) Key() string {
 	var parts []string
 	for _, rel := range in.Relations() {
-		for _, t := range in.Tuples(rel) {
+		for _, t := range in.TuplesShared(rel) {
 			parts = append(parts, rel+t.String())
 		}
 	}
@@ -305,7 +630,7 @@ func (in *Instance) Key() string {
 func (in *Instance) String() string {
 	var parts []string
 	for _, rel := range in.Relations() {
-		for _, t := range in.Tuples(rel) {
+		for _, t := range in.TuplesShared(rel) {
 			parts = append(parts, rel+t.String())
 		}
 	}
@@ -317,7 +642,7 @@ func (in *Instance) String() string {
 func (in *Instance) Atoms() []term.Atom {
 	var out []term.Atom
 	for _, rel := range in.Relations() {
-		for _, t := range in.Tuples(rel) {
+		for _, t := range in.TuplesShared(rel) {
 			args := make([]term.Term, len(t))
 			for i, v := range t {
 				args[i] = term.C(v)
@@ -331,17 +656,17 @@ func (in *Instance) Atoms() []term.Atom {
 // ActiveDomain returns the sorted set of constants occurring in the
 // instance.
 func (in *Instance) ActiveDomain() []string {
-	seen := make(map[string]bool)
-	for _, m := range in.rels {
-		for _, t := range m {
-			for _, v := range t {
-				seen[v] = true
+	seen := make(map[symtab.Sym]bool)
+	for _, r := range in.rels {
+		for _, ids := range r.tuples {
+			for _, id := range ids {
+				seen[id] = true
 			}
 		}
 	}
 	out := make([]string, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
+	for id := range seen {
+		out = append(out, in.tab.Name(id))
 	}
 	sort.Strings(out)
 	return out
@@ -360,23 +685,33 @@ func (f Fact) String() string { return f.Rel + f.Tuple.String() }
 func (f Fact) Key() string { return f.Rel + "\x1e" + f.Tuple.Key() }
 
 // SymDiff computes the symmetric difference Δ(r1,r2) of Definition 1:
-// the facts in r1 but not r2, and the facts in r2 but not r1.
+// the facts in r1 but not r2, and the facts in r2 but not r1. When both
+// instances share a symbol table (the normal case: repair candidates
+// are clones of the original) membership tests compare packed id keys
+// directly.
 func SymDiff(r1, r2 *Instance) []Fact {
 	var out []Fact
-	for rel, m := range r1.rels {
-		for _, t := range m {
-			if !r2.Has(rel, t) {
-				out = append(out, Fact{rel, t.Clone()})
+	sameTab := r1.tab == r2.tab
+	diff := func(a, b *Instance) {
+		for rel, r := range a.rels {
+			br := b.rels[rel]
+			for k, ids := range r.tuples {
+				present := false
+				if sameTab {
+					if br != nil {
+						_, present = br.tuples[k]
+					}
+				} else {
+					present = b.Has(rel, a.strings(ids))
+				}
+				if !present {
+					out = append(out, Fact{rel, a.strings(ids)})
+				}
 			}
 		}
 	}
-	for rel, m := range r2.rels {
-		for _, t := range m {
-			if !r1.Has(rel, t) {
-				out = append(out, Fact{rel, t.Clone()})
-			}
-		}
-	}
+	diff(r1, r2)
+	diff(r2, r1)
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
 }
@@ -402,4 +737,42 @@ func SubsetOf(a, b map[string]bool) bool {
 		}
 	}
 	return true
+}
+
+// DeltaIDs interns the fact keys of a delta into tab and returns them
+// as a sorted id set: the interned form of DeltaKeySet, compared with
+// SubsetOfIDs merge walks instead of map probes. Both the repair
+// search and the LP minimality filter key their deltas this way.
+func DeltaIDs(tab *symtab.Table, delta []Fact) []symtab.Sym {
+	ids := make([]symtab.Sym, len(delta))
+	for i, f := range delta {
+		ids[i] = tab.Intern(f.Key())
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SubsetOfIDs reports a ⊆ b for sorted id sets via a single merge
+// walk.
+func SubsetOfIDs(a, b []symtab.Sym) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j == len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// PackIDKey renders a sorted id set as a compact map key (4 bytes per
+// id).
+func PackIDKey(ids []symtab.Sym) string {
+	return string(packIDs(nil, ids))
 }

@@ -1,0 +1,257 @@
+package repair
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/constraint"
+	"repro/internal/foquery"
+	"repro/internal/relation"
+	"repro/internal/term"
+)
+
+// This file cross-validates the interned pipeline (symtab-backed
+// relation storage, indexed constraint matching, sorted-ID minimality)
+// against a self-contained reference that works the way the seed did:
+// string tuples, full scans with term.Match, and brute-force subset
+// enumeration for repairs. For deletion-only dependency classes (FDs,
+// EGDs, denials) the minimal repairs are exactly the ⊆-maximal
+// consistent subsets of the instance, which the reference enumerates
+// directly.
+
+// refFacts is the reference representation: per relation, the string
+// tuples in sorted order.
+type refFacts map[string][]relation.Tuple
+
+// refConsistent checks every dependency by scanning all tuples with
+// cloned substitutions, exactly like the seed's matchBody; it supports
+// the deletion-only classes (empty Head).
+func refConsistent(facts refFacts, deps []*constraint.Dependency) (bool, error) {
+	for _, d := range deps {
+		ok, err := refSatisfied(facts, d)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func refSatisfied(facts refFacts, d *constraint.Dependency) (bool, error) {
+	sat := true
+	var rec func(i int, s term.Subst) error
+	rec = func(i int, s term.Subst) error {
+		if !sat {
+			return nil
+		}
+		if i == len(d.Body) {
+			for _, c := range d.Cond {
+				ok, err := c.Eval(s)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			if len(d.Head) > 0 {
+				panic("refSatisfied: reference only supports deletion-only dependencies")
+			}
+			if len(d.HeadEq) == 0 {
+				sat = false // denial: a body match is a violation
+				return nil
+			}
+			for _, c := range d.HeadEq {
+				ok, err := c.Eval(s)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					sat = false
+					return nil
+				}
+			}
+			return nil
+		}
+		pat := s.Apply(d.Body[i])
+		for _, tup := range facts[pat.Pred] {
+			args := make([]term.Term, len(tup))
+			for k, v := range tup {
+				args[k] = term.C(v)
+			}
+			s2 := s.Clone()
+			if term.Match(pat, term.Atom{Pred: pat.Pred, Args: args}, s2) {
+				if err := rec(i+1, s2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := rec(0, term.NewSubst()); err != nil {
+		return false, err
+	}
+	return sat, nil
+}
+
+// refRepairs enumerates all subsets of the instance's facts, keeps the
+// consistent ones and filters to the ⊆-maximal (= minimal deletions).
+// It returns the repairs as sorted instance keys.
+func refRepairs(t *testing.T, all []relation.Fact, deps []*constraint.Dependency) ([]string, [][]relation.Fact) {
+	t.Helper()
+	n := len(all)
+	type cand struct {
+		mask  uint
+		facts []relation.Fact
+	}
+	var consistent []cand
+	for mask := uint(0); mask < 1<<n; mask++ {
+		facts := refFacts{}
+		var kept []relation.Fact
+		for b := 0; b < n; b++ {
+			if mask>>b&1 == 1 {
+				f := all[b]
+				facts[f.Rel] = append(facts[f.Rel], f.Tuple)
+				kept = append(kept, f)
+			}
+		}
+		ok, err := refConsistent(facts, deps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			consistent = append(consistent, cand{mask: mask, facts: kept})
+		}
+	}
+	var keys []string
+	var factSets [][]relation.Fact
+	for _, c := range consistent {
+		maximal := true
+		for _, d := range consistent {
+			if c.mask != d.mask && c.mask&d.mask == c.mask {
+				maximal = false
+				break
+			}
+		}
+		if !maximal {
+			continue
+		}
+		in := relation.NewInstance()
+		for _, f := range c.facts {
+			in.Insert(f.Rel, f.Tuple)
+		}
+		keys = append(keys, in.Key())
+		factSets = append(factSets, c.facts)
+	}
+	sort.Strings(keys)
+	return keys, factSets
+}
+
+// TestQuickInternedPipelineEqualsSeedPipeline (testing/quick): on
+// random small instances over r/2 and s/2 with an FD on r, a key EGD
+// across r and s and a diagonal denial on r, the interned engine's
+// repairs are byte-identical to the reference subset enumeration, and
+// the consistent answers to r(X,Y) equal the intersection of the
+// reference repairs' r-tuples.
+func TestQuickInternedPipelineEqualsSeedPipeline(t *testing.T) {
+	deps := []*constraint.Dependency{
+		constraint.FD("fd_r", "r"),
+		constraint.KeyEGD("egd_rs", "r", "s"),
+		{
+			Name: "no_diag_r",
+			Body: []term.Atom{term.NewAtom("r", term.V("X"), term.V("X"))},
+		},
+	}
+	q := foquery.MustParse("r(X,Y)")
+
+	name := func(b uint8) string { return string(rune('a' + int(b)%3)) }
+
+	f := func(rp, sp [][2]uint8) bool {
+		if len(rp) > 4 {
+			rp = rp[:4]
+		}
+		if len(sp) > 4 {
+			sp = sp[:4]
+		}
+		in := relation.NewInstance()
+		for _, p := range rp {
+			in.Insert("r", relation.Tuple{name(p[0]), name(p[1])})
+		}
+		for _, p := range sp {
+			in.Insert("s", relation.Tuple{name(p[0]), name(p[1])})
+		}
+		var all []relation.Fact
+		for _, rel := range in.Relations() {
+			for _, tup := range in.Tuples(rel) {
+				all = append(all, relation.Fact{Rel: rel, Tuple: tup})
+			}
+		}
+
+		reps, err := Repairs(in, deps, Options{})
+		if err != nil {
+			t.Logf("Repairs: %v", err)
+			return false
+		}
+		gotKeys := make([]string, len(reps))
+		for i, r := range reps {
+			gotKeys[i] = r.Key()
+		}
+		sort.Strings(gotKeys)
+		wantKeys, factSets := refRepairs(t, all, deps)
+		if len(gotKeys) != len(wantKeys) {
+			t.Logf("repairs: got %d %v want %d %v", len(gotKeys), gotKeys, len(wantKeys), wantKeys)
+			return false
+		}
+		for i := range gotKeys {
+			if gotKeys[i] != wantKeys[i] {
+				t.Logf("repair %d: got %q want %q", i, gotKeys[i], wantKeys[i])
+				return false
+			}
+		}
+
+		// Consistent answers: intersection of the reference repairs'
+		// r-tuples vs the engine's CQA for the atomic query.
+		ans, err := ConsistentAnswers(in, deps, q, []string{"X", "Y"}, Options{})
+		if err != nil {
+			t.Logf("ConsistentAnswers: %v", err)
+			return false
+		}
+		counts := map[string]int{}
+		for _, facts := range factSets {
+			for _, f := range facts {
+				if f.Rel == "r" {
+					counts[f.Tuple.Key()]++
+				}
+			}
+		}
+		var want []string
+		for k, c := range counts {
+			if c == len(factSets) {
+				want = append(want, k)
+			}
+		}
+		sort.Strings(want)
+		got := make([]string, len(ans))
+		for i, tup := range ans {
+			got[i] = tup.Key()
+		}
+		sort.Strings(got)
+		if len(got) != len(want) {
+			t.Logf("answers: got %v want %v", got, want)
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("answers: got %v want %v", got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

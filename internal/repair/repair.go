@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/relation"
+	"repro/internal/symtab"
 	"repro/internal/term"
 )
 
@@ -51,13 +52,24 @@ type Options struct {
 var ErrBound = fmt.Errorf("repair: delta bound exceeded; repair set may be incomplete")
 
 type searcher struct {
-	orig       *relation.Instance
-	deps       []*constraint.Dependency
-	opt        Options
+	orig *relation.Instance
+	deps []*constraint.Dependency
+	opt  Options
+	// facts interns fact keys, so deltas are sorted id sets compared by
+	// merge walks instead of string-keyed map probes, and the visited
+	// set is keyed by the packed delta (which, given orig, identifies
+	// the candidate instance) instead of the full instance rendering.
+	facts      *symtab.Table
 	visited    map[string]bool
 	found      []*relation.Instance
-	foundDelta []map[string]bool
+	foundDelta [][]symtab.Sym
 	hitBound   bool
+}
+
+// deltaIDs interns the symmetric difference orig Δ cur as a sorted id
+// set.
+func (s *searcher) deltaIDs(cur *relation.Instance) []symtab.Sym {
+	return relation.DeltaIDs(s.facts, relation.SymDiff(s.orig, cur))
 }
 
 // Repairs returns the ≤r-minimal repairs of inst w.r.t. deps. The
@@ -72,7 +84,7 @@ func Repairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options
 	if opt.MaxDelta == 0 {
 		opt.MaxDelta = inst.Size() + 64
 	}
-	s := &searcher{orig: inst, deps: deps, opt: opt, visited: make(map[string]bool)}
+	s := &searcher{orig: inst, deps: deps, opt: opt, facts: symtab.New(), visited: make(map[string]bool)}
 	if err := s.search(inst.Clone(), 0); err != nil {
 		return nil, err
 	}
@@ -88,17 +100,19 @@ func (s *searcher) search(cur *relation.Instance, depth int) error {
 	if s.opt.MaxRepairs > 0 && len(s.found) >= s.opt.MaxRepairs {
 		return nil
 	}
-	key := cur.Key()
+	delta := s.deltaIDs(cur)
+	// The delta identifies the state: cur = orig Δ delta, so the packed
+	// delta is a (much cheaper) substitute for the instance rendering.
+	key := relation.PackIDKey(delta)
 	if s.visited[key] {
 		return nil
 	}
 	s.visited[key] = true
 
-	delta := relation.DeltaKeySet(relation.SymDiff(s.orig, cur))
 	// Subsumption: a state whose delta contains an already-found
 	// consistent delta cannot lead to a new minimal repair.
 	for _, fd := range s.foundDelta {
-		if relation.SubsetOf(fd, delta) && len(fd) < len(delta) {
+		if len(fd) < len(delta) && relation.SubsetOfIDs(fd, delta) {
 			return nil
 		}
 	}
@@ -250,10 +264,14 @@ func (s *searcher) witnesses(cur *relation.Instance, d *constraint.Dependency, b
 			}
 			return enum(0, sub)
 		}
+		// Indexed join: candidates for the fixed head atom come from the
+		// per-column indexes instead of a full relation scan.
 		pat := sub.Apply(fixedAtoms[i])
-		for _, tup := range cur.Tuples(pat.Pred) {
+		fact := term.Atom{Pred: pat.Pred}
+		for _, tup := range cur.MatchingTuples(pat) {
+			fact.Args = term.ConstArgs(fact.Args[:0], tup)
 			s2 := sub.Clone()
-			if term.Match(pat, tupAtom(pat.Pred, tup), s2) {
+			if term.Match(pat, fact, s2) {
 				if err := matchFixed(i+1, s2); err != nil {
 					return err
 				}
@@ -269,23 +287,29 @@ func (s *searcher) witnesses(cur *relation.Instance, d *constraint.Dependency, b
 }
 
 // minimalByDelta filters instances whose delta (vs the original) is
-// ⊆-minimal.
-func minimalByDelta(insts []*relation.Instance, deltas []map[string]bool) []*relation.Instance {
+// ⊆-minimal. Deltas are sorted fact-id sets: candidates are examined in
+// ascending delta size, so each instance is only compared against the
+// strictly smaller deltas before it and each comparison is a linear
+// merge walk instead of a string-keyed map probe — the seed's quadratic
+// map-probing collapse point for large candidate sets.
+func minimalByDelta(insts []*relation.Instance, deltas [][]symtab.Sym) []*relation.Instance {
+	order := make([]int, len(insts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return len(deltas[order[a]]) < len(deltas[order[b]]) })
 	var out []*relation.Instance
 	seen := make(map[string]bool)
-	for i := range insts {
+	for oi, i := range order {
 		minimal := true
-		for j := range insts {
-			if i == j {
-				continue
-			}
-			if relation.SubsetOf(deltas[j], deltas[i]) && len(deltas[j]) < len(deltas[i]) {
+		for _, j := range order[:oi] {
+			if len(deltas[j]) < len(deltas[i]) && relation.SubsetOfIDs(deltas[j], deltas[i]) {
 				minimal = false
 				break
 			}
 		}
 		if minimal {
-			k := insts[i].Key()
+			k := relation.PackIDKey(deltas[i])
 			if !seen[k] {
 				seen[k] = true
 				out = append(out, insts[i])
@@ -301,12 +325,4 @@ func atomFact(a term.Atom) relation.Fact {
 		t[i] = arg.Name
 	}
 	return relation.Fact{Rel: a.Pred, Tuple: t}
-}
-
-func tupAtom(pred string, t relation.Tuple) term.Atom {
-	args := make([]term.Term, len(t))
-	for i, v := range t {
-		args[i] = term.C(v)
-	}
-	return term.Atom{Pred: pred, Args: args}
 }

@@ -1,0 +1,94 @@
+// Package symtab implements a concurrent string interner: a bijection
+// between symbols (constants, relation names, canonical atom keys) and
+// dense uint32 ids. One Table is shared per core.System, so every layer
+// of the engine — relational storage (internal/relation), constraint
+// matching, the grounder and the repair search — can compare and hash
+// symbols as machine words instead of re-scanning strings.
+//
+// A Table is append-only: symbols are never removed, so an id handed
+// out once stays valid for the lifetime of the table. The read path
+// (Lookup/Name) takes only an RLock and the id→name direction is a
+// plain slice index, which keeps interned comparisons on the hot paths
+// of grounding and repair close to hardware speed.
+package symtab
+
+import (
+	"sync"
+)
+
+// Sym is an interned symbol id. Ids are dense: the n-th distinct symbol
+// interned into a table gets id n-1.
+type Sym = uint32
+
+// Table is a concurrent string↔Sym interner. The zero value is not
+// usable; use New. A Table is safe for concurrent use by multiple
+// goroutines.
+type Table struct {
+	mu    sync.RWMutex
+	ids   map[string]Sym
+	names []string
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{ids: make(map[string]Sym)}
+}
+
+// Intern returns the id of s, assigning the next dense id if s has not
+// been seen before.
+func (t *Table) Intern(s string) Sym {
+	t.mu.RLock()
+	id, ok := t.ids[s]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id = Sym(len(t.names))
+	t.ids[s] = id
+	t.names = append(t.names, s)
+	return id
+}
+
+// InternBytes is Intern for a byte slice key. The string copy is only
+// made when the symbol is new, so repeated lookups of known symbols do
+// not allocate.
+func (t *Table) InternBytes(b []byte) Sym {
+	t.mu.RLock()
+	id, ok := t.ids[string(b)] // no alloc: map lookup special case
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	return t.Intern(string(b))
+}
+
+// Lookup returns the id of s without interning it. The second result
+// reports whether s is known.
+func (t *Table) Lookup(s string) (Sym, bool) {
+	t.mu.RLock()
+	id, ok := t.ids[s]
+	t.mu.RUnlock()
+	return id, ok
+}
+
+// Name returns the symbol with the given id. It panics if the id was
+// not handed out by this table.
+func (t *Table) Name(id Sym) string {
+	t.mu.RLock()
+	s := t.names[id]
+	t.mu.RUnlock()
+	return s
+}
+
+// Len returns the number of interned symbols.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	n := len(t.names)
+	t.mu.RUnlock()
+	return n
+}

@@ -1,0 +1,98 @@
+package symtab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternDenseIDs(t *testing.T) {
+	tab := New()
+	a := tab.Intern("a")
+	b := tab.Intern("b")
+	if a != 0 || b != 1 {
+		t.Fatalf("ids not dense: a=%d b=%d", a, b)
+	}
+	if got := tab.Intern("a"); got != a {
+		t.Fatalf("re-intern of a = %d, want %d", got, a)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	tab := New()
+	syms := []string{"", "x", "hello", "\x1f", "multi word"}
+	ids := make([]Sym, len(syms))
+	for i, s := range syms {
+		ids[i] = tab.Intern(s)
+	}
+	for i, s := range syms {
+		if got := tab.Name(ids[i]); got != s {
+			t.Errorf("Name(%d) = %q, want %q", ids[i], got, s)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tab := New()
+	if _, ok := tab.Lookup("missing"); ok {
+		t.Fatal("Lookup found a symbol in an empty table")
+	}
+	id := tab.Intern("present")
+	got, ok := tab.Lookup("present")
+	if !ok || got != id {
+		t.Fatalf("Lookup = (%d, %v), want (%d, true)", got, ok, id)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Lookup must not intern; Len = %d", tab.Len())
+	}
+}
+
+func TestInternBytes(t *testing.T) {
+	tab := New()
+	id := tab.InternBytes([]byte("key"))
+	if got := tab.Intern("key"); got != id {
+		t.Fatalf("InternBytes and Intern disagree: %d vs %d", id, got)
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tab := New()
+	const goroutines = 8
+	const symbols = 200
+	var wg sync.WaitGroup
+	results := make([][]Sym, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]Sym, symbols)
+			for i := 0; i < symbols; i++ {
+				ids[i] = tab.Intern(fmt.Sprintf("sym-%d", i))
+			}
+			results[g] = ids
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != symbols {
+		t.Fatalf("Len = %d, want %d", tab.Len(), symbols)
+	}
+	// Every goroutine must have seen the same id for the same symbol.
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < symbols; i++ {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d got id %d for sym-%d, goroutine 0 got %d",
+					g, results[g][i], i, results[0][i])
+			}
+		}
+	}
+	// And ids must round-trip.
+	for i := 0; i < symbols; i++ {
+		want := fmt.Sprintf("sym-%d", i)
+		if got := tab.Name(results[0][i]); got != want {
+			t.Fatalf("Name(%d) = %q, want %q", results[0][i], got, want)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/symtab"
 )
 
 // Term is either a constant or a variable. The zero value is the empty
@@ -206,6 +208,42 @@ func Match(pattern, fact Atom, s Subst) bool {
 	return true
 }
 
+// MatchTrail is Match with an undo trail instead of a cloned
+// substitution: every variable it binds is appended to *trail, so the
+// caller can backtrack with UnbindTrail instead of cloning s for each
+// candidate fact. On failure s may hold partial bindings — they are all
+// on the trail, so a single UnbindTrail restores the previous state.
+func MatchTrail(pattern, fact Atom, s Subst, trail *[]string) bool {
+	if pattern.Pred != fact.Pred || len(pattern.Args) != len(fact.Args) {
+		return false
+	}
+	for i, pt := range pattern.Args {
+		ft := fact.Args[i]
+		if ft.IsVar {
+			return false // facts must be ground
+		}
+		pt = s.Lookup(pt)
+		if pt.IsVar {
+			s[pt.Name] = ft
+			*trail = append(*trail, pt.Name)
+			continue
+		}
+		if pt.Name != ft.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// UnbindTrail removes from s every binding recorded on the trail after
+// mark and truncates the trail back to mark.
+func UnbindTrail(s Subst, trail []string, mark int) []string {
+	for i := len(trail) - 1; i >= mark; i-- {
+		delete(s, trail[i])
+	}
+	return trail[:mark]
+}
+
 // Unify extends s so that a and b become equal, binding variables on
 // either side. It reports success; on failure s may be partially
 // extended.
@@ -247,6 +285,63 @@ func RenameApart(a Atom, suffix string) Atom {
 // output.
 func SortAtoms(atoms []Atom) {
 	sort.Slice(atoms, func(i, j int) bool { return atoms[i].String() < atoms[j].String() })
+}
+
+// Keyer interns canonical ground-atom keys into a symbol table, so hot
+// paths (grounding, model bookkeeping) can identify ground atoms by a
+// machine word instead of building and hashing the rendered string. The
+// rendered form matches Atom.Key exactly; KeyID panics on non-ground
+// atoms like Key does. A Keyer reuses an internal buffer and is NOT
+// safe for concurrent use; the underlying Table is.
+type Keyer struct {
+	tab *symtab.Table
+	buf []byte
+}
+
+// NewKeyer returns a Keyer interning into tab (a fresh table if nil).
+func NewKeyer(tab *symtab.Table) *Keyer {
+	if tab == nil {
+		tab = symtab.New()
+	}
+	return &Keyer{tab: tab}
+}
+
+// Table exposes the underlying symbol table.
+func (k *Keyer) Table() *symtab.Table { return k.tab }
+
+// KeyID interns the canonical key of the ground atom and returns its
+// id. Known atoms do not allocate.
+func (k *Keyer) KeyID(a Atom) symtab.Sym {
+	k.buf = k.buf[:0]
+	k.buf = append(k.buf, a.Pred...)
+	if len(a.Args) > 0 {
+		k.buf = append(k.buf, '(')
+		for i, t := range a.Args {
+			if t.IsVar {
+				panic(fmt.Sprintf("term: KeyID on non-ground atom %s", a))
+			}
+			if i > 0 {
+				k.buf = append(k.buf, ',')
+			}
+			k.buf = append(k.buf, t.Name...)
+		}
+		k.buf = append(k.buf, ')')
+	}
+	return k.tab.InternBytes(k.buf)
+}
+
+// KeyName returns the rendered key for an id previously returned by
+// KeyID.
+func (k *Keyer) KeyName(id symtab.Sym) string { return k.tab.Name(id) }
+
+// ConstArgs appends one constant term per value to dst. Hot matching
+// loops use it to render stored tuples as atom arguments into a
+// reusable buffer instead of allocating a fresh slice per candidate.
+func ConstArgs(dst []Term, vals []string) []Term {
+	for _, v := range vals {
+		dst = append(dst, Term{Name: v})
+	}
+	return dst
 }
 
 // ConstsIn appends all constant names occurring in the atom to dst,

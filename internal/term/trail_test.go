@@ -1,0 +1,96 @@
+package term
+
+import (
+	"testing"
+)
+
+// TestMatchTrailBacktracks: the trail must restore the substitution
+// exactly, including on failed partial matches.
+func TestMatchTrailBacktracks(t *testing.T) {
+	s := NewSubst()
+	s["Z"] = C("z")
+	var trail []string
+
+	pat := NewAtom("p", V("X"), V("Y"), V("Z"))
+	ok := MatchTrail(pat, NewAtom("p", C("a"), C("b"), C("z")), s, &trail)
+	if !ok || len(trail) != 2 {
+		t.Fatalf("match = %v, trail = %v", ok, trail)
+	}
+	if s.Lookup(V("X")).Name != "a" || s.Lookup(V("Y")).Name != "b" {
+		t.Fatalf("bindings wrong: %v", s)
+	}
+	trail = UnbindTrail(s, trail, 0)
+	if len(trail) != 0 || len(s) != 1 || s["Z"].Name != "z" {
+		t.Fatalf("undo left %v (trail %v)", s, trail)
+	}
+
+	// Failed match after a partial bind: X gets bound before the clash
+	// on Z; the trail must still clean it up.
+	ok = MatchTrail(pat, NewAtom("p", C("a"), C("b"), C("w")), s, &trail)
+	if ok {
+		t.Fatal("clashing fact must not match")
+	}
+	trail = UnbindTrail(s, trail, 0)
+	if len(s) != 1 {
+		t.Fatalf("partial bindings survived: %v", s)
+	}
+}
+
+// TestMatchTrailAgreesWithMatch: for a mix of facts, MatchTrail+undo
+// must accept exactly the facts Match accepts on a cloned substitution.
+func TestMatchTrailAgreesWithMatch(t *testing.T) {
+	pat := NewAtom("p", V("X"), C("b"), V("X"))
+	facts := []Atom{
+		NewAtom("p", C("a"), C("b"), C("a")),
+		NewAtom("p", C("a"), C("b"), C("c")),
+		NewAtom("p", C("a"), C("c"), C("a")),
+		NewAtom("q", C("a"), C("b"), C("a")),
+		NewAtom("p", C("a"), C("b")),
+	}
+	base := NewSubst()
+	var trail []string
+	for _, f := range facts {
+		want := Match(pat, f, base.Clone())
+		mark := len(trail)
+		got := MatchTrail(pat, f, base, &trail)
+		trail = UnbindTrail(base, trail, mark)
+		if got != want {
+			t.Fatalf("fact %s: MatchTrail = %v, Match = %v", f, got, want)
+		}
+		if len(base) != 0 {
+			t.Fatalf("fact %s: bindings leaked: %v", f, base)
+		}
+	}
+}
+
+// TestKeyerMatchesAtomKey: interned ids must round-trip to the exact
+// Atom.Key rendering.
+func TestKeyerMatchesAtomKey(t *testing.T) {
+	k := NewKeyer(nil)
+	atoms := []Atom{
+		NewAtom("p", C("a"), C("b")),
+		NewAtom("p", C("a")),
+		NewAtom("q"),
+		NewAtom("-p", C("a"), C("b")),
+	}
+	ids := make(map[uint32]bool)
+	for _, a := range atoms {
+		id := k.KeyID(a)
+		if ids[id] {
+			t.Fatalf("id %d reused for %s", id, a)
+		}
+		ids[id] = true
+		if got := k.KeyName(id); got != a.Key() {
+			t.Fatalf("KeyName = %q, want %q", got, a.Key())
+		}
+		if again := k.KeyID(a); again != id {
+			t.Fatalf("re-intern of %s changed id: %d -> %d", a, id, again)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KeyID on a non-ground atom must panic")
+		}
+	}()
+	k.KeyID(NewAtom("p", V("X")))
+}
