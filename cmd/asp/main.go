@@ -9,11 +9,13 @@
 //
 // With no file the program is read from stdin. Flags:
 //
-//	-models N     stop after N models (0 = all)
-//	-shift        apply the HCF shift of Section 4.1 when applicable
-//	-cautious P   print the skeptical consequences for predicate P
-//	-brave P      print the brave consequences for predicate P
-//	-ground       print the ground program instead of solving
+//	-models N       stop after N models (0 = all)
+//	-shift          apply the HCF shift of Section 4.1 when applicable
+//	-cautious P     print the skeptical consequences for predicate P
+//	-brave P        print the brave consequences for predicate P
+//	-ground         print the ground program instead of solving
+//	-parallelism N  worker-pool bound for grounding and solving
+//	                (0/1 = sequential; output is identical at any level)
 package main
 
 import (
@@ -42,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	cautious := fs.String("cautious", "", "print skeptical consequences for this predicate")
 	brave := fs.String("brave", "", "print brave consequences for this predicate")
 	printGround := fs.Bool("ground", false, "print the ground program and exit")
+	par := fs.Int("parallelism", 0, "worker-pool bound for grounding and the stable-model search; 0/1 = sequential")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,7 +71,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	g, err := ground.Ground(unfolded)
+	g, err := ground.GroundOpt(unfolded, ground.Options{Parallelism: *par})
 	if err != nil {
 		return err
 	}
@@ -87,7 +90,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, "% program is not head-cycle free: solving the disjunctive program")
 		}
 	}
-	models, err := solve.StableModels(g, solve.Options{MaxModels: *maxModels})
+	models, err := solve.StableModels(g, solve.Options{MaxModels: *maxModels, Parallelism: *par})
 	if err != nil {
 		return err
 	}

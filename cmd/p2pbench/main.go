@@ -58,8 +58,22 @@ func main() {
 	fs.IntVar(&benchParallelism, "parallelism", benchParallelism,
 		"worker-pool bound for the parallel benchmark variants; 0 = GOMAXPROCS")
 	stats := fs.Bool("stats", false, "print fixture system statistics (peers, tuples, per-system interned symbols) and exit")
+	gateOut := fs.String("gate-out", "", "measure the benchmark gate (B5 grounding, B1 repair) and write the result JSON to this path")
+	gateBase := fs.String("gate", "", "compare the gate measurement against this baseline JSON and exit non-zero on regression")
+	gateThreshold := fs.Float64("gate-threshold", 0.25, "allowed regression of the normalized gate metrics (0.25 = 25%)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+	if *gateOut != "" || *gateBase != "" {
+		// The gate always measures at Parallelism 1: its calibration
+		// loop is single-threaded, so that is the only level whose
+		// normalized ratios are comparable across core counts (see
+		// gate.go); sequential output is byte-identical to parallel.
+		if err := runGate(os.Stdout, *gateOut, *gateBase, *gateThreshold, 1); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *list {
 		for _, e := range experiments {

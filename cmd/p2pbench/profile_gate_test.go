@@ -1,0 +1,46 @@
+package main
+
+// Benchmarks mirroring the regression-gate measurements (gate.go), so
+// the gated paths can be profiled with the standard tooling:
+//
+//	go test -bench GateB5 -cpuprofile cpu.prof ./cmd/p2pbench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/lp"
+	"repro/internal/lp/ground"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+func BenchmarkGateB5(b *testing.B) {
+	s5 := workload.ReferentialShaped(1, 2, 100, 1)
+	prog, _, err := program.BuildDirect(s5, "P")
+	if err != nil {
+		b.Fatal(err)
+	}
+	unfolded, err := lp.UnfoldChoice(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ground.GroundOpt(unfolded, ground.Options{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGateB1(b *testing.B) {
+	s1 := workload.Example1Shaped(40, 3, 2, 1)
+	q := foquery.MustParse("r1(X,Y)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PeerConsistentAnswers(s1, "P1", q, []string{"X", "Y"}, core.SolveOptions{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/lp/ground"
 	"repro/internal/lp/solve"
+	"repro/internal/parallel"
 	"repro/internal/peernet"
 	"repro/internal/program"
 	"repro/internal/relation"
@@ -196,9 +197,12 @@ func runB4(w io.Writer) error {
 	return nil
 }
 
-// runB5 measures grounding cost vs facts on referential programs.
+// runB5 measures grounding cost vs facts on referential programs, for
+// the sequential grounder and the parallel one at -parallelism
+// workers. The parallel ground program is checked byte-identical to
+// the sequential one.
 func runB5(w io.Writer) error {
-	fmt.Fprintf(w, "%-10s %-12s %-10s %-10s\n", "satisfied", "ground-time", "atoms", "rules")
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-10s %-10s\n", "satisfied", "ground-seq", "ground-par", "atoms", "rules")
 	for _, n := range []int{10, 25, 50, 100} {
 		s := workload.ReferentialShaped(1, 2, n, 1)
 		prog, _, err := program.BuildDirect(s, "P")
@@ -218,9 +222,25 @@ func runB5(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-10d %-12v %-10d %-10d\n", n, d, len(g.Atoms), len(g.Rules))
+		var gp *ground.Program
+		dPar, err := timed(func() error {
+			var e error
+			// parallel.Workers resolves 0 to GOMAXPROCS, keeping the
+			// flag's "0 = GOMAXPROCS" meaning for this column too
+			// (ground.Options itself treats <=1 as sequential).
+			gp, e = ground.GroundOpt(unfolded, ground.Options{Parallelism: parallel.Workers(benchParallelism)})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		if gp.String() != g.String() || !reflect.DeepEqual(gp.Atoms, g.Atoms) {
+			return fmt.Errorf("parallel grounding diverged at n=%d", n)
+		}
+		fmt.Fprintf(w, "%-10d %-12v %-12v %-10d %-10d\n", n, d, dPar, len(g.Atoms), len(g.Rules))
 	}
-	fmt.Fprintf(w, "expected shape: near-linear in the relevant instantiations.\n")
+	fmt.Fprintf(w, "expected shape: near-linear in the relevant instantiations;\n")
+	fmt.Fprintf(w, "ground-par tracks ground-seq/min(cores, rules) on multi-core.\n")
 	return nil
 }
 

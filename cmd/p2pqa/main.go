@@ -47,7 +47,7 @@ func run(args []string, out io.Writer) error {
 	possible := fs.Bool("possible", false, "compute possible (brave) answers instead of peer consistent (certain) ones; repair engine only")
 	solutions := fs.Bool("solutions", false, "print the peer's solutions instead of answering a query")
 	showProgram := fs.Bool("program", false, "print the specification program instead of solving (lp/lav engines)")
-	par := fs.Int("parallelism", 0, "worker-pool bound for the repair fan-out, per-solution query evaluation and stable-model search; 0 = GOMAXPROCS for the fan-outs with a sequential solver, 1 = fully sequential, >1 also splits the solver search")
+	par := fs.Int("parallelism", 0, "worker-pool bound for the repair search and fan-out, grounding, per-solution query evaluation and stable-model search; 0 = GOMAXPROCS for the repair engine with sequential grounder/solver, 1 = fully sequential, >1 also fans out grounding and the solver search")
 	stats := fs.Bool("stats", false, "print system statistics (peers, tuples, interned symbols) after loading")
 	if err := fs.Parse(args); err != nil {
 		return err

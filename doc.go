@@ -28,21 +28,63 @@
 // exception: solve with MaxModels set and Parallelism > 1 returns a
 // scheduling-dependent subset of the models):
 //
-//   - repair.Options.Parallelism fans the per-repair query evaluation
-//     of IntersectAnswers over a bounded worker pool (internal/parallel);
+//   - repair.Options.Parallelism drives the wave expansion of the
+//     repair search itself (see below) and fans the per-repair query
+//     evaluation of IntersectAnswers over a bounded worker pool
+//     (internal/parallel);
 //   - core.SolveOptions.Parallelism additionally fans out the stage-2
 //     repair loop of SolutionsFor, merged deterministically;
+//   - ground.Options.Parallelism fans the grounder's fixpoint rounds
+//     and rule instantiation out per rule (see below);
 //   - solve.Options.Parallelism splits the stable-model DFS on the
 //     first k choice atoms into 2^k parallel subtrees with a shared
 //     atomic model counter honoring MaxModels;
 //   - program.RunOptions.Parallelism threads the knob through the whole
-//     LP route;
+//     LP route (grounder included);
 //   - peernet.Node.Parallelism fetches neighbour specifications
 //     concurrently per BFS level, and peernet.Node.CacheTTL caches
 //     assembled snapshots and fetched relations for a TTL window
 //     (SetNeighbor invalidates). Node is safe for concurrent use.
 //
-// Both CLIs surface the knob as -parallelism.
+// All three CLIs surface the knob as -parallelism.
+//
+// # Parallel execution model
+//
+// The two formerly sequential engines — grounding and the repair
+// search — run as deterministic rounds of parallel pure work between
+// sequential merge barriers, so their output is byte-identical at
+// every parallelism level (the determinism stress tests and the
+// grounder fuzz target lock this down; CI runs them under -race with a
+// GOMAXPROCS matrix).
+//
+// Grounding (internal/lp/ground): the possible-atom fixpoint runs in
+// rounds over a frozen snapshot of the predicate-hash-sharded atom
+// set. Workers match rules independently — each with a private
+// term.Keyer over the shared concurrent symbol table and private
+// pending buffers — and emit both newly derived head atoms and the
+// round's full rule instantiation as interned symbol ids. The merge
+// between rounds drains the buffers in rule order (the only
+// synchronization point), so the set's insertion order, every
+// candidate enumeration order and the final atom numbering are
+// scheduling-independent. Rules re-run only when a predicate their
+// body reads (positively or under negation) grew in the previous round
+// (predicate-level semi-naive filtering); a rule's last active
+// enumeration therefore is its final instantiation, and the fixpoint
+// doubles as the instantiation pass.
+//
+// Repair search (internal/repair): the search over candidate states
+// runs in waves. Each wave takes a fixed-size chunk off the pending
+// stack (a constant independent of Parallelism), filters it through
+// the frontier — the sharded visited set and the found-delta
+// subsumption check, in that pinned order (frontier.go) — on the
+// coordinating goroutine, expands the admitted states in parallel
+// (lazy instance materialization from the parent plus the action,
+// violation check, action enumeration, and child deltas derived by
+// XOR-ing the action's fact ids into the parent's sorted delta), and
+// merges results back in canonical order. Pruning, bound reporting and
+// MaxRepairs cuts all happen on the merge path, so they are
+// deterministic too — unlike solve's MaxModels, a truncated repair
+// search returns the same repairs at every parallelism level.
 //
 // # Interned-symbol core and indexing
 //
@@ -65,8 +107,9 @@
 //     without cloning substitutions, and Keyer, which interns
 //     canonical ground-atom keys.
 //   - internal/lp/ground keeps its possible-atom set sharded by
-//     predicate hash (ready for per-shard parallel grounding) with
-//     per-column value indexes, and dedups ground rules by packed
+//     predicate hash with per-column value indexes and per-atom
+//     interned keys (matched candidates hand the emitter their key
+//     without re-rendering), and dedups ground rules by packed
 //     atom-id keys.
 //   - internal/repair describes candidate states by sorted fact-id
 //     deltas: the visited set, the subsumption check and the final

@@ -16,12 +16,14 @@ type SolveOptions struct {
 	// MaxDelta and MaxRepairs are passed to the repair engine per stage.
 	MaxDelta   int
 	MaxRepairs int
-	// Parallelism bounds the worker pool used for the stage-2 repair
-	// fan-out of SolutionsFor and for the per-solution query evaluation
-	// of PeerConsistentAnswers. 0 means GOMAXPROCS; 1 forces the
-	// sequential path. Results are merged through the deterministic
-	// dedupSorted keying, so every parallelism level produces
-	// byte-identical output.
+	// Parallelism bounds the worker pools at every level of the
+	// engine: the wave expansion inside each repair search
+	// (repair.Options.Parallelism), the stage-2 repair fan-out of
+	// SolutionsFor and the per-solution query evaluation of
+	// PeerConsistentAnswers. 0 means GOMAXPROCS; 1 forces the
+	// sequential path. Pruning and result merges are deterministic at
+	// every layer, so every parallelism level produces byte-identical
+	// output.
 	Parallelism int
 }
 

@@ -4,6 +4,25 @@
 // fixpoint that ignores default negation), which keeps the ground
 // program close to the relevant instantiations instead of the full
 // cross-product of the domain.
+//
+// Grounding is organized in two deterministic phases so it can fan out
+// across a worker pool (GroundOpt):
+//
+//   - the possible-atom fixpoint runs in rounds: every round matches
+//     the active rules against a frozen snapshot of the possible set,
+//     each worker collecting newly derived head atoms into a private
+//     pending buffer with a worker-local term.Keyer, and the buffers
+//     are merged into the sharded atom set in rule order between
+//     rounds — the merge is the only synchronization point;
+//   - rule instantiation then matches every rule against the completed
+//     (now immutable) possible set, workers emitting ground rules as
+//     interned symbol ids, which are translated to dense atom indices
+//     in rule order by a single merge walk.
+//
+// Because every merge happens in rule order and candidate enumeration
+// depends only on the frozen snapshot of a round, the ground program is
+// byte-identical at every parallelism level (including the sequential
+// default).
 package ground
 
 import (
@@ -12,8 +31,18 @@ import (
 	"sort"
 
 	"repro/internal/lp"
+	"repro/internal/parallel"
+	"repro/internal/symtab"
 	"repro/internal/term"
 )
+
+// Options configures grounding.
+type Options struct {
+	// Parallelism bounds the worker pool used for the fixpoint rounds
+	// and the rule-instantiation fan-out. 0 or 1 run inline on the
+	// calling goroutine; the output is byte-identical at every level.
+	Parallelism int
+}
 
 // Program is a ground program over interned atoms. Atom 0..n-1 are
 // identified by their canonical literal keys; strongly negated atoms
@@ -88,63 +117,223 @@ func (g *Program) RuleString(r Rule) string {
 	return s + "."
 }
 
-// Ground instantiates the program. Choice goals must have been
-// unfolded first (lp.UnfoldChoice); Ground returns an error otherwise.
+// Ground instantiates the program sequentially. Choice goals must have
+// been unfolded first (lp.UnfoldChoice); Ground returns an error
+// otherwise.
 func Ground(p *lp.Program) (*Program, error) {
+	return GroundOpt(p, Options{})
+}
+
+// GroundOpt is Ground with an explicit parallelism bound. The result is
+// byte-identical at every parallelism level.
+func GroundOpt(p *lp.Program, opt Options) (*Program, error) {
 	if p.HasChoice() {
 		return nil, fmt.Errorf("ground: program contains choice goals; run lp.UnfoldChoice first")
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-
-	// Possible-atom fixpoint: treat every 'not' as satisfiable and
-	// collect all head atoms derivable through positive bodies.
-	possible := newAtomSet()
-	for changed := true; changed; {
-		changed = false
-		for _, r := range p.Rules {
-			err := matchPos(r, possible, func(s term.Subst) error {
-				for _, h := range r.Head {
-					g := h.Apply(s)
-					if !g.IsGround() {
-						return fmt.Errorf("ground: ungrounded head %s in rule %s", g, r)
-					}
-					if possible.add(g) {
-						changed = true
-					}
-				}
-				return nil
-			})
-			if err != nil {
-				return nil, err
-			}
-		}
+	workers := opt.Parallelism
+	if workers < 1 {
+		workers = 1
 	}
 
+	perRule, tab, err := groundRules(p, workers)
+	if err != nil {
+		return nil, err
+	}
+	return mergeRules(perRule, tab), nil
+}
+
+// ruleOut is one worker's output for one rule in one round: the ground
+// rules of every substitution as interned literal-key ids (in the atom
+// set's symbol table — the scheduling-independent intermediate form
+// the merge walk consumes), plus the head atoms not yet in the
+// possible set (with their precomputed key ids, so the merge does not
+// re-render them). All emitted rules share one flat backing buffer:
+// entry i covers syms[entries[i-1].end:entries[i].end], with head and
+// pos section widths recorded per entry, so emission allocates
+// amortized-once per rule instead of once per substitution.
+type ruleOut struct {
+	syms     []symtab.Sym
+	entries  []symEntry
+	newAtoms []pendingAtom
+}
+
+type symEntry struct {
+	end      int32
+	nHead    uint16
+	nHeadPos uint16 // head + pos count; neg is the rest
+}
+
+type pendingAtom struct {
+	lit lp.Literal
+	sym symtab.Sym
+}
+
+// groundRules computes the possible-atom fixpoint and the rule
+// instantiations in one pass. The fixpoint runs in rounds over a
+// frozen snapshot: workers match the active rules independently (each
+// with its own term.Keyer over the shared symbol table), emitting both
+// newly derived head atoms and the round's full instantiation of the
+// rule; the buffers are merged in rule order between rounds — the only
+// synchronization point — so the set's insertion order and every
+// downstream enumeration order are deterministic.
+//
+// Instantiation fuses with the fixpoint because a rule's last active
+// enumeration already is its final one: a rule is re-activated
+// whenever a predicate its body reads (positively or under negation)
+// gained atoms in the previous round, so once the fixpoint closes, the
+// candidate lists and negation checks of a never-again-activated rule
+// are exactly those of the final set.
+func groundRules(p *lp.Program, workers int) ([]ruleOut, *symtab.Table, error) {
+	possible := newAtomSet()
+	tab := possible.keyer.Table()
+	perRule := make([]ruleOut, len(p.Rules))
+
+	// changed holds the predicates whose extension grew in the previous
+	// round (predicate-level semi-naive filtering); round 0 runs
+	// everything.
+	var changed map[string]bool
+	var active []int
+	for round := 0; ; round++ {
+		active = active[:0]
+		for i := range p.Rules {
+			if round == 0 || ruleReadsChanged(&p.Rules[i], changed) {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		outs, err := parallel.MapErr(len(active), workers, func(j int) (ruleOut, error) {
+			r := p.Rules[active[j]]
+			ky := term.NewKeyer(tab)
+			// Folded predicates (strong negation folded in, as in the
+			// canonical literal key) are computed once per rule, not
+			// per substitution.
+			headAtoms := make([]term.Atom, len(r.Head))
+			for i, h := range r.Head {
+				headAtoms[i] = term.Atom{Pred: litPred(h), Args: h.Atom.Args}
+			}
+			negAtoms := make([]term.Atom, len(r.NegB))
+			for i, nl := range r.NegB {
+				negAtoms[i] = term.Atom{Pred: litPred(nl), Args: nl.Atom.Args}
+			}
+			var out ruleOut
+			err := matchPos(r, possible, func(s term.Subst, pas []*predAtoms, picks []int) error {
+				mark := len(out.syms)
+				for hi, h := range r.Head {
+					sym, ok := ky.KeyIDSubst(headAtoms[hi], s)
+					if !ok {
+						return fmt.Errorf("ground: ungrounded head %s in rule %s", h.Apply(s), r)
+					}
+					if !possible.hasSym(headAtoms[hi].Pred, sym) {
+						out.newAtoms = append(out.newAtoms, pendingAtom{lit: h.Apply(s), sym: sym})
+					}
+					out.syms = append(out.syms, sym)
+				}
+				// Positive body literals are exactly the matched
+				// candidates: their interned keys come straight off the
+				// possible set, no re-rendering.
+				for k := range r.PosB {
+					out.syms = append(out.syms, pas[k].syms[picks[k]])
+				}
+				nHeadPos := len(out.syms) - mark
+				for ni, nl := range r.NegB {
+					sym, ok := ky.KeyIDSubst(negAtoms[ni], s)
+					if !ok {
+						return fmt.Errorf("ground: ungrounded negative literal %s in rule %s", nl.Apply(s), r)
+					}
+					// A negated atom that can never be derived is
+					// simply true; drop it from the rule.
+					if !possible.hasSym(negAtoms[ni].Pred, sym) {
+						continue
+					}
+					out.syms = append(out.syms, sym)
+				}
+				out.entries = append(out.entries, symEntry{
+					end:      int32(len(out.syms)),
+					nHead:    uint16(len(r.Head)),
+					nHeadPos: uint16(nHeadPos),
+				})
+				return nil
+			})
+			return out, err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		// Merge in rule order: record each active rule's (latest)
+		// instantiation and grow the possible set.
+		changed = make(map[string]bool)
+		for j, out := range outs {
+			perRule[active[j]] = out
+			for _, pa := range out.newAtoms {
+				if possible.addKeyed(pa.lit, pa.sym) {
+					changed[litPred(pa.lit)] = true
+				}
+			}
+		}
+		if len(changed) == 0 {
+			break
+		}
+	}
+	return perRule, tab, nil
+}
+
+// ruleReadsChanged reports whether the rule's body reads — positively
+// or under default negation — a predicate that gained atoms in the
+// previous round. Negative reads matter because they decide which
+// negated literals are kept in the instantiation.
+func ruleReadsChanged(r *lp.Rule, changed map[string]bool) bool {
+	for _, l := range r.PosB {
+		if changed[litPred(l)] {
+			return true
+		}
+	}
+	for _, l := range r.NegB {
+		if changed[litPred(l)] {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeRules translates the per-rule emissions to dense atom indices
+// and deduplicates, in rule order. Symbol ids are dense, so the
+// sym→atom translation is a slice lookup, not a map probe.
+func mergeRules(perRule []ruleOut, tab *symtab.Table) *Program {
 	gp := &Program{Index: make(map[string]int)}
 	seenRules := make(map[string]bool)
+	atomOf := make([]int32, tab.Len())
+	for i := range atomOf {
+		atomOf[i] = -1
+	}
 	var keyBuf []byte
-	for _, r := range p.Rules {
-		err := matchPos(r, possible, func(s term.Subst) error {
+	for _, out := range perRule {
+		start := int32(0)
+		for _, e := range out.entries {
+			section := out.syms[start:e.end]
+			start = e.end
+			ids := make([]int, len(section))
+			for i, sym := range section {
+				id := atomOf[sym]
+				if id < 0 {
+					id = int32(gp.AtomID(tab.Name(sym)))
+					atomOf[sym] = id
+				}
+				ids[i] = int(id)
+			}
 			gr := Rule{}
-			for _, h := range r.Head {
-				gr.Head = append(gr.Head, gp.AtomID(h.Apply(s).Key()))
+			if e.nHead > 0 {
+				gr.Head = ids[:e.nHead:e.nHead]
 			}
-			for _, pl := range r.PosB {
-				gr.Pos = append(gr.Pos, gp.AtomID(pl.Apply(s).Key()))
+			if e.nHeadPos > e.nHead {
+				gr.Pos = ids[e.nHead:e.nHeadPos:e.nHeadPos]
 			}
-			for _, nl := range r.NegB {
-				g := nl.Apply(s)
-				if !g.IsGround() {
-					return fmt.Errorf("ground: ungrounded negative literal %s in rule %s", g, r)
-				}
-				// A negated atom that can never be derived is simply
-				// true; drop it from the rule.
-				if !possible.has(g) {
-					continue
-				}
-				gr.Neg = append(gr.Neg, gp.AtomID(g.Key()))
+			if len(ids) > int(e.nHeadPos) {
+				gr.Neg = ids[e.nHeadPos:]
 			}
 			// Dedup by the packed atom-id sections instead of rendering
 			// the rule: the id lists determine the rendering.
@@ -153,15 +342,11 @@ func Ground(p *lp.Program) (*Program, error) {
 				seenRules[string(keyBuf)] = true
 				gp.Rules = append(gp.Rules, gr)
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
 	}
 
 	addCoherence(gp)
-	return gp, nil
+	return gp
 }
 
 // packRuleKey appends a canonical byte encoding of the rule's atom-id
@@ -185,8 +370,10 @@ func packRuleKey(dst []byte, r Rule) []byte {
 
 // addCoherence adds ":- a, -a" for every complementary pair of interned
 // atoms, implementing the consistency requirement of extended programs.
+// Atoms are scanned in id order, so the emitted constraints are in a
+// deterministic order.
 func addCoherence(gp *Program) {
-	for key, id := range gp.Index {
+	for id, key := range gp.Atoms {
 		if len(key) > 0 && key[0] == '-' {
 			if pid, ok := gp.Index[key[1:]]; ok {
 				gp.Rules = append(gp.Rules, Rule{Pos: []int{id, pid}})
@@ -196,10 +383,9 @@ func addCoherence(gp *Program) {
 }
 
 // atomShards is the number of predicate-hash shards of the possible
-// atom set. Sharding keeps each shard's maps independent, so a future
-// parallel grounder can give each worker its own shard (or lock shards
-// individually) without restructuring the index; with the current
-// sequential fixpoint it simply bounds per-map size.
+// atom set. Sharding keeps each shard's maps independent, bounding
+// per-map size; shards are written only during the (single-threaded)
+// fixpoint merge and read concurrently by the matching workers.
 const atomShards = 8
 
 // atomSet stores ground literals by predicate (with strong negation
@@ -210,8 +396,9 @@ type atomSet struct {
 	shards [atomShards]atomShard
 	// keyer interns literal keys, so membership tests hash a uint32
 	// instead of building and hashing the rendered atom string. It is
-	// shared across shards; a parallel grounder would give each shard
-	// its own keyer (symtab tables are concurrent, Keyers are not).
+	// used by the single-threaded merge; concurrent workers use their
+	// own Keyer over the same table (symtab tables are concurrent,
+	// Keyers are not).
 	keyer *term.Keyer
 }
 
@@ -221,10 +408,13 @@ type atomShard struct {
 }
 
 // predAtoms is the per-predicate extension: atoms in insertion order
-// (which preserves the seed's deterministic enumeration) and, per
-// column, the indices of the atoms holding each constant.
+// (which preserves the deterministic merge-order enumeration), their
+// interned key ids (aligned with atoms, so matched candidates hand the
+// grounder their key without re-rendering), and, per column, the
+// indices of the atoms holding each constant.
 type predAtoms struct {
 	atoms []term.Atom
+	syms  []symtab.Sym
 	cols  []map[string][]int
 }
 
@@ -251,18 +441,18 @@ func (s *atomSet) litID(p string, l lp.Literal) uint32 {
 
 // shardOf hashes a predicate to its shard (FNV-1a).
 func shardOf(pred string) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(pred); i++ {
-		h ^= uint32(pred[i])
-		h *= 16777619
-	}
-	return int(h % atomShards)
+	return int(symtab.Hash32(pred) % atomShards)
 }
 
 func (s *atomSet) add(l lp.Literal) bool {
+	return s.addKeyed(l, s.litID(litPred(l), l))
+}
+
+// addKeyed is add with the literal's key id already computed (by a
+// worker's lookupKeyed), so the merge does not re-render the atom.
+func (s *atomSet) addKeyed(l lp.Literal, k uint32) bool {
 	p := litPred(l)
 	sh := &s.shards[shardOf(p)]
-	k := s.litID(p, l)
 	if sh.keys[k] {
 		return false
 	}
@@ -274,6 +464,7 @@ func (s *atomSet) add(l lp.Literal) bool {
 	}
 	idx := len(pa.atoms)
 	pa.atoms = append(pa.atoms, l.Atom)
+	pa.syms = append(pa.syms, k)
 	for c, t := range l.Atom.Args {
 		if c >= len(pa.cols) {
 			grown := make([]map[string][]int, c+1)
@@ -289,8 +480,30 @@ func (s *atomSet) add(l lp.Literal) bool {
 }
 
 func (s *atomSet) has(l lp.Literal) bool {
+	return s.hasKeyed(l, s.keyer)
+}
+
+// hasKeyed is has with an explicit keyer, so concurrent readers can
+// probe the (frozen) set without sharing the set's own keyer buffer.
+func (s *atomSet) hasKeyed(l lp.Literal, ky *term.Keyer) bool {
+	_, present := s.lookupKeyed(l, ky)
+	return present
+}
+
+// lookupKeyed returns the literal's interned key id and whether the
+// literal is in the set, probing with the caller's keyer so any number
+// of workers can read the frozen set concurrently.
+func (s *atomSet) lookupKeyed(l lp.Literal, ky *term.Keyer) (uint32, bool) {
 	p := litPred(l)
-	return s.shards[shardOf(p)].keys[s.litID(p, l)]
+	k := ky.KeyID(term.Atom{Pred: p, Args: l.Atom.Args})
+	return k, s.shards[shardOf(p)].keys[k]
+}
+
+// hasSym probes membership of an already-interned literal key under
+// its folded predicate. Read-only: safe for concurrent workers between
+// merges.
+func (s *atomSet) hasSym(pred string, k uint32) bool {
+	return s.shards[shardOf(pred)].keys[k]
 }
 
 func (s *atomSet) pred(p string) *predAtoms {
@@ -326,8 +539,24 @@ func (pa *predAtoms) candidates(pat term.Atom) (idx []int, found bool) {
 // as both sides are bound. Candidates come from the per-column indexes
 // of the atom set, and backtracking uses a binding trail instead of
 // cloning the substitution per candidate; the enumeration order is the
-// insertion order of the possible-set fixpoint, as in the seed.
-func matchPos(r lp.Rule, possible *atomSet, fn func(term.Subst) error) error {
+// (deterministic) insertion order of the possible-set merge. matchPos
+// only reads the set, so any number of workers may run it concurrently
+// between merges.
+//
+// The callback receives, for each positive body literal, the
+// per-predicate extension and the index of the matched candidate in
+// it, so emitters can read the candidate's interned key (predAtoms.
+// syms) instead of re-rendering the applied literal. Both slices are
+// reused across calls; callers must not retain them.
+func matchPos(r lp.Rule, possible *atomSet, fn func(s term.Subst, pas []*predAtoms, picks []int) error) error {
+	pas := make([]*predAtoms, len(r.PosB))
+	for i, l := range r.PosB {
+		pas[i] = possible.pred(litPred(l))
+		if pas[i] == nil {
+			return nil
+		}
+	}
+	picks := make([]int, len(r.PosB))
 	s := term.NewSubst()
 	var trail []string
 	var rec func(i int) error
@@ -342,17 +571,14 @@ func matchPos(r lp.Rule, possible *atomSet, fn func(term.Subst) error) error {
 					return nil
 				}
 			}
-			return fn(s)
+			return fn(s, pas, picks)
 		}
-		l := r.PosB[i]
-		pa := possible.pred(litPred(l))
-		if pa == nil {
-			return nil
-		}
-		pat := s.Apply(l.Atom)
-		try := func(cand term.Atom) error {
+		pa := pas[i]
+		pat := s.Apply(r.PosB[i].Atom)
+		try := func(ci int) error {
 			mark := len(trail)
-			if term.MatchTrail(pat, cand, s, &trail) {
+			if term.MatchTrail(pat, pa.atoms[ci], s, &trail) {
+				picks[i] = ci
 				if err := rec(i + 1); err != nil {
 					return err
 				}
@@ -362,14 +588,14 @@ func matchPos(r lp.Rule, possible *atomSet, fn func(term.Subst) error) error {
 		}
 		if idx, ok := pa.candidates(pat); ok {
 			for _, ci := range idx {
-				if err := try(pa.atoms[ci]); err != nil {
+				if err := try(ci); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
-		for _, cand := range pa.atoms {
-			if err := try(cand); err != nil {
+		for ci := range pa.atoms {
+			if err := try(ci); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,146 @@
+package ground
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+	"repro/internal/term"
+)
+
+// randomProgram generates a small random-but-safe program: facts over
+// a fixed vocabulary plus rules whose head and negative-body variables
+// are always bound by the positive body.
+func randomProgram(rng *rand.Rand) *lp.Program {
+	preds := []string{"p", "q", "r", "s"}
+	consts := []string{"a", "b", "c"}
+	vars := []string{"X", "Y"}
+	prog := &lp.Program{}
+
+	randTermFrom := func(pool []string, isVar bool) term.Term {
+		name := pool[rng.Intn(len(pool))]
+		if isVar {
+			return term.V(name)
+		}
+		return term.C(name)
+	}
+	randAtom := func(groundOnly bool) term.Atom {
+		args := make([]term.Term, 1+rng.Intn(2))
+		for i := range args {
+			if groundOnly || rng.Intn(2) == 0 {
+				args[i] = randTermFrom(consts, false)
+			} else {
+				args[i] = randTermFrom(vars, true)
+			}
+		}
+		return term.Atom{Pred: preds[rng.Intn(len(preds))], Args: args}
+	}
+
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		lit := lp.Pos(randAtom(true))
+		if rng.Intn(4) == 0 {
+			lit = lp.NegL(lit.Atom)
+		}
+		prog.Add(lp.Rule{Head: []lp.Literal{lit}})
+	}
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		r := lp.Rule{}
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			r.PosB = append(r.PosB, lp.Pos(randAtom(false)))
+		}
+		bound := map[string]bool{}
+		for _, l := range r.PosB {
+			for _, v := range l.Atom.Vars(nil) {
+				bound[v] = true
+			}
+		}
+		safeAtom := func() term.Atom {
+			a := randAtom(false)
+			for k, t := range a.Args {
+				if t.IsVar && !bound[t.Name] {
+					a.Args[k] = term.C(consts[rng.Intn(len(consts))])
+				}
+			}
+			return a
+		}
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			h := lp.Pos(safeAtom())
+			if rng.Intn(5) == 0 {
+				h = lp.NegL(h.Atom)
+			}
+			r.Head = append(r.Head, h)
+		}
+		if rng.Intn(3) == 0 {
+			r.NegB = append(r.NegB, lp.Pos(safeAtom()))
+		}
+		if rng.Intn(4) == 0 && len(bound) > 0 {
+			var bvars []string
+			for v := range bound {
+				bvars = append(bvars, v)
+			}
+			sort.Strings(bvars)
+			r.Cmps = append(r.Cmps, lp.Cmp{
+				Op: "!=",
+				L:  term.V(bvars[rng.Intn(len(bvars))]),
+				R:  term.C(consts[rng.Intn(len(consts))]),
+			})
+		}
+		prog.Add(r)
+	}
+	return prog
+}
+
+// canonicalRules renders the ground rules sorted, the order-insensitive
+// comparison form.
+func canonicalRules(g *Program) []string {
+	out := make([]string, 0, len(g.Rules))
+	for _, r := range g.Rules {
+		out = append(out, g.RuleString(r))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestQuickGroundParallelEquivalence checks, over random programs, that
+// the parallel grounder is byte-identical to the sequential one — not
+// just equal after canonical sorting, which is also asserted as the
+// weaker sanity layer.
+func TestQuickGroundParallelEquivalence(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(values []reflect.Value, rng *rand.Rand) {
+			values[0] = reflect.ValueOf(randomProgram(rng))
+		},
+	}
+	property := func(p *lp.Program) bool {
+		seq, seqErr := Ground(p)
+		for _, par := range []int{2, 4, 8} {
+			got, gotErr := GroundOpt(p, Options{Parallelism: par})
+			if (seqErr == nil) != (gotErr == nil) {
+				t.Logf("error mismatch at parallelism=%d: %v vs %v", par, seqErr, gotErr)
+				return false
+			}
+			if seqErr != nil {
+				continue
+			}
+			if got.String() != seq.String() || strings.Join(got.Atoms, "\x1f") != strings.Join(seq.Atoms, "\x1f") {
+				t.Logf("byte mismatch at parallelism=%d:\nseq:\n%s\npar:\n%s", par, seq, got)
+				return false
+			}
+			sc, gc := canonicalRules(seq), canonicalRules(got)
+			if fmt.Sprint(sc) != fmt.Sprint(gc) {
+				t.Logf("canonical mismatch at parallelism=%d", par)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,10 +25,11 @@ type RunOptions struct {
 	// the direct-case program.
 	Transitive bool
 	// Parallelism bounds the worker pools of the whole LP route: the
-	// stable-model search (solve.Options.Parallelism) and the
-	// per-solution query evaluation of PeerConsistentAnswersViaLP.
-	// 0 means the solver stays sequential and query evaluation uses
-	// GOMAXPROCS workers; 1 forces both sequential.
+	// grounder (ground.Options.Parallelism), the stable-model search
+	// (solve.Options.Parallelism) and the per-solution query evaluation
+	// of PeerConsistentAnswersViaLP. 0 means grounder and solver stay
+	// sequential and query evaluation uses GOMAXPROCS workers; 1 forces
+	// everything sequential.
 	Parallelism int
 	// SolverOptions are passed through to the stable-model solver.
 	Solver solve.Options
@@ -41,7 +42,7 @@ func Solve(prog *lp.Program, opt RunOptions) ([]solve.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := ground.Ground(u)
+	g, err := ground.GroundOpt(u, ground.Options{Parallelism: opt.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -339,20 +339,23 @@ func (in *Instance) HasAtom(a term.Atom) bool {
 
 // buildSorted (re)builds the relation's sorted views under r.mu: the
 // string tuples sorted by their canonical key, and the id tuples
-// aligned with that order.
+// aligned with that order. Keys are rendered once per tuple, not once
+// per comparison.
 func (in *Instance) buildSorted(r *relData) {
 	if r.sorted != nil || len(r.tuples) == 0 {
 		return
 	}
 	type row struct {
+		key string
 		t   Tuple
 		ids idTuple
 	}
 	rows := make([]row, 0, len(r.tuples))
 	for _, ids := range r.tuples {
-		rows = append(rows, row{t: in.strings(ids), ids: ids})
+		t := in.strings(ids)
+		rows = append(rows, row{key: t.Key(), t: t, ids: ids})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].t.Key() < rows[j].t.Key() })
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
 	r.sorted = make([]Tuple, len(rows))
 	r.sortedIDs = make([]idTuple, len(rows))
 	for i, rw := range rows {
@@ -513,8 +516,12 @@ func (in *Instance) Relations() []string {
 }
 
 // Clone deep-copies the instance. The clone shares the (append-only)
-// symbol table and the immutable id tuples; only the per-relation sets
-// are copied, so cloning inside the repair search stays cheap.
+// symbol table, the immutable id tuples and — crucially for the repair
+// search, whose candidate states are clones differing from their
+// parent in a couple of tuples — the parent's already-built read
+// caches: sorted views and column indexes are immutable once built
+// (mutations only drop a relation's own pointers), so a clone reuses
+// them until it mutates that relation itself.
 func (in *Instance) Clone() *Instance {
 	c := NewInstanceIn(in.tab)
 	for rel, r := range in.rels {
@@ -523,6 +530,9 @@ func (in *Instance) Clone() *Instance {
 		for k, ids := range r.tuples {
 			cr.tuples[k] = ids
 		}
+		r.mu.Lock()
+		cr.sorted, cr.sortedIDs, cr.cols = r.sorted, r.sortedIDs, r.cols
+		r.mu.Unlock()
 		c.rels[rel] = cr
 	}
 	return c
@@ -576,6 +586,11 @@ func (in *Instance) restrict(keep func(string) bool) *Instance {
 		for k, ids := range rd.tuples {
 			cr.tuples[k] = ids
 		}
+		// Kept relations are copied unchanged, so the restriction can
+		// share the read caches like Clone does.
+		rd.mu.Lock()
+		cr.sorted, cr.sortedIDs, cr.cols = rd.sorted, rd.sortedIDs, rd.cols
+		rd.mu.Unlock()
 		r.rels[rel] = cr
 	}
 	return r
@@ -750,6 +765,32 @@ func DeltaIDs(tab *symtab.Table, delta []Fact) []symtab.Sym {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// XorIDs returns the symmetric difference of two sorted id sets as a
+// new sorted id set (a single merge walk). The repair search derives a
+// child state's delta from its parent's this way: every fact an action
+// touches toggles its membership in the symmetric difference against
+// the original instance.
+func XorIDs(a, b []symtab.Sym) []symtab.Sym {
+	out := make([]symtab.Sym, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // SubsetOfIDs reports a ⊆ b for sorted id sets via a single merge

@@ -1,0 +1,75 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+func TestXorIDsBasic(t *testing.T) {
+	cases := []struct{ a, b, want []symtab.Sym }{
+		{nil, nil, nil},
+		{[]symtab.Sym{1, 3}, nil, []symtab.Sym{1, 3}},
+		{nil, []symtab.Sym{2}, []symtab.Sym{2}},
+		{[]symtab.Sym{1, 2, 3}, []symtab.Sym{2}, []symtab.Sym{1, 3}},
+		{[]symtab.Sym{1, 2}, []symtab.Sym{1, 2}, nil},
+		{[]symtab.Sym{1, 4}, []symtab.Sym{2, 4, 9}, []symtab.Sym{1, 2, 9}},
+	}
+	for _, tc := range cases {
+		got := XorIDs(tc.a, tc.b)
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) && !(len(got) == 0 && len(tc.want) == 0) {
+			t.Fatalf("XorIDs(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestXorIDsMatchesSetSemantics cross-checks the merge walk against a
+// map-based symmetric difference over random sorted id sets.
+func TestXorIDsMatchesSetSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randSet := func() []symtab.Sym {
+		seen := map[symtab.Sym]bool{}
+		for i := 0; i < rng.Intn(10); i++ {
+			seen[symtab.Sym(rng.Intn(12))] = true
+		}
+		out := make([]symtab.Sym, 0, len(seen))
+		for id := range seen {
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for trial := 0; trial < 300; trial++ {
+		a, b := randSet(), randSet()
+		want := map[symtab.Sym]bool{}
+		for _, id := range a {
+			want[id] = !want[id]
+		}
+		for _, id := range b {
+			want[id] = !want[id]
+		}
+		got := XorIDs(a, b)
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("trial %d: result not sorted: %v", trial, got)
+		}
+		n := 0
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("trial %d: unexpected id %d in %v (a=%v b=%v)", trial, id, got, a, b)
+			}
+			n++
+		}
+		for id, in := range want {
+			if in {
+				n--
+				_ = id
+			}
+		}
+		if n != 0 {
+			t.Fatalf("trial %d: size mismatch: got %v for a=%v b=%v", trial, got, a, b)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package repair
+
+import (
+	"repro/internal/relation"
+	"repro/internal/symtab"
+)
+
+// frontierShards is the number of hash shards of the visited set.
+// Sharding bounds the size of each individual map as the search state
+// space grows; the shards are only written from the (single-threaded)
+// admit pass of the wave loop, never from the parallel expansion
+// workers, so no shard needs a lock.
+const frontierShards = 16
+
+// frontier is the pruning state of the repair search: the visited set
+// (states already admitted once, keyed by their packed sorted fact-id
+// delta) and the subsumption set (the deltas of the consistent states
+// found so far). It exists so the sequential and parallel search share
+// one pruning implementation with a fixed check order:
+//
+//  1. visited — a state is admitted at most once, and the visited mark
+//     is recorded even when check 2 then rejects the state;
+//  2. subsumption — a state whose delta strictly contains the delta of
+//     an already-found consistent state cannot lead to a new minimal
+//     repair and is rejected.
+//
+// The order is load-bearing: checking subsumption first would leave
+// subsumed states unmarked, so a later wave could re-admit one after
+// the subsumption set changed, and the search would expand a state
+// twice (or not at all) depending on the order repairs are found in.
+// frontier_test.go pins the order.
+type frontier struct {
+	visited [frontierShards]map[string]bool
+	// foundDelta holds the sorted fact-id deltas of the consistent
+	// states found so far, in discovery order.
+	foundDelta [][]symtab.Sym
+}
+
+func newFrontier() *frontier {
+	f := &frontier{}
+	for i := range f.visited {
+		f.visited[i] = make(map[string]bool)
+	}
+	return f
+}
+
+// shardOfKey hashes a packed delta key to its visited shard (FNV-1a).
+func shardOfKey(key string) int {
+	return int(symtab.Hash32(key) % frontierShards)
+}
+
+// admit reports whether the state identified by delta should be
+// expanded, applying the visited check first and the subsumption check
+// second (see the type comment for why the order matters).
+func (f *frontier) admit(delta []symtab.Sym) bool {
+	key := relation.PackIDKey(delta)
+	sh := f.visited[shardOfKey(key)]
+	if sh[key] {
+		return false
+	}
+	sh[key] = true
+	return !f.subsumed(delta)
+}
+
+// subsumed reports whether delta strictly contains an already-found
+// consistent delta.
+func (f *frontier) subsumed(delta []symtab.Sym) bool {
+	for _, fd := range f.foundDelta {
+		if len(fd) < len(delta) && relation.SubsetOfIDs(fd, delta) {
+			return true
+		}
+	}
+	return false
+}
+
+// recordFound adds the delta of a newly found consistent state to the
+// subsumption set.
+func (f *frontier) recordFound(delta []symtab.Sym) {
+	f.foundDelta = append(f.foundDelta, delta)
+}

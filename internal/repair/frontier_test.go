@@ -1,0 +1,87 @@
+package repair
+
+import (
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+func syms(ids ...symtab.Sym) []symtab.Sym { return ids }
+
+func TestFrontierAdmitsFreshState(t *testing.T) {
+	f := newFrontier()
+	if !f.admit(syms()) {
+		t.Fatal("empty (root) delta must be admitted")
+	}
+	if !f.admit(syms(1, 2)) {
+		t.Fatal("fresh delta must be admitted")
+	}
+}
+
+func TestFrontierVisitedRejectsReAdmission(t *testing.T) {
+	f := newFrontier()
+	if !f.admit(syms(1, 2)) {
+		t.Fatal("first admission must succeed")
+	}
+	if f.admit(syms(1, 2)) {
+		t.Fatal("second admission of the same delta must be rejected")
+	}
+}
+
+func TestFrontierSubsumptionRejects(t *testing.T) {
+	f := newFrontier()
+	f.recordFound(syms(1))
+	if f.admit(syms(1, 2)) {
+		t.Fatal("delta strictly containing a found delta must be rejected")
+	}
+	if !f.admit(syms(2, 3)) {
+		t.Fatal("delta not containing the found delta must be admitted")
+	}
+	// Equal-size deltas are never subsumed (strict containment only):
+	// the found state itself must remain admissible exactly once.
+	if !f.admit(syms(1)) {
+		t.Fatal("the found delta itself is not strictly subsumed")
+	}
+}
+
+// TestFrontierVisitedBeforeSubsumption pins the check order: a state
+// rejected by subsumption is still marked visited, so it can never be
+// admitted later even if the subsumption set were different then. (If
+// subsumption ran first, the state would stay unmarked and a later
+// admit could expand it — making the explored tree depend on the order
+// repairs are found in, which the parallel search must not.)
+func TestFrontierVisitedBeforeSubsumption(t *testing.T) {
+	f := newFrontier()
+	f.recordFound(syms(1))
+	if f.admit(syms(1, 2)) {
+		t.Fatal("subsumed delta must be rejected")
+	}
+	// Re-admitting the same delta must keep failing on the visited
+	// check, regardless of the subsumption set.
+	if f.admit(syms(1, 2)) {
+		t.Fatal("subsumption-rejected delta must have been marked visited")
+	}
+}
+
+func TestFrontierShardsIndependent(t *testing.T) {
+	f := newFrontier()
+	// Admit enough distinct deltas that several shards are hit; all
+	// must be tracked independently.
+	for i := symtab.Sym(0); i < 100; i++ {
+		if !f.admit(syms(i, i+1)) {
+			t.Fatalf("fresh delta %d rejected", i)
+		}
+	}
+	for i := symtab.Sym(0); i < 100; i++ {
+		if f.admit(syms(i, i+1)) {
+			t.Fatalf("visited delta %d re-admitted", i)
+		}
+	}
+	n := 0
+	for _, sh := range f.visited {
+		n += len(sh)
+	}
+	if n != 100 {
+		t.Fatalf("visited size = %d, want 100", n)
+	}
+}

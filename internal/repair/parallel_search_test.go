@@ -1,0 +1,156 @@
+package repair
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/relation"
+	"repro/internal/symtab"
+)
+
+// repairFingerprint renders a Repairs result (including its error) for
+// byte-level comparison across parallelism levels.
+func repairFingerprint(t *testing.T, in *relation.Instance, deps []*constraint.Dependency, opt Options) string {
+	t.Helper()
+	reps, err := Repairs(in, deps, opt)
+	s := fmt.Sprintf("err=%v\n", err)
+	for _, r := range reps {
+		s += r.Key() + "\n"
+	}
+	return s
+}
+
+// TestDeterminismParallelSearchFixed sweeps hand-built systems —
+// including ones that exercise MaxRepairs, MaxDelta/ErrBound and
+// insertion cascades — across parallelism levels.
+func TestDeterminismParallelSearchFixed(t *testing.T) {
+	cases := []struct {
+		name string
+		inst map[string][]relation.Tuple
+		deps []*constraint.Dependency
+		opt  Options
+	}{
+		{
+			"two independent FD conflicts",
+			map[string][]relation.Tuple{"r1": {{"a", "b"}, {"a", "c"}, {"x", "y"}, {"x", "z"}}},
+			[]*constraint.Dependency{constraint.FD("fd", "r1")},
+			Options{},
+		},
+		{
+			"import chain plus EGD",
+			map[string][]relation.Tuple{
+				"r1": {{"a", "b"}}, "r2": {{"c", "d"}, {"e", "f"}}, "r3": {{"a", "g"}},
+			},
+			[]*constraint.Dependency{
+				constraint.Inclusion("inc", "r2", "r1", 2),
+				constraint.KeyEGD("egd", "r1", "r3"),
+			},
+			Options{Fixed: map[string]bool{"r2": true, "r3": true}},
+		},
+		{
+			"max repairs cut",
+			map[string][]relation.Tuple{"r1": {{"a", "b"}, {"a", "c"}, {"x", "y"}, {"x", "z"}}},
+			[]*constraint.Dependency{constraint.FD("fd", "r1")},
+			Options{MaxRepairs: 2},
+		},
+		{
+			"delta bound reported",
+			map[string][]relation.Tuple{"r2": {{"c", "d"}}},
+			[]*constraint.Dependency{constraint.Inclusion("inc", "r2", "r1", 2)},
+			Options{MaxDelta: -1},
+		},
+		{
+			"referential witness insertion",
+			map[string][]relation.Tuple{
+				"r1": {{"a", "b"}}, "s1": {{"c", "b"}}, "s2": {{"c", "e"}, {"c", "f"}},
+			},
+			[]*constraint.Dependency{constraint.Referential("dec3", "r1", "s1", "r2", "s2")},
+			Options{Fixed: map[string]bool{"s1": true, "s2": true}},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			build := func() *relation.Instance { return mkInst(tc.inst) }
+			opt := tc.opt
+			opt.Parallelism = 1
+			want := repairFingerprint(t, build(), tc.deps, opt)
+			for _, par := range []int{2, 4, 8} {
+				opt.Parallelism = par
+				got := repairFingerprint(t, build(), tc.deps, opt)
+				if got != want {
+					t.Fatalf("parallelism=%d diverges:\n--- seq ---\n%s--- par ---\n%s", par, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismParallelSearchRandom cross-checks random instances
+// (the same generator the repair property tests use) across levels.
+func TestDeterminismParallelSearchRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	dom := []string{"a", "b", "c"}
+	deps := []*constraint.Dependency{
+		constraint.FD("fd_r", "r"),
+		constraint.Inclusion("inc", "q", "r", 2),
+		constraint.KeyEGD("egd", "r", "s"),
+	}
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng, []string{"r", "q", "s"}, 3, dom)
+		fixed := map[string]bool{"q": true}
+		want := repairFingerprint(t, in, deps, Options{Fixed: fixed, Parallelism: 1})
+		for _, par := range []int{2, 8} {
+			got := repairFingerprint(t, in, deps, Options{Fixed: fixed, Parallelism: par})
+			if got != want {
+				t.Fatalf("trial %d parallelism=%d diverges:\n--- seq ---\n%s--- par ---\n%s\ninput %v",
+					trial, par, want, got, in)
+			}
+		}
+	}
+}
+
+// TestChildDeltaMatchesSymDiff checks the incremental XOR delta
+// derivation against a full SymDiff recomputation: applying any action
+// sequence, the searcher's derived delta must name exactly the facts
+// of orig Δ cur.
+func TestChildDeltaMatchesSymDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dom := []string{"a", "b", "c"}
+	for trial := 0; trial < 50; trial++ {
+		orig := randomInstance(rng, []string{"r", "s"}, 3, dom)
+		s := &searcher{orig: orig, facts: symtab.New()}
+		cur := orig.Clone()
+		delta := []symtab.Sym{}
+		for step := 0; step < 5; step++ {
+			f := relation.Fact{Rel: []string{"r", "s"}[rng.Intn(2)],
+				Tuple: relation.Tuple{dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))]}}
+			var a action
+			if cur.Has(f.Rel, f.Tuple) {
+				a = action{deletes: []relation.Fact{f}}
+			} else {
+				a = action{inserts: []relation.Fact{f}}
+			}
+			delta = s.childDelta(delta, a)
+			a.apply(cur)
+
+			want := relation.SymDiff(orig, cur)
+			wantKeys := make([]string, len(want))
+			for i, wf := range want {
+				wantKeys[i] = wf.Key()
+			}
+			sort.Strings(wantKeys)
+			gotKeys := make([]string, len(delta))
+			for i, id := range delta {
+				gotKeys[i] = s.facts.Name(id)
+			}
+			sort.Strings(gotKeys)
+			if fmt.Sprint(gotKeys) != fmt.Sprint(wantKeys) {
+				t.Fatalf("trial %d step %d: delta %v, SymDiff %v", trial, step, gotKeys, wantKeys)
+			}
+		}
+	}
+}

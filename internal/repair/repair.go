@@ -13,6 +13,17 @@
 // instance, with active-domain enumeration for any remaining variables,
 // which mirrors how the paper's choice-operator programs pick witnesses
 // from the trusted peer's data (Section 3.1).
+//
+// The search runs in deterministic waves so it can fan out across a
+// worker pool: each wave takes a fixed-size chunk of pending states,
+// filters it through the frontier (visited + subsumption pruning, see
+// frontier.go) in canonical order, expands the admitted states —
+// violation check, action enumeration, child-delta derivation — on up
+// to Options.Parallelism workers, and merges the results back in
+// canonical order. Because admission and merging are sequential and the
+// expansion of one state is a pure function of that state, the explored
+// tree, the found repairs and the returned (minimal, sorted) repair set
+// are byte-identical at every parallelism level.
 package repair
 
 import (
@@ -20,6 +31,7 @@ import (
 	"sort"
 
 	"repro/internal/constraint"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 	"repro/internal/symtab"
 	"repro/internal/term"
@@ -38,12 +50,13 @@ type Options struct {
 	// MaxRepairs stops the search after this many consistent instances
 	// have been found (before minimality filtering); 0 means unlimited.
 	MaxRepairs int
-	// Parallelism bounds the worker pool used by the parallel helpers
-	// built on the repair engine (IntersectAnswers and the engines in
-	// internal/core). 0 means GOMAXPROCS; 1 forces sequential
-	// execution. The repair search itself stays sequential — its
-	// visited/subsumption pruning is inherently stateful — but every
-	// per-repair evaluation downstream fans out.
+	// Parallelism bounds the worker pool used by the repair search's
+	// wave expansion and by the parallel helpers built on the repair
+	// engine (IntersectAnswers and the engines in internal/core). 0
+	// means GOMAXPROCS; 1 forces sequential execution. The search
+	// output is byte-identical at every level: pruning and result
+	// merging happen on the coordinating goroutine in canonical order,
+	// parallelism only spreads the per-state expansion work.
 	Parallelism int
 }
 
@@ -59,22 +72,48 @@ type searcher struct {
 	// merge walks instead of string-keyed map probes, and the visited
 	// set is keyed by the packed delta (which, given orig, identifies
 	// the candidate instance) instead of the full instance rendering.
+	// The table is concurrent, so expansion workers intern action facts
+	// directly.
 	facts      *symtab.Table
-	visited    map[string]bool
+	front      *frontier
 	found      []*relation.Instance
 	foundDelta [][]symtab.Sym
 	hitBound   bool
 }
 
-// deltaIDs interns the symmetric difference orig Δ cur as a sorted id
-// set.
-func (s *searcher) deltaIDs(cur *relation.Instance) []symtab.Sym {
-	return relation.DeltaIDs(s.facts, relation.SymDiff(s.orig, cur))
+// node is one state of the search, identified by its sorted fact-id
+// delta against the original instance (cur = orig Δ delta). The
+// instance itself is materialized lazily at expansion time from the
+// parent's instance plus the action, so states rejected by the
+// frontier never pay for a clone.
+type node struct {
+	delta  []symtab.Sym
+	parent *relation.Instance
+	act    action
+	root   bool
 }
 
+// expansion is the outcome of expanding one admitted node.
+type expansion struct {
+	inst       *relation.Instance
+	consistent bool
+	atBound    bool
+	children   []node
+}
+
+// waveChunk is the number of pending states one wave takes. It is a
+// fixed constant — independent of Options.Parallelism — so the
+// exploration order, and with it every pruning decision, is identical
+// at every parallelism level. Chunks are taken from the tail of the
+// pending stack, keeping the exploration depth-first-flavored (small
+// consistent deltas are found early, which is what makes the
+// subsumption pruning effective).
+const waveChunk = 64
+
 // Repairs returns the ≤r-minimal repairs of inst w.r.t. deps. The
-// result is deterministic (sorted by canonical instance key). If inst
-// is already consistent, it is its own unique repair.
+// result is deterministic (sorted by canonical instance key) and
+// byte-identical at every Options.Parallelism level. If inst is
+// already consistent, it is its own unique repair.
 func Repairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options) ([]*relation.Instance, error) {
 	for _, d := range deps {
 		if err := d.Validate(); err != nil {
@@ -84,8 +123,8 @@ func Repairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options
 	if opt.MaxDelta == 0 {
 		opt.MaxDelta = inst.Size() + 64
 	}
-	s := &searcher{orig: inst, deps: deps, opt: opt, facts: symtab.New(), visited: make(map[string]bool)}
-	if err := s.search(inst.Clone(), 0); err != nil {
+	s := &searcher{orig: inst, deps: deps, opt: opt, facts: symtab.New(), front: newFrontier()}
+	if err := s.run(); err != nil {
 		return nil, err
 	}
 	min := minimalByDelta(s.found, s.foundDelta)
@@ -96,53 +135,116 @@ func Repairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options
 	return min, nil
 }
 
-func (s *searcher) search(cur *relation.Instance, depth int) error {
-	if s.opt.MaxRepairs > 0 && len(s.found) >= s.opt.MaxRepairs {
-		return nil
-	}
-	delta := s.deltaIDs(cur)
-	// The delta identifies the state: cur = orig Δ delta, so the packed
-	// delta is a (much cheaper) substitute for the instance rendering.
-	key := relation.PackIDKey(delta)
-	if s.visited[key] {
-		return nil
-	}
-	s.visited[key] = true
-
-	// Subsumption: a state whose delta contains an already-found
-	// consistent delta cannot lead to a new minimal repair.
-	for _, fd := range s.foundDelta {
-		if len(fd) < len(delta) && relation.SubsetOfIDs(fd, delta) {
+// run is the wave loop. Admission (frontier pruning) and merging run on
+// the calling goroutine in canonical order; only the expansion of the
+// admitted states of one wave fans out.
+func (s *searcher) run() error {
+	pending := []node{{root: true}}
+	var admitted []node
+	workers := parallel.Workers(s.opt.Parallelism)
+	for len(pending) > 0 {
+		if s.opt.MaxRepairs > 0 && len(s.found) >= s.opt.MaxRepairs {
 			return nil
 		}
-	}
-
-	v, err := constraint.FirstViolation(cur, s.deps)
-	if err != nil {
-		return err
-	}
-	if v == nil {
-		s.found = append(s.found, cur.Clone())
-		s.foundDelta = append(s.foundDelta, delta)
-		return nil
-	}
-	if len(delta) >= s.opt.MaxDelta {
-		s.hitBound = true
-		return nil
-	}
-
-	acts, err := s.actions(cur, v)
-	if err != nil {
-		return err
-	}
-	for _, a := range acts {
-		next := cur.Clone()
-		a.apply(next)
-		if err := s.search(next, depth+1); err != nil {
+		k := waveChunk
+		if k > len(pending) {
+			k = len(pending)
+		}
+		wave := pending[len(pending)-k:]
+		pending = pending[:len(pending)-k]
+		admitted = admitted[:0]
+		for _, nd := range wave {
+			if s.front.admit(nd.delta) {
+				admitted = append(admitted, nd)
+			}
+		}
+		if len(admitted) == 0 {
+			continue
+		}
+		evals, err := parallel.MapErr(len(admitted), workers, func(i int) (expansion, error) {
+			return s.expand(admitted[i])
+		})
+		if err != nil {
 			return err
+		}
+		for i, ev := range evals {
+			nd := admitted[i]
+			switch {
+			case ev.consistent:
+				s.found = append(s.found, ev.inst)
+				s.foundDelta = append(s.foundDelta, nd.delta)
+				s.front.recordFound(nd.delta)
+				if s.opt.MaxRepairs > 0 && len(s.found) >= s.opt.MaxRepairs {
+					return nil
+				}
+			case ev.atBound:
+				s.hitBound = true
+			default:
+				pending = append(pending, ev.children...)
+			}
 		}
 	}
 	return nil
+}
+
+// expand materializes a node's instance, checks it for violations and
+// enumerates its children. It is a pure function of the node (the
+// shared original instance and symbol table are only read or appended
+// to concurrently-safely), so any number of expansions may run in
+// parallel.
+func (s *searcher) expand(nd node) (expansion, error) {
+	var cur *relation.Instance
+	if nd.root {
+		cur = s.orig.Clone()
+	} else {
+		cur = nd.parent.Clone()
+		nd.act.apply(cur)
+	}
+	v, err := constraint.FirstViolation(cur, s.deps)
+	if err != nil {
+		return expansion{}, err
+	}
+	if v == nil {
+		return expansion{inst: cur, consistent: true}, nil
+	}
+	if len(nd.delta) >= s.opt.MaxDelta {
+		return expansion{atBound: true}, nil
+	}
+	acts, err := s.actions(cur, v)
+	if err != nil {
+		return expansion{}, err
+	}
+	children := make([]node, 0, len(acts))
+	for _, a := range acts {
+		children = append(children, node{delta: s.childDelta(nd.delta, a), parent: cur, act: a})
+	}
+	return expansion{children: children}, nil
+}
+
+// childDelta derives a child state's sorted fact-id delta from its
+// parent's: every fact the action touches toggles its membership in
+// the symmetric difference against the original instance (deletes
+// remove earlier inserts or record new deletions, and vice versa), so
+// no SymDiff over the full instance is needed per state.
+func (s *searcher) childDelta(parent []symtab.Sym, a action) []symtab.Sym {
+	toggles := make([]symtab.Sym, 0, len(a.deletes)+len(a.inserts))
+	for _, f := range a.deletes {
+		toggles = append(toggles, s.facts.Intern(f.Key()))
+	}
+	for _, f := range a.inserts {
+		toggles = append(toggles, s.facts.Intern(f.Key()))
+	}
+	sort.Slice(toggles, func(i, j int) bool { return toggles[i] < toggles[j] })
+	// An action may name the same fact twice (two head atoms grounding
+	// to one missing fact); applying it still changes membership once,
+	// so duplicates collapse to a single toggle.
+	uniq := toggles[:0]
+	for i, id := range toggles {
+		if i == 0 || id != toggles[i-1] {
+			uniq = append(uniq, id)
+		}
+	}
+	return relation.XorIDs(parent, uniq)
 }
 
 // action is a set of simultaneous tuple changes fixing one violation.

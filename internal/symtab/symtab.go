@@ -92,3 +92,16 @@ func (t *Table) Len() int {
 	t.mu.RUnlock()
 	return n
 }
+
+// Hash32 is the allocation-free FNV-1a hash of s. The shard routers of
+// the hot paths (the grounder's possible-atom set, the repair
+// frontier's visited set) share it instead of each hand-rolling the
+// loop.
+func Hash32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -334,6 +334,33 @@ func (k *Keyer) KeyID(a Atom) symtab.Sym {
 // KeyID.
 func (k *Keyer) KeyName(id symtab.Sym) string { return k.tab.Name(id) }
 
+// KeyIDSubst interns the canonical key of the atom under the
+// substitution — the id KeyID(s.Apply(a)) would return — without
+// materializing the applied atom. ok is false when some argument
+// resolves to a variable; the grounder's emission loop uses this to
+// render, resolve and intern in one pass.
+func (k *Keyer) KeyIDSubst(a Atom, s Subst) (id symtab.Sym, ok bool) {
+	k.buf = k.buf[:0]
+	k.buf = append(k.buf, a.Pred...)
+	if len(a.Args) > 0 {
+		k.buf = append(k.buf, '(')
+		for i, t := range a.Args {
+			if t.IsVar {
+				t = s.Lookup(t)
+				if t.IsVar {
+					return 0, false
+				}
+			}
+			if i > 0 {
+				k.buf = append(k.buf, ',')
+			}
+			k.buf = append(k.buf, t.Name...)
+		}
+		k.buf = append(k.buf, ')')
+	}
+	return k.tab.InternBytes(k.buf), true
+}
+
 // ConstArgs appends one constant term per value to dst. Hot matching
 // loops use it to render stored tuples as atom arguments into a
 // reusable buffer instead of allocating a fresh slice per candidate.
