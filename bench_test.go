@@ -22,6 +22,7 @@ import (
 	"repro/internal/peernet"
 	"repro/internal/program"
 	"repro/internal/rewrite"
+	"repro/internal/slice"
 	"repro/internal/workload"
 )
 
@@ -428,4 +429,37 @@ func groundProgram(b *testing.B, s *core.System, id core.PeerID) *ground.Program
 		b.Fatal(err)
 	}
 	return g
+}
+
+// BenchmarkB9WideUniverseSlicing contrasts full against sliced
+// answering on the wide-universe workload (tiny query-relevant core,
+// wide bystander overlay), in-process: the sliced variant computes the
+// relevance slice and answers with slice-restricted options.
+func BenchmarkB9WideUniverseSlicing(b *testing.B) {
+	s := workload.WideUniverse(8, 3, 40, 2, 1)
+	q := foquery.MustParse("q0(X,Y)")
+	vars := []string{"X", "Y"}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.PeerConsistentAnswers(s, "P0", q, vars, core.SolveOptions{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sliced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sl, err := slice.ForQuery(s, "P0", q, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, err = core.PeerConsistentAnswers(s, "P0", q, vars, core.SolveOptions{
+				Parallelism:  1,
+				KeepDep:      sl.KeepDep,
+				RelevantRels: sl.RelevantRels(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

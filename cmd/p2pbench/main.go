@@ -44,6 +44,7 @@ var experiments = []experiment{
 	{"B6", "Networked PCA: transport and latency sweep", runB6},
 	{"B7", "Choice keys: shared vs independent witness choices", runB7},
 	{"B8", "Solver ablation: support propagation on/off", runB8},
+	{"B9", "Wide universe: query-relevance slicing vs full snapshots", runB9},
 }
 
 // benchParallelism is the worker-pool bound used by the parallel

@@ -13,6 +13,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/lp/ground"
 	"repro/internal/program"
+	"repro/internal/slice"
 	"repro/internal/workload"
 )
 
@@ -40,6 +41,26 @@ func BenchmarkGateB1(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.PeerConsistentAnswers(s1, "P1", q, []string{"X", "Y"}, core.SolveOptions{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGateB9Sliced(b *testing.B) {
+	s9 := workload.WideUniverse(8, 3, 40, 2, 1)
+	q9 := foquery.MustParse("q0(X,Y)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sl, err := slice.ForQuery(s9, "P0", q9, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = core.PeerConsistentAnswers(s9, "P0", q9, []string{"X", "Y"}, core.SolveOptions{
+			Parallelism:  1,
+			KeepDep:      sl.KeepDep,
+			RelevantRels: sl.RelevantRels(),
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -23,9 +23,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/foquery"
+	"repro/internal/lp"
+	"repro/internal/lp/ground"
 	"repro/internal/program"
 	"repro/internal/relation"
 	"repro/internal/rewrite"
+	"repro/internal/slice"
 	"repro/internal/sysdsl"
 )
 
@@ -48,7 +51,8 @@ func run(args []string, out io.Writer) error {
 	solutions := fs.Bool("solutions", false, "print the peer's solutions instead of answering a query")
 	showProgram := fs.Bool("program", false, "print the specification program instead of solving (lp/lav engines)")
 	par := fs.Int("parallelism", 0, "worker-pool bound for the repair search and fan-out, grounding, per-solution query evaluation and stable-model search; 0 = GOMAXPROCS for the repair engine with sequential grounder/solver, 1 = fully sequential, >1 also fans out grounding and the solver search")
-	stats := fs.Bool("stats", false, "print system statistics (peers, tuples, interned symbols) after loading")
+	stats := fs.Bool("stats", false, "print system statistics (peers, tuples, interned symbols) after loading; with -query, also the query-relevance slice statistics (relations/constraints kept vs dropped, answer cache hits/misses)")
+	sliced := fs.Bool("sliced", false, "answer through the query-relevance-sliced pipeline (repair and lp engines): only slice constraints are enforced, only slice relations repaired/grounded, answers cached per slice+data key; answers are identical to the unsliced run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +132,30 @@ func run(args []string, out io.Writer) error {
 		varList[i] = strings.TrimSpace(varList[i])
 	}
 
+	// Query-relevance slicing: compute the slice when the sliced
+	// pipeline is requested, or when -stats wants its statistics.
+	var sl *slice.Slice
+	var cache *slice.AnswerCache
+	if (*sliced || *stats) && (*engine == "repair" || *engine == "lp") {
+		f, perr := foquery.Parse(*query)
+		if perr != nil {
+			return perr
+		}
+		sl, err = slice.ForQuery(sys, id, f, *transitive)
+		if err != nil {
+			return err
+		}
+	}
+	solveOpt := core.SolveOptions{Parallelism: *par}
+	runOpt := program.RunOptions{Transitive: *transitive, Parallelism: *par}
+	var pruneStats ground.PruneStats
+	if *sliced && sl != nil {
+		cache = slice.NewAnswerCache(0)
+		solveOpt.KeepDep, solveOpt.RelevantRels = sl.KeepDep, sl.RelevantRels()
+		runOpt.KeepDep, runOpt.RelevantRels = sl.KeepDep, sl.RelevantRels()
+		runOpt.PruneStats = &pruneStats
+	}
+
 	var ans []relation.Tuple
 	switch *engine {
 	case "repair":
@@ -136,16 +164,26 @@ func run(args []string, out io.Writer) error {
 			return perr
 		}
 		if *possible {
-			ans, err = core.PossibleAnswers(sys, id, f, varList, core.SolveOptions{Parallelism: *par})
+			ans, err = core.PossibleAnswers(sys, id, f, varList, solveOpt)
+		} else if cache != nil {
+			ans, err = cachedAnswers(sys, sl, cache, *query, varList, func() ([]relation.Tuple, error) {
+				return core.PeerConsistentAnswers(sys, id, f, varList, solveOpt)
+			})
 		} else {
-			ans, err = core.PeerConsistentAnswers(sys, id, f, varList, core.SolveOptions{Parallelism: *par})
+			ans, err = core.PeerConsistentAnswers(sys, id, f, varList, solveOpt)
 		}
 	case "lp":
 		f, perr := foquery.Parse(*query)
 		if perr != nil {
 			return perr
 		}
-		ans, err = program.PeerConsistentAnswersViaLP(sys, id, f, varList, program.RunOptions{Transitive: *transitive, Parallelism: *par})
+		if cache != nil {
+			ans, err = cachedAnswers(sys, sl, cache, *query, varList, func() ([]relation.Tuple, error) {
+				return program.PeerConsistentAnswersViaLP(sys, id, f, varList, runOpt)
+			})
+		} else {
+			ans, err = program.PeerConsistentAnswersViaLP(sys, id, f, varList, runOpt)
+		}
 	case "lav":
 		f, perr := foquery.Parse(*query)
 		if perr != nil {
@@ -169,6 +207,24 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *stats && sl != nil {
+		fmt.Fprintf(out, "slice: relations %d/%d (%d dropped), constraints kept %d/%d (%d dropped), remote relations %d, full=%v\n",
+			len(sl.Rels), sl.TotalRels, sl.TotalRels-len(sl.Rels),
+			sl.KeptDeps, sl.TotalDeps, sl.TotalDeps-sl.KeptDeps,
+			sl.RemoteRelCount(), sl.Full)
+		if *engine == "lp" {
+			if kept, total, lerr := lpRuleCounts(sys, id, *transitive, sl); lerr == nil {
+				fmt.Fprintf(out, "slice: lp rules kept %d/%d (%d dropped)\n", kept, total, total-kept)
+			}
+		}
+		if *sliced && runOpt.PruneStats != nil && *engine == "lp" {
+			fmt.Fprintf(out, "slice: ground rules kept %d (%d pruned)\n", pruneStats.KeptRules, pruneStats.DroppedRules)
+		}
+		if cache != nil {
+			hits, misses := cache.Stats()
+			fmt.Fprintf(out, "slice: answer cache hits=%d misses=%d\n", hits, misses)
+		}
+	}
 	kind := "peer consistent"
 	if *possible {
 		kind = "possible"
@@ -178,6 +234,54 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, t)
 	}
 	return nil
+}
+
+// cachedAnswers serves the query through the slice-keyed answer cache:
+// the key embeds the slice signature and a fingerprint of the relevant
+// relations, so the cache needs no invalidation. The CLI is one-shot,
+// so the lookup always misses here; the point is to exercise exactly
+// the key construction a long-lived node uses (and to surface it via
+// -stats) at the cost of one fingerprint pass over the relevant data.
+func cachedAnswers(sys *core.System, sl *slice.Slice, cache *slice.AnswerCache, query string, vars []string, compute func() ([]relation.Tuple, error)) ([]relation.Tuple, error) {
+	fp, err := slice.DataFingerprint(sys, sl)
+	if err != nil {
+		return nil, err
+	}
+	key := slice.AnswerKey(query, vars, sl, fp)
+	if ans, ok := cache.Get(key); ok {
+		return ans, nil
+	}
+	ans, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	cache.Put(key, ans)
+	return ans, nil
+}
+
+// lpRuleCounts compares the sliced specification program against the
+// full one (rules kept vs total) for the -stats report.
+func lpRuleCounts(sys *core.System, id core.PeerID, transitive bool, sl *slice.Slice) (kept, total int, err error) {
+	ruleCount := func(opt program.BuildOptions) (int, error) {
+		var p *lp.Program
+		var e error
+		if transitive {
+			p, _, e = program.BuildTransitiveOpt(sys, id, opt)
+		} else {
+			p, _, e = program.BuildDirectOpt(sys, id, opt)
+		}
+		if e != nil {
+			return 0, e
+		}
+		return len(p.Rules), nil
+	}
+	if total, err = ruleCount(program.BuildOptions{}); err != nil {
+		return 0, 0, err
+	}
+	if kept, err = ruleCount(program.BuildOptions{KeepDep: sl.KeepDep, RelevantRels: sl.RelevantRels()}); err != nil {
+		return 0, 0, err
+	}
+	return kept, total, nil
 }
 
 // lavAnswers computes peer consistent answers through the LAV program

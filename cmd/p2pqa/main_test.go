@@ -136,3 +136,51 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestSlicedFlag(t *testing.T) {
+	path := writeSpec(t)
+	for _, engine := range []string{"repair", "lp"} {
+		var full, sliced bytes.Buffer
+		if err := run([]string{
+			"-system", path, "-peer", "P1",
+			"-query", "r1(X,Y)", "-vars", "X,Y", "-engine", engine,
+		}, &full); err != nil {
+			t.Fatalf("engine %s full: %v", engine, err)
+		}
+		if err := run([]string{
+			"-system", path, "-peer", "P1",
+			"-query", "r1(X,Y)", "-vars", "X,Y", "-engine", engine, "-sliced",
+		}, &sliced); err != nil {
+			t.Fatalf("engine %s sliced: %v", engine, err)
+		}
+		if full.String() != sliced.String() {
+			t.Fatalf("engine %s: sliced output differs:\n--- full ---\n%s--- sliced ---\n%s",
+				engine, full.String(), sliced.String())
+		}
+	}
+}
+
+func TestStatsPrintsSliceStatistics(t *testing.T) {
+	path := writeSpec(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-system", path, "-peer", "P1",
+		"-query", "r1(X,Y)", "-vars", "X,Y", "-engine", "lp",
+		"-sliced", "-stats",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"slice: relations ",
+		"constraints kept ",
+		"slice: lp rules kept ",
+		"slice: answer cache hits=0 misses=1",
+		"3 peer consistent answer(s):",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in -stats output:\n%s", want, s)
+		}
+	}
+}

@@ -86,6 +86,51 @@
 // deterministic too — unlike solve's MaxModels, a truncated repair
 // search returns the same repairs at every parallelism level.
 //
+// # Query-sliced pipeline
+//
+// The answer path is sliced end-to-end by query relevance
+// (internal/slice): from a query posed to a peer, slice.Compute derives
+// the predicate-dependency closure over the peer's DECs/ICs (and, in
+// the transitive case, every trust-reachable peer's), seeded with the
+// queried peer's whole schema plus the query's predicates
+// (foquery.Preds — negation, quantifiers and implications included).
+// The closure tracks which relations, constraints and peers a
+// query-relevant repair can observe; constraints with no repairable
+// predicate (guards, whose violation eliminates every solution) are
+// always kept, and a kept referential constraint that draws witnesses
+// from the active domain degrades the slice to Full (no restriction).
+// The slice is then applied at every layer:
+//
+//   - peernet.Node.SnapshotFor fetches specifications first
+//     (OpExportSpec — schema/DECs/trust, no facts, TTL-cached per
+//     peer), computes the slice, and moves only the relations in it —
+//     one batched OpFetchBatch round-trip per relevant peer; bystander
+//     peers contribute schema but ship no tuples;
+//   - core.SolveOptions{KeepDep, RelevantRels} restricts the repair
+//     engine to the slice's constraints over the restricted global
+//     instance; program.BuildOptions does the same for the LP builders
+//     (persistence rules, primed relations and facts only for relevant
+//     relations) and ground.Options.Relevant prunes rules outside the
+//     relevant predicates' dependency closure before grounding;
+//   - peernet.Node.PeerConsistentAnswersFor caches answers under a
+//     content-addressed (query, vars, slice signature, data
+//     fingerprint) key (slice.AnswerCache): repeat queries over
+//     unchanged relevant data skip grounding and repair entirely, and
+//     an update to an irrelevant relation does not evict them. TTL
+//     cache invalidation is relation-granular: SetNeighbor evicts only
+//     the changed peer's relation/spec entries.
+//
+// Slicing is semantics-preserving — minimal repairs factor over
+// disjoint constraint components, and the slice covers every component
+// the query can observe — so sliced and unsliced answers are
+// byte-identical (slicing_equiv_test.go: fixtures plus 20 seeded
+// workloads across four generator shapes at Parallelism {1,4},
+// including the no-solutions guard case). The B9 wide-universe
+// benchmark (cmd/p2pbench, workload.WideUniverse) shows the effect: a
+// tiny query-relevant core inside a wide overlay answers ~75x faster
+// sliced (1 of 25 remote relations moved), with repeats served from
+// the answer cache in ~100µs.
+//
 // # Interned-symbol core and indexing
 //
 // All hot paths run over interned symbols instead of raw strings:

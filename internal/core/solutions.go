@@ -25,6 +25,24 @@ type SolveOptions struct {
 	// every layer, so every parallelism level produces byte-identical
 	// output.
 	Parallelism int
+	// KeepDep, when non-nil, restricts enforcement to the dependencies
+	// it accepts — the query-relevance projection of internal/slice
+	// (slice.Slice.KeepDep). Dropped dependencies must be irrelevant to
+	// the query in the sense documented there; query answers are then
+	// identical to the unsliced run.
+	KeepDep func(*constraint.Dependency) bool
+	// RelevantRels, when non-nil, restricts the repaired instance to
+	// the named relations (the slice's relation set, which must cover
+	// every relation of KeepDep-accepted dependencies and the whole
+	// schema of the queried peer): the global instance is restricted
+	// before stage 1, so the repair search never materializes
+	// irrelevant relations.
+	RelevantRels map[string]bool
+}
+
+// keeps applies the KeepDep filter (nil keeps everything).
+func (o SolveOptions) keeps(d *constraint.Dependency) bool {
+	return o.KeepDep == nil || o.KeepDep(d)
 }
 
 // repairOptions translates SolveOptions into per-stage repair options.
@@ -62,15 +80,31 @@ func SolutionsFor(s *System, id PeerID, opt SolveOptions) ([]*relation.Instance,
 		return nil, err
 	}
 
-	var lessDeps, sameDeps []*constraint.Dependency
+	var lessDeps, sameDeps, ics []*constraint.Dependency
 	for _, q := range s.TrustedPeers(id, TrustLess) {
-		lessDeps = append(lessDeps, p.DECs[q]...)
+		for _, d := range p.DECs[q] {
+			if opt.keeps(d) {
+				lessDeps = append(lessDeps, d)
+			}
+		}
 	}
 	for _, q := range s.TrustedPeers(id, TrustSame) {
-		sameDeps = append(sameDeps, p.DECs[q]...)
+		for _, d := range p.DECs[q] {
+			if opt.keeps(d) {
+				sameDeps = append(sameDeps, d)
+			}
+		}
+	}
+	for _, ic := range p.ICs {
+		if opt.keeps(ic) {
+			ics = append(ics, ic)
+		}
 	}
 
 	global := s.Global()
+	if opt.RelevantRels != nil {
+		global = global.RestrictRels(opt.RelevantRels)
+	}
 
 	// Stage 1: only P's own relations are mutable.
 	fixed1 := map[string]bool{}
@@ -79,7 +113,7 @@ func SolutionsFor(s *System, id PeerID, opt SolveOptions) ([]*relation.Instance,
 			fixed1[rel] = true
 		}
 	}
-	stage1Deps := append(append([]*constraint.Dependency{}, lessDeps...), p.ICs...)
+	stage1Deps := append(append([]*constraint.Dependency{}, lessDeps...), ics...)
 	stage1, err := repair.Repairs(global, stage1Deps, opt.repairOptions(fixed1))
 	if err != nil && err != repair.ErrBound {
 		return nil, fmt.Errorf("core: stage-1 repairs for %s: %w", id, err)
@@ -102,7 +136,7 @@ func SolutionsFor(s *System, id PeerID, opt SolveOptions) ([]*relation.Instance,
 		}
 	}
 	stage2Deps := append(append([]*constraint.Dependency{}, sameDeps...), lessDeps...)
-	stage2Deps = append(stage2Deps, p.ICs...)
+	stage2Deps = append(stage2Deps, ics...)
 
 	// Stage 2 is embarrassingly parallel: each stage-1 repair is an
 	// independent repair problem. Fan out across a bounded worker pool
@@ -181,38 +215,7 @@ func checkQuerySchema(p *Peer, q foquery.Formula) error {
 	return nil
 }
 
-func formulaPreds(f foquery.Formula) []string {
-	seen := map[string]bool{}
-	var walk func(foquery.Formula)
-	walk = func(f foquery.Formula) {
-		switch g := f.(type) {
-		case foquery.Atom:
-			seen[g.A.Pred] = true
-		case foquery.Not:
-			walk(g.F)
-		case foquery.And:
-			for _, h := range g.Fs {
-				walk(h)
-			}
-		case foquery.Or:
-			for _, h := range g.Fs {
-				walk(h)
-			}
-		case foquery.Implies:
-			walk(g.A)
-			walk(g.B)
-		case foquery.Quant:
-			walk(g.Body)
-		}
-	}
-	walk(f)
-	out := make([]string, 0, len(seen))
-	for k := range seen {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
+func formulaPreds(f foquery.Formula) []string { return foquery.Preds(f) }
 
 // IsPCA reports whether a specific ground tuple is a peer consistent
 // answer for the query (Definition 5 membership test).

@@ -139,6 +139,44 @@ func FreeVars(f Formula) []string {
 	return vars
 }
 
+// Preds returns the sorted relation names mentioned anywhere in the
+// formula: inside negated subformulas, quantified bodies and on both
+// sides of implications. Comparison-only subformulas contribute no
+// predicates (an empty, non-nil walk). This is the seed set of the
+// query-relevance slicing in internal/slice.
+func Preds(f Formula) []string {
+	seen := make(map[string]bool)
+	collectPreds(f, seen)
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectPreds(f Formula, seen map[string]bool) {
+	switch g := f.(type) {
+	case Atom:
+		seen[g.A.Pred] = true
+	case Not:
+		collectPreds(g.F, seen)
+	case And:
+		for _, h := range g.Fs {
+			collectPreds(h, seen)
+		}
+	case Or:
+		for _, h := range g.Fs {
+			collectPreds(h, seen)
+		}
+	case Implies:
+		collectPreds(g.A, seen)
+		collectPreds(g.B, seen)
+	case Quant:
+		collectPreds(g.Body, seen)
+	}
+}
+
 // Constants returns the constants mentioned in the formula.
 func Constants(f Formula) []string {
 	seen := make(map[string]bool)

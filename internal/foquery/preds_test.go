@@ -1,0 +1,34 @@
+package foquery
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPreds covers the relevance edge cases of the slicing subsystem:
+// predicates under negation, inside quantifiers, on both sides of an
+// implication, and comparison-only formulas (no predicates at all).
+func TestPreds(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{"r1(X,Y)", []string{"r1"}},
+		{"r1(X,Y) & !r2(Y,X)", []string{"r1", "r2"}},
+		{"!(!(r3(X,Y)))", []string{"r3"}},
+		{"X != Y", nil},
+		{"r1(X,Y) & X < Y", []string{"r1"}},
+		{"forall Z (r2(X,Z) -> r3(Z,Y))", []string{"r2", "r3"}},
+		{"exists Z (r1(X,Z) | !r4(Z,Z))", []string{"r1", "r4"}},
+		{"(r1(X,Y) -> r2(X,Y)) & r1(X,Y)", []string{"r1", "r2"}},
+	}
+	for _, tc := range cases {
+		got := Preds(MustParse(tc.query))
+		if len(got) == 0 && len(tc.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Preds(%s) = %v, want %v", tc.query, got, tc.want)
+		}
+	}
+}

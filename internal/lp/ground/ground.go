@@ -42,6 +42,26 @@ type Options struct {
 	// and the rule-instantiation fan-out. 0 or 1 run inline on the
 	// calling goroutine; the output is byte-identical at every level.
 	Parallelism int
+	// Relevant, when non-nil, prunes the program to the rules reachable
+	// from the named predicates before grounding (query-relevance
+	// slicing, internal/slice): a rule survives if it is a constraint
+	// (empty head — constraints decide answer-set existence and are
+	// always kept) or if some head predicate is in the dependency
+	// closure of Relevant; a surviving rule pulls all its predicates
+	// (head, positive and negative body, strong negation folded in)
+	// into the closure. Dropped rules define predicates no kept rule or
+	// constraint can observe; for the stratified-by-construction
+	// programs the builders emit, the pruned program has the same
+	// answers on the relevant predicates.
+	Relevant map[string]bool
+	// PruneStats, when non-nil, receives the rule counts of the prune.
+	PruneStats *PruneStats
+}
+
+// PruneStats reports how the relevance prune reshaped a program.
+type PruneStats struct {
+	KeptRules    int
+	DroppedRules int
 }
 
 // Program is a ground program over interned atoms. Atom 0..n-1 are
@@ -133,6 +153,9 @@ func GroundOpt(p *lp.Program, opt Options) (*Program, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if opt.Relevant != nil {
+		p = pruneProgram(p, opt.Relevant, opt.PruneStats)
+	}
 	workers := opt.Parallelism
 	if workers < 1 {
 		workers = 1
@@ -143,6 +166,58 @@ func GroundOpt(p *lp.Program, opt Options) (*Program, error) {
 		return nil, err
 	}
 	return mergeRules(perRule, tab), nil
+}
+
+// pruneProgram keeps the rules in the predicate-dependency closure of
+// the relevant predicates (see Options.Relevant). The fixpoint is
+// deterministic: rules are scanned in program order each pass, so the
+// kept subsequence — and with it the whole downstream grounding — does
+// not depend on map iteration order.
+func pruneProgram(p *lp.Program, relevant map[string]bool, st *PruneStats) *lp.Program {
+	reach := make(map[string]bool, len(relevant))
+	for pred := range relevant {
+		reach[pred] = true
+	}
+	kept := make([]bool, len(p.Rules))
+	for changed := true; changed; {
+		changed = false
+		for i := range p.Rules {
+			if kept[i] {
+				continue
+			}
+			r := &p.Rules[i]
+			ok := len(r.Head) == 0
+			for _, h := range r.Head {
+				if ok {
+					break
+				}
+				ok = reach[litPred(h)]
+			}
+			if !ok {
+				continue
+			}
+			kept[i] = true
+			changed = true
+			for _, ls := range [][]lp.Literal{r.Head, r.PosB, r.NegB} {
+				for _, l := range ls {
+					if pred := litPred(l); !reach[pred] {
+						reach[pred] = true
+					}
+				}
+			}
+		}
+	}
+	out := &lp.Program{Rules: make([]lp.Rule, 0, len(p.Rules))}
+	for i, r := range p.Rules {
+		if kept[i] {
+			out.Rules = append(out.Rules, r)
+		}
+	}
+	if st != nil {
+		st.KeptRules = len(out.Rules)
+		st.DroppedRules = len(p.Rules) - len(out.Rules)
+	}
+	return out
 }
 
 // ruleOut is one worker's output for one rule in one round: the ground

@@ -1,0 +1,94 @@
+package ground
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/term"
+)
+
+// buildChainProgram builds
+//
+//	a(x).  b(x).  p(X) :- a(X).  q(X) :- p(X).  junk(X) :- b(X).
+//	:- q(X), bad(X).   bad(x).
+//
+// so the closure of {q} must keep a/p/q, keep the constraint and pull
+// bad in through it, and drop b/junk.
+func buildChainProgram() *lp.Program {
+	p := &lp.Program{}
+	x := term.V("X")
+	p.AddFactAtom(term.NewAtom("a", term.C("x")))
+	p.AddFactAtom(term.NewAtom("b", term.C("x")))
+	p.Add(lp.Rule{Head: []lp.Literal{lp.Pos(term.NewAtom("p", x))}, PosB: []lp.Literal{lp.Pos(term.NewAtom("a", x))}})
+	p.Add(lp.Rule{Head: []lp.Literal{lp.Pos(term.NewAtom("q", x))}, PosB: []lp.Literal{lp.Pos(term.NewAtom("p", x))}})
+	p.Add(lp.Rule{Head: []lp.Literal{lp.Pos(term.NewAtom("junk", x))}, PosB: []lp.Literal{lp.Pos(term.NewAtom("b", x))}})
+	p.Add(lp.Rule{PosB: []lp.Literal{lp.Pos(term.NewAtom("q", x)), lp.Pos(term.NewAtom("bad", x))}})
+	p.AddFactAtom(term.NewAtom("bad", term.C("x")))
+	return p
+}
+
+func TestPruneProgramClosure(t *testing.T) {
+	p := buildChainProgram()
+	var st PruneStats
+	g, err := GroundOpt(p, Options{Relevant: map[string]bool{"q": true}, PruneStats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.String()
+	for _, want := range []string{"a(x)", "p(x)", "q(x)", "bad(x)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pruned grounding misses %s:\n%s", want, out)
+		}
+	}
+	for _, drop := range []string{"junk", "b(x)"} {
+		if strings.Contains(out, drop) {
+			t.Errorf("pruned grounding still contains %s:\n%s", drop, out)
+		}
+	}
+	if st.DroppedRules != 2 {
+		t.Errorf("PruneStats = %+v, want 2 dropped (b fact, junk rule)", st)
+	}
+	if st.KeptRules != 5 {
+		t.Errorf("PruneStats = %+v, want 5 kept", st)
+	}
+}
+
+// TestPruneNegativeBody: a predicate referenced only under default
+// negation by a kept rule must stay, including its defining rules.
+func TestPruneNegativeBody(t *testing.T) {
+	p := &lp.Program{}
+	x := term.V("X")
+	p.AddFactAtom(term.NewAtom("a", term.C("x")))
+	p.Add(lp.Rule{Head: []lp.Literal{lp.Pos(term.NewAtom("blocked", x))}, PosB: []lp.Literal{lp.Pos(term.NewAtom("a", x))}})
+	p.Add(lp.Rule{
+		Head: []lp.Literal{lp.Pos(term.NewAtom("q", x))},
+		PosB: []lp.Literal{lp.Pos(term.NewAtom("a", x))},
+		NegB: []lp.Literal{lp.Pos(term.NewAtom("blocked", x))},
+	})
+	g, err := GroundOpt(p, Options{Relevant: map[string]bool{"q": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.String(), "blocked(x)") {
+		t.Fatalf("negatively referenced predicate pruned away:\n%s", g)
+	}
+}
+
+// TestPruneEquivalentModels: grounding a builder-shaped program pruned
+// to the query predicates yields the same extension for them as the
+// full grounding (facts of the relevant predicates agree).
+func TestPruneIdenticalWhenAllRelevant(t *testing.T) {
+	p := buildChainProgram()
+	full, err := Ground(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := GroundOpt(p, Options{Relevant: map[string]bool{"q": true, "junk": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.String() != pruned.String() {
+		t.Fatalf("pruning with every head relevant changed the program:\n--- full ---\n%s--- pruned ---\n%s", full, pruned)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/program"
 	"repro/internal/relation"
+	"repro/internal/slice"
 	"repro/internal/sysdsl"
 )
 
@@ -46,10 +47,23 @@ type Node struct {
 	tr   Transport
 	stop func()
 
-	cacheMu   sync.Mutex
-	cacheGen  uint64              // bumped by SetNeighbor to invalidate in-flight builds
+	cacheMu sync.Mutex
+	// snapGen is bumped by every SetNeighbor (assembled snapshots embed
+	// the overlay shape, so any neighbour change invalidates them);
+	// relGens advances per peer, so relation and spec cache entries of
+	// unrelated peers survive a neighbour update (relation-granular
+	// invalidation).
+	snapGen   uint64
+	relGens   map[core.PeerID]uint64
 	snapCache map[bool]*snapEntry // keyed by the transitive flag
 	relCache  map[string]*relEntry
+	specCache map[core.PeerID]*specEntry
+
+	// answers is the slice-keyed PCA cache of PeerConsistentAnswersFor:
+	// entries are content-addressed by (query, vars, slice signature,
+	// data fingerprint), so they need no invalidation — an update to an
+	// irrelevant relation leaves the key untouched and the entry valid.
+	answers *slice.AnswerCache
 
 	clock func() time.Time // test hook; nil means time.Now
 }
@@ -62,6 +76,12 @@ type snapEntry struct {
 type relEntry struct {
 	tuples  []relation.Tuple
 	expires time.Time
+}
+
+type specEntry struct {
+	spec      string
+	neighbors map[string]string
+	expires   time.Time
 }
 
 // NewNode creates a node for a peer on the given transport. neighbours
@@ -95,15 +115,29 @@ func (n *Node) Stop() {
 }
 
 // SetNeighbor records (or updates) a neighbour address and invalidates
-// the caches (the overlay changed, so cached snapshots may be stale).
+// the caches touched by the change: assembled whole-overlay snapshots
+// are always dropped (they embed the overlay shape), but relation and
+// spec cache entries are evicted only for the changed peer — entries
+// of unrelated peers survive, so a neighbour update does not force
+// refetching the rest of the overlay.
 func (n *Node) SetNeighbor(id core.PeerID, addr string) {
 	n.mu.Lock()
 	n.Neighbors[id] = addr
 	n.mu.Unlock()
 	n.cacheMu.Lock()
-	n.cacheGen++
+	n.snapGen++
 	n.snapCache = nil
-	n.relCache = nil
+	if n.relGens == nil {
+		n.relGens = make(map[core.PeerID]uint64)
+	}
+	n.relGens[id]++
+	prefix := string(id) + "\x00"
+	for key := range n.relCache {
+		if strings.HasPrefix(key, prefix) {
+			delete(n.relCache, key)
+		}
+	}
+	delete(n.specCache, id)
 	n.cacheMu.Unlock()
 }
 
@@ -175,8 +209,8 @@ func (n *Node) handle(req Request) Response {
 			tuples = append(tuples, []string(t))
 		}
 		return Response{Tuples: tuples}
-	case OpExport:
-		spec, err := n.exportSpec()
+	case OpExport, OpExportSpec:
+		spec, err := n.exportSpec(req.Op == OpExport)
 		if err != nil {
 			return errResp(err)
 		}
@@ -191,7 +225,12 @@ func (n *Node) handle(req Request) Response {
 		if err != nil {
 			return errResp(err)
 		}
-		ans, err := n.PeerConsistentAnswers(f, req.Vars, req.Transitive)
+		var ans []relation.Tuple
+		if req.Sliced {
+			ans, err = n.PeerConsistentAnswersFor(f, req.Vars, req.Transitive)
+		} else {
+			ans, err = n.PeerConsistentAnswers(f, req.Vars, req.Transitive)
+		}
 		if err != nil {
 			return errResp(err)
 		}
@@ -205,13 +244,16 @@ func (n *Node) handle(req Request) Response {
 }
 
 // exportSpec renders this peer's specification as a single-peer system
-// fragment in the sysdsl format.
-func (n *Node) exportSpec() (string, error) {
+// fragment in the sysdsl format, with or without the facts.
+func (n *Node) exportSpec(withFacts bool) (string, error) {
 	frag := core.NewSystem()
 	if err := frag.AddPeer(n.Peer); err != nil {
 		return "", err
 	}
-	return sysdsl.Format(frag), nil
+	if withFacts {
+		return sysdsl.Format(frag), nil
+	}
+	return sysdsl.FormatSpec(frag), nil
 }
 
 // Snapshot assembles a core.System from this peer and its (transitively
@@ -234,7 +276,7 @@ func (n *Node) Snapshot(transitive bool) (*core.System, error) {
 		n.cacheMu.Unlock()
 		return e.sys, nil
 	}
-	gen := n.cacheGen
+	gen := n.snapGen
 	n.cacheMu.Unlock()
 	// Build outside the lock: the fan-out can take multiple network
 	// round trips and must not serialize concurrent queries (or block
@@ -245,7 +287,7 @@ func (n *Node) Snapshot(transitive bool) (*core.System, error) {
 		return nil, err
 	}
 	n.cacheMu.Lock()
-	if n.cacheGen == gen {
+	if n.snapGen == gen {
 		// Don't store a snapshot built against a neighbour table that
 		// SetNeighbor has invalidated since.
 		if n.snapCache == nil {
@@ -258,9 +300,39 @@ func (n *Node) Snapshot(transitive bool) (*core.System, error) {
 }
 
 func (n *Node) buildSnapshot(transitive bool) (*core.System, error) {
+	sys, _, err := n.snapshotBFS(transitive, func(id core.PeerID, addr string) (string, map[string]string, error) {
+		resp, err := n.tr.Call(addr, Request{Op: OpExport})
+		if err != nil {
+			return "", nil, err
+		}
+		if resp.Err != "" {
+			return "", nil, fmt.Errorf("peernet: export from %s: %s", id, resp.Err)
+		}
+		return resp.Spec, resp.Neighbors, nil
+	})
+	return sys, err
+}
+
+// specFragment is one fetched peer export: the sysdsl fragment plus
+// the peer's neighbour addresses.
+type specFragment struct {
+	spec      string
+	neighbors map[string]string
+}
+
+// snapshotBFS is the shared snapshot walk: starting from the DEC
+// neighbours, each BFS level is fetched concurrently through the given
+// fetch callback and merged sequentially in level order, so the
+// assembled system (and any error) is deterministic. In the direct
+// case only immediate neighbours are fetched and their own DECs/trust
+// are dropped (Definition 4 is a local notion); in the transitive case
+// the whole reachable overlay is walked with specifications intact
+// (Section 4.3). It returns the validated system and every address
+// discovered along the way.
+func (n *Node) snapshotBFS(transitive bool, fetch func(id core.PeerID, addr string) (string, map[string]string, error)) (*core.System, map[core.PeerID]string, error) {
 	sys := core.NewSystem()
 	if err := sys.AddPeer(n.Peer); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fetched := map[core.PeerID]bool{n.Peer.ID: true}
 	addrs := n.neighborsCopy()
@@ -282,29 +354,26 @@ func (n *Node) buildSnapshot(transitive bool) (*core.System, error) {
 		// Fetch the whole level concurrently; merge sequentially in
 		// level order so the assembled system (and any error) is
 		// deterministic.
-		resps, err := parallel.MapErr(len(level), parallel.Workers(n.Parallelism), func(i int) (Response, error) {
+		frags, err := parallel.MapErr(len(level), parallel.Workers(n.Parallelism), func(i int) (specFragment, error) {
 			addr, ok := addrs[level[i]]
 			if !ok {
-				return Response{}, fmt.Errorf("peernet: no address known for peer %s", level[i])
+				return specFragment{}, fmt.Errorf("peernet: no address known for peer %s", level[i])
 			}
-			return n.tr.Call(addr, Request{Op: OpExport})
+			spec, neigh, err := fetch(level[i], addr)
+			return specFragment{spec: spec, neighbors: neigh}, err
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for i, id := range level {
-			resp := resps[i]
-			if resp.Err != "" {
-				return nil, fmt.Errorf("peernet: export from %s: %s", id, resp.Err)
-			}
-			remote, err := sysdsl.ParsePartial(resp.Spec)
+			remote, err := sysdsl.ParsePartial(frags[i].spec)
 			if err != nil {
-				return nil, fmt.Errorf("peernet: bad spec from %s: %w", id, err)
+				return nil, nil, fmt.Errorf("peernet: bad spec from %s: %w", id, err)
 			}
 			for _, rid := range remote.Peers() {
 				rp, _ := remote.Peer(rid)
 				if rid != id {
-					return nil, fmt.Errorf("peernet: peer %s exported a fragment for %s", id, rid)
+					return nil, nil, fmt.Errorf("peernet: peer %s exported a fragment for %s", id, rid)
 				}
 				if !transitive {
 					// Direct case: the neighbour contributes data only
@@ -313,15 +382,15 @@ func (n *Node) buildSnapshot(transitive bool) (*core.System, error) {
 					rp.Trust = make(map[core.PeerID]core.TrustLevel)
 				}
 				if err := sys.AddPeer(rp); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 			fetched[id] = true
 			if transitive {
-				for _, rid := range sortedNeighborIDs(resp.Neighbors) {
+				for _, rid := range sortedNeighborIDs(frags[i].neighbors) {
 					pid := core.PeerID(rid)
 					if _, known := addrs[pid]; !known {
-						addrs[pid] = resp.Neighbors[rid]
+						addrs[pid] = frags[i].neighbors[rid]
 					}
 					if !fetched[pid] {
 						frontier = append(frontier, pid)
@@ -331,9 +400,9 @@ func (n *Node) buildSnapshot(transitive bool) (*core.System, error) {
 		}
 	}
 	if err := sys.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return sys, nil
+	return sys, addrs, nil
 }
 
 func sortedNeighborIDs(m map[string]string) []string {
@@ -371,6 +440,157 @@ func (n *Node) PeerConsistentAnswers(q foquery.Formula, vars []string, transitiv
 		core.SolveOptions{Parallelism: n.Parallelism})
 }
 
+// fetchSpec retrieves a peer's specification (schema, DECs, trust — no
+// facts) and its neighbour addresses, serving from the TTL spec cache
+// when enabled. Spec entries share the per-peer generation of the
+// relation cache, so SetNeighbor for one peer evicts only that peer's
+// spec.
+func (n *Node) fetchSpec(id core.PeerID, addr string) (string, map[string]string, error) {
+	var gen uint64
+	if n.CacheTTL > 0 {
+		n.cacheMu.Lock()
+		gen = n.relGens[id]
+		if e, ok := n.specCache[id]; ok && n.now().Before(e.expires) {
+			spec, neigh := e.spec, e.neighbors
+			n.cacheMu.Unlock()
+			return spec, neigh, nil
+		}
+		n.cacheMu.Unlock()
+	}
+	resp, err := n.tr.Call(addr, Request{Op: OpExportSpec})
+	if err != nil {
+		return "", nil, err
+	}
+	if resp.Err != "" {
+		return "", nil, fmt.Errorf("peernet: export spec from %s: %s", id, resp.Err)
+	}
+	if n.CacheTTL > 0 {
+		n.cacheMu.Lock()
+		if n.relGens[id] == gen {
+			if n.specCache == nil {
+				n.specCache = make(map[core.PeerID]*specEntry)
+			}
+			n.specCache[id] = &specEntry{spec: resp.Spec, neighbors: resp.Neighbors, expires: n.now().Add(n.CacheTTL)}
+		}
+		n.cacheMu.Unlock()
+	}
+	return resp.Spec, resp.Neighbors, nil
+}
+
+// specSnapshot assembles the specification-only system for a sliced
+// snapshot: the same BFS as buildSnapshot, but shipping OpExportSpec
+// fragments (no data). It returns the system plus every address
+// discovered, so the caller can fetch relations of transitively
+// reachable peers that are not in the local neighbour table.
+func (n *Node) specSnapshot(transitive bool) (*core.System, map[core.PeerID]string, error) {
+	return n.snapshotBFS(transitive, n.fetchSpec)
+}
+
+// SnapshotFor assembles the query-relevance-sliced counterpart of
+// Snapshot: specifications are fetched first (OpExportSpec, one
+// round-trip per peer, no data), the relevance slice of the query is
+// computed over them, and then only the relations in the slice travel —
+// one batched OpFetchBatch round-trip per relevant peer, served from
+// the relation-granular TTL cache when enabled. Peers owning no
+// relevant relation contribute their schema and constraints but move no
+// tuples at all. The returned system carries complete data for every
+// relation in the slice, so any engine restricted by the slice
+// (core.SolveOptions.KeepDep/RelevantRels, program counterparts)
+// answers exactly as over a full Snapshot.
+func (n *Node) SnapshotFor(q foquery.Formula, transitive bool) (*core.System, *slice.Slice, error) {
+	sys, addrs, err := n.specSnapshot(transitive)
+	if err != nil {
+		return nil, nil, err
+	}
+	sl, err := slice.ForQuery(sys, n.Peer.ID, q, transitive)
+	if err != nil {
+		return nil, nil, err
+	}
+	peers := sl.RemotePeers()
+	results, err := parallel.MapErr(len(peers), parallel.Workers(n.Parallelism), func(i int) (map[string][]relation.Tuple, error) {
+		pid := peers[i]
+		addr, ok := addrs[pid]
+		if !ok {
+			return nil, fmt.Errorf("peernet: no address known for peer %s", pid)
+		}
+		return n.fetchRelationsAddr(pid, addr, sl.RelsOf(pid))
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Merge sequentially in sorted peer order (deterministic system).
+	for i, pid := range peers {
+		rp, _ := sys.Peer(pid)
+		for _, rel := range sl.RelsOf(pid) {
+			for _, t := range results[i][rel] {
+				rp.Inst.Insert(rel, t)
+			}
+		}
+	}
+	return sys, sl, nil
+}
+
+// PeerConsistentAnswersFor is the sliced counterpart of
+// PeerConsistentAnswers: the snapshot fetches only query-relevant
+// relations (SnapshotFor), the engines enforce only the constraints in
+// the slice, and the answers are cached under a (query, vars, slice
+// signature, data fingerprint) key. The key is content-addressed, so a
+// repeat query over unchanged relevant data is served without any
+// grounding or repair search — and an update to an irrelevant relation
+// does not evict it. Answers are identical to PeerConsistentAnswers.
+func (n *Node) PeerConsistentAnswersFor(q foquery.Formula, vars []string, transitive bool) ([]relation.Tuple, error) {
+	sys, sl, err := n.SnapshotFor(q, transitive)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := slice.DataFingerprint(sys, sl)
+	if err != nil {
+		return nil, err
+	}
+	key := slice.AnswerKey(q.String(), vars, sl, fp)
+	n.cacheMu.Lock()
+	if n.answers == nil {
+		n.answers = slice.NewAnswerCache(0)
+	}
+	cache := n.answers
+	n.cacheMu.Unlock()
+	if ans, ok := cache.Get(key); ok {
+		return ans, nil
+	}
+	var ans []relation.Tuple
+	if transitive {
+		ans, err = program.PeerConsistentAnswersViaLP(sys, n.Peer.ID, q, vars, program.RunOptions{
+			Transitive:   true,
+			Parallelism:  n.Parallelism,
+			KeepDep:      sl.KeepDep,
+			RelevantRels: sl.RelevantRels(),
+		})
+	} else {
+		ans, err = core.PeerConsistentAnswers(sys, n.Peer.ID, q, vars, core.SolveOptions{
+			Parallelism:  n.Parallelism,
+			KeepDep:      sl.KeepDep,
+			RelevantRels: sl.RelevantRels(),
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	cache.Put(key, ans)
+	return ans, nil
+}
+
+// AnswerCacheStats reports the hit/miss counters of the slice-keyed
+// answer cache used by PeerConsistentAnswersFor.
+func (n *Node) AnswerCacheStats() (hits, misses int64) {
+	n.cacheMu.Lock()
+	c := n.answers
+	n.cacheMu.Unlock()
+	if c == nil {
+		return 0, 0
+	}
+	return c.Stats()
+}
+
 // FetchRelation retrieves a neighbour's relation over the network,
 // serving from the TTL cache when enabled.
 func (n *Node) FetchRelation(id core.PeerID, rel string) ([]relation.Tuple, error) {
@@ -391,13 +611,25 @@ func relCacheKey(id core.PeerID, rel string) string { return string(id) + "\x00"
 // its tuples (decoded from the plain-string wire form at this
 // boundary).
 func (n *Node) FetchRelations(id core.PeerID, rels []string) (map[string][]relation.Tuple, error) {
+	addr, ok := n.NeighborAddr(id)
+	if !ok {
+		return nil, fmt.Errorf("peernet: no address known for peer %s", id)
+	}
+	return n.fetchRelationsAddr(id, addr, rels)
+}
+
+// fetchRelationsAddr is FetchRelations against an explicit address —
+// the sliced snapshot walk discovers transitive peers outside the
+// neighbour table and fetches their relations through here (sharing the
+// same per-peer TTL cache).
+func (n *Node) fetchRelationsAddr(id core.PeerID, addr string, rels []string) (map[string][]relation.Tuple, error) {
 	out := make(map[string][]relation.Tuple, len(rels))
 	missing := rels
 	var gen uint64
 	if n.CacheTTL > 0 {
 		missing = nil
 		n.cacheMu.Lock()
-		gen = n.cacheGen
+		gen = n.relGens[id]
 		for _, rel := range rels {
 			if e, ok := n.relCache[relCacheKey(id, rel)]; ok && n.now().Before(e.expires) {
 				cp := make([]relation.Tuple, len(e.tuples))
@@ -411,10 +643,6 @@ func (n *Node) FetchRelations(id core.PeerID, rels []string) (map[string][]relat
 	}
 	if len(missing) == 0 {
 		return out, nil
-	}
-	addr, ok := n.NeighborAddr(id)
-	if !ok {
-		return nil, fmt.Errorf("peernet: no address known for peer %s", id)
 	}
 	resp, err := n.tr.Call(addr, Request{Op: OpFetchBatch, Rels: missing})
 	if err != nil {
@@ -437,9 +665,10 @@ func (n *Node) FetchRelations(id core.PeerID, rels []string) (map[string][]relat
 	if n.CacheTTL > 0 {
 		// Store the whole batch in one critical section: the results
 		// arrived in one response, so they share one expiry and one
-		// generation check.
+		// generation check (per peer: a SetNeighbor for another peer
+		// does not discard this batch).
 		n.cacheMu.Lock()
-		if n.cacheGen == gen {
+		if n.relGens[id] == gen {
 			if n.relCache == nil {
 				n.relCache = make(map[string]*relEntry)
 			}

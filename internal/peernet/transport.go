@@ -38,6 +38,11 @@ const (
 	// OpExport returns the peer's specification (schema, facts, DECs,
 	// trust) in the sysdsl format plus its neighbour addresses.
 	OpExport Op = "export"
+	// OpExportSpec returns the specification without facts (schema,
+	// DECs, trust, neighbour addresses only): the cheap first round of
+	// a query-relevance-sliced snapshot, which plans which relations to
+	// fetch before any data moves.
+	OpExportSpec Op = "exportspec"
 	// OpPCA asks the remote peer for its own peer consistent answers
 	// to an atomic query (peer-to-peer query delegation).
 	OpPCA Op = "pca"
@@ -53,6 +58,12 @@ type Request struct {
 	Vars  []string
 	// Transitive selects the Section 4.3 semantics for OpPCA.
 	Transitive bool
+	// Sliced asks OpPCA to answer through the query-relevance-sliced
+	// pipeline (Node.PeerConsistentAnswersFor): the remote peer then
+	// fetches only the relations its slice needs and may serve the
+	// answers from its slice-keyed cache. Answers are identical either
+	// way.
+	Sliced bool
 }
 
 // Response is a wire response.

@@ -102,11 +102,34 @@ func classify(d *constraint.Dependency, mutable map[string]bool) (decKind, error
 	}
 }
 
+// BuildOptions restricts a specification build to a query-relevance
+// slice (internal/slice). The zero value compiles everything.
+type BuildOptions struct {
+	// KeepDep, when non-nil, selects the DECs and ICs to compile
+	// (slice.Slice.KeepDep). Kept dependencies must only mention
+	// relations accepted by RelevantRels.
+	KeepDep func(*constraint.Dependency) bool
+	// RelevantRels, when non-nil, limits persistence rules, primed
+	// relations and emitted facts to the named relations. It must cover
+	// the queried peer's whole schema (the slice seeds guarantee that),
+	// so the query's relations are always compiled.
+	RelevantRels map[string]bool
+}
+
+func (o BuildOptions) keeps(d *constraint.Dependency) bool {
+	return o.KeepDep == nil || o.KeepDep(d)
+}
+
+func (o BuildOptions) relevant(rel string) bool {
+	return o.RelevantRels == nil || o.RelevantRels[rel]
+}
+
 // builder accumulates the program for one peer.
 type builder struct {
 	sys    *core.System
 	naming *Naming
 	prog   *lp.Program
+	opt    BuildOptions
 	// mutable marks relations the compiled peer may change.
 	mutable map[string]bool
 	// upstreamPrimed maps relations of other peers that must be read in
@@ -144,6 +167,14 @@ func sanitize(name string) string {
 // forced constraints (as in all of the paper's examples), because their
 // repairs are forced and survive stage-two minimization unchanged.
 func BuildDirect(s *core.System, id core.PeerID) (*lp.Program, *Naming, error) {
+	return BuildDirectOpt(s, id, BuildOptions{})
+}
+
+// BuildDirectOpt is BuildDirect restricted to a query-relevance slice:
+// only kept DECs/ICs are compiled and only relevant relations receive
+// persistence rules and facts, so grounding cost is proportional to the
+// slice instead of to the system.
+func BuildDirectOpt(s *core.System, id core.PeerID, opt BuildOptions) (*lp.Program, *Naming, error) {
 	p, ok := s.Peer(id)
 	if !ok {
 		return nil, nil, fmt.Errorf("program: unknown peer %s", id)
@@ -155,6 +186,7 @@ func BuildDirect(s *core.System, id core.PeerID) (*lp.Program, *Naming, error) {
 		sys:            s,
 		naming:         newNaming(),
 		prog:           &lp.Program{},
+		opt:            opt,
 		mutable:        map[string]bool{},
 		upstreamPrimed: map[string]string{},
 		imports:        map[string][]term.Atom{},
@@ -243,6 +275,12 @@ func (b *builder) compilePeer(p *core.Peer, includeSame bool) error {
 		}
 	}
 	for _, rel := range rels {
+		if !b.opt.relevant(rel) {
+			// Out-of-slice relation: no kept rule reads or repairs it,
+			// so neither persistence rules nor a primed version are
+			// needed (ModelsToSolutions then keeps its original tuples).
+			continue
+		}
 		decl, _ := b.declOf(rel)
 		args := x2(decl.Arity)
 		prime := b.naming.Prime(rel)
@@ -287,6 +325,9 @@ func (b *builder) compilePeer(p *core.Peer, includeSame bool) error {
 	// Local ICs as program denial constraints over the primed relations
 	// (Section 3.2).
 	for _, ic := range p.ICs {
+		if !b.opt.keeps(ic) {
+			continue
+		}
 		if ic.IsTGD() {
 			return fmt.Errorf("program: local IC %s must be a denial or EGD", ic.Name)
 		}
@@ -305,16 +346,23 @@ func (b *builder) compilePeer(p *core.Peer, includeSame bool) error {
 	return nil
 }
 
-// trustedDECs returns the DECs of p toward trusted neighbours,
-// less-trust first for determinism.
+// trustedDECs returns the DECs of p toward trusted neighbours that the
+// build options keep, less-trust first for determinism.
 func (b *builder) trustedDECs(p *core.Peer, includeSame bool) []*constraint.Dependency {
 	var out []*constraint.Dependency
+	keep := func(ds []*constraint.Dependency) {
+		for _, d := range ds {
+			if b.opt.keeps(d) {
+				out = append(out, d)
+			}
+		}
+	}
 	for _, q := range b.sys.TrustedPeers(p.ID, core.TrustLess) {
-		out = append(out, p.DECs[q]...)
+		keep(p.DECs[q])
 	}
 	if includeSame {
 		for _, q := range b.sys.TrustedPeers(p.ID, core.TrustSame) {
-			out = append(out, p.DECs[q]...)
+			keep(p.DECs[q])
 		}
 	}
 	return out
@@ -600,7 +648,7 @@ func (b *builder) emitFacts(p *core.Peer, includeAll bool) {
 	for _, id := range b.sys.Peers() {
 		peer, _ := b.sys.Peer(id)
 		for _, rel := range peer.Schema.Relations() {
-			if !preds[rel] && !b.mutable[rel] {
+			if !preds[rel] && !(b.mutable[rel] && b.opt.relevant(rel)) {
 				continue
 			}
 			for _, t := range peer.Inst.Tuples(rel) {

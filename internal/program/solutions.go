@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/foquery"
 	"repro/internal/lp"
@@ -33,16 +34,58 @@ type RunOptions struct {
 	Parallelism int
 	// SolverOptions are passed through to the stable-model solver.
 	Solver solve.Options
+	// KeepDep and RelevantRels restrict the build to a query-relevance
+	// slice (internal/slice): only kept DECs/ICs are compiled and only
+	// relevant relations receive persistence rules and facts (see
+	// BuildOptions). The grounder additionally prunes rules outside the
+	// relevant predicates' dependency closure (ground.Options.Relevant).
+	KeepDep      func(*constraint.Dependency) bool
+	RelevantRels map[string]bool
+	// PruneStats, when non-nil, receives the grounder's rule prune
+	// counts for the sliced run.
+	PruneStats *ground.PruneStats
+}
+
+// buildOptions projects the slicing fields onto BuildOptions.
+func (o RunOptions) buildOptions() BuildOptions {
+	return BuildOptions{KeepDep: o.KeepDep, RelevantRels: o.RelevantRels}
+}
+
+// groundRelevant derives the grounder's relevant-predicate seeds from
+// the sliced relations: the relations themselves plus their primed
+// versions (the predicates a query program and ModelsToSolutions read).
+func (o RunOptions) groundRelevant(naming *Naming) map[string]bool {
+	if o.RelevantRels == nil {
+		return nil
+	}
+	seeds := make(map[string]bool, 2*len(o.RelevantRels))
+	for rel := range o.RelevantRels {
+		seeds[rel] = true
+		if p, ok := naming.Primed[rel]; ok {
+			seeds[p] = true
+		}
+	}
+	return seeds
 }
 
 // Solve grounds and solves an already-built specification program,
 // returning its stable models.
 func Solve(prog *lp.Program, opt RunOptions) ([]solve.Model, error) {
+	return solveWith(prog, opt, nil)
+}
+
+// solveWith is Solve with an optional relevant-predicate seed set for
+// the grounder's rule pruning (nil grounds everything).
+func solveWith(prog *lp.Program, opt RunOptions, relevant map[string]bool) ([]solve.Model, error) {
 	u, err := lp.UnfoldChoice(prog)
 	if err != nil {
 		return nil, err
 	}
-	g, err := ground.GroundOpt(u, ground.Options{Parallelism: opt.Parallelism})
+	g, err := ground.GroundOpt(u, ground.Options{
+		Parallelism: opt.Parallelism,
+		Relevant:    relevant,
+		PruneStats:  opt.PruneStats,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -71,18 +114,18 @@ func SolutionsViaLP(s *core.System, id core.PeerID, opt RunOptions) ([]*relation
 	var naming *Naming
 	var err error
 	if opt.Transitive {
-		prog, naming, err = BuildTransitive(s, id)
+		prog, naming, err = BuildTransitiveOpt(s, id, opt.buildOptions())
 	} else {
-		prog, naming, err = BuildDirect(s, id)
+		prog, naming, err = BuildDirectOpt(s, id, opt.buildOptions())
 	}
 	if err != nil {
 		return nil, err
 	}
-	models, err := Solve(prog, opt)
+	models, err := solveWith(prog, opt, opt.groundRelevant(naming))
 	if err != nil {
 		return nil, err
 	}
-	return ModelsToSolutions(s, naming, models)
+	return modelsToSolutions(s, naming, models, opt.RelevantRels)
 }
 
 // ModelsToSolutions projects stable models onto solution instances:
@@ -91,7 +134,18 @@ func SolutionsViaLP(s *core.System, id core.PeerID, opt RunOptions) ([]*relation
 // the same instance are merged (the paper's M2 and M4 yield the same
 // solution).
 func ModelsToSolutions(s *core.System, naming *Naming, models []solve.Model) ([]*relation.Instance, error) {
+	return modelsToSolutions(s, naming, models, nil)
+}
+
+// modelsToSolutions is ModelsToSolutions with an optional relation
+// restriction: a sliced run projects each solution onto the relevant
+// relations, matching the restricted instances the repair route
+// produces under the same slice.
+func modelsToSolutions(s *core.System, naming *Naming, models []solve.Model, relevant map[string]bool) ([]*relation.Instance, error) {
 	base := s.Global()
+	if relevant != nil {
+		base = base.RestrictRels(relevant)
+	}
 	seen := map[string]bool{}
 	var out []*relation.Instance
 	for _, m := range models {

@@ -22,6 +22,14 @@ import (
 // its own relations (less-trust chains); same-trust edges are honoured
 // at the root only.
 func BuildTransitive(s *core.System, root core.PeerID) (*lp.Program, *Naming, error) {
+	return BuildTransitiveOpt(s, root, BuildOptions{})
+}
+
+// BuildTransitiveOpt is BuildTransitive restricted to a query-relevance
+// slice: only kept DECs/ICs are compiled across the reachable peers,
+// and only relevant relations receive persistence rules, primed
+// versions and facts.
+func BuildTransitiveOpt(s *core.System, root core.PeerID, opt BuildOptions) (*lp.Program, *Naming, error) {
 	if _, ok := s.Peer(root); !ok {
 		return nil, nil, fmt.Errorf("program: unknown peer %s", root)
 	}
@@ -51,6 +59,7 @@ func BuildTransitive(s *core.System, root core.PeerID) (*lp.Program, *Naming, er
 			sys:            s,
 			naming:         naming,
 			prog:           combined,
+			opt:            opt,
 			mutable:        map[string]bool{},
 			upstreamPrimed: cloneMap(repaired),
 			imports:        map[string][]term.Atom{},
@@ -61,6 +70,12 @@ func BuildTransitive(s *core.System, root core.PeerID) (*lp.Program, *Naming, er
 			return nil, nil, fmt.Errorf("program: compiling peer %s: %w", id, err)
 		}
 		for rel := range b.mutable {
+			if !opt.relevant(rel) {
+				// Out-of-slice relations keep no primed version;
+				// downstream peers read their originals, which the
+				// dropped rules never change.
+				continue
+			}
 			repaired[rel] = naming.Prime(rel)
 			allMutable[rel] = true
 		}
@@ -74,6 +89,7 @@ func BuildTransitive(s *core.System, root core.PeerID) (*lp.Program, *Naming, er
 		sys:      s,
 		naming:   naming,
 		prog:     combined,
+		opt:      opt,
 		mutable:  allMutable,
 		imports:  map[string][]term.Atom{},
 		needCand: map[string]bool{},

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/foquery"
 	"repro/internal/relation"
+	"repro/internal/slice"
 )
 
 // TestExample2Formula checks the shape of the rewriting against the
@@ -188,5 +189,35 @@ func TestFixedPartnerGuard(t *testing.T) {
 	}
 	if len(got) != 1 || !got[0].Equal(relation.Tuple{"k", "v"}) {
 		t.Fatalf("answers = %v", got)
+	}
+}
+
+// TestRewrittenQuerySliceCoverage: the rewritten query of Section 2
+// buries the import and conflict-partner relations inside universally
+// quantified guards, negations and implications; the relevance slice
+// seeded from the rewritten formula's predicates must surface every
+// one of them (they all have to be fetched before evaluating it).
+func TestRewrittenQuerySliceCoverage(t *testing.T) {
+	s := core.Example1System()
+	f, err := RewriteAtom(s, "P1", "r1", []string{"X", "Y"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := foquery.Preds(f)
+	want := map[string]bool{"r1": true, "r2": true, "r3": true}
+	for _, p := range preds {
+		delete(want, p)
+	}
+	if len(want) != 0 {
+		t.Fatalf("rewritten query misses predicates %v (got %v)", want, preds)
+	}
+	sl, err := slice.Compute(s, "P1", preds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"r1", "r2", "r3"} {
+		if !sl.Has(rel) {
+			t.Errorf("slice for the rewritten query misses %s: %v", rel, sl.Rels)
+		}
 	}
 }

@@ -1,0 +1,85 @@
+package slice
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// AnswerCache memoizes query answers under content-addressed keys
+// (AnswerKey): a key embeds the slice signature and a data fingerprint
+// of the relevant relations, so entries never need invalidation — an
+// update to a relevant relation changes the fingerprint (a miss, fresh
+// computation), while an update to an irrelevant relation leaves the
+// key unchanged (a hit, no re-grounding). The cache is safe for
+// concurrent use.
+type AnswerCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string][]relation.Tuple
+	hits    int64
+	misses  int64
+}
+
+// DefaultAnswerCacheSize bounds an AnswerCache built with max <= 0.
+const DefaultAnswerCacheSize = 1024
+
+// NewAnswerCache creates a cache holding up to max entries (<= 0 means
+// DefaultAnswerCacheSize). When the bound is exceeded the cache is
+// cleared wholesale: keys are content hashes with no useful recency
+// structure, and a full rebuild is exactly one answering pass.
+func NewAnswerCache(max int) *AnswerCache {
+	if max <= 0 {
+		max = DefaultAnswerCacheSize
+	}
+	return &AnswerCache{max: max, entries: map[string][]relation.Tuple{}}
+}
+
+// AnswerKey builds the canonical cache key for a query posed to a peer
+// under a slice: the query rendering, the answer variables, the slice
+// signature and the data fingerprint of the relevant relations.
+func AnswerKey(query string, vars []string, sl *Slice, fingerprint string) string {
+	return strings.Join([]string{query, strings.Join(vars, ","), sl.Signature, fingerprint}, "\x00")
+}
+
+// Get returns a deep copy of the cached answers for the key: a caller
+// mutating a returned tuple in place cannot poison the cache entry.
+func (c *AnswerCache) Get(key string) ([]relation.Tuple, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ans, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return cloneTuples(ans), true
+}
+
+// Put stores a deep copy of the answers under the key; the caller
+// keeps ownership of ans.
+func (c *AnswerCache) Put(key string, ans []relation.Tuple) {
+	cp := cloneTuples(ans)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.max {
+		c.entries = map[string][]relation.Tuple{}
+	}
+	c.entries[key] = cp
+}
+
+func cloneTuples(ans []relation.Tuple) []relation.Tuple {
+	out := make([]relation.Tuple, len(ans))
+	for i, t := range ans {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// Stats returns the hit/miss counters.
+func (c *AnswerCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -451,7 +451,15 @@ func atoiTok(s string) (int, bool) {
 // --- serializer ----------------------------------------------------------
 
 // Format renders a system back into the DSL (round-trippable).
-func Format(s *core.System) string {
+func Format(s *core.System) string { return format(s, true) }
+
+// FormatSpec renders a system's specification only — schemas, trust,
+// DECs and ICs, no fact lines. The network substrate ships this form
+// when a peer needs a neighbour's schema and constraints to plan a
+// query-relevance slice but not (yet) its data.
+func FormatSpec(s *core.System) string { return format(s, false) }
+
+func format(s *core.System, withFacts bool) string {
 	var b strings.Builder
 	for _, id := range s.Peers() {
 		p, _ := s.Peer(id)
@@ -460,9 +468,11 @@ func Format(s *core.System) string {
 			d, _ := p.Schema.Decl(rel)
 			fmt.Fprintf(&b, "  relation %s/%d\n", rel, d.Arity)
 		}
-		for _, rel := range p.Schema.Relations() {
-			for _, t := range p.Inst.Tuples(rel) {
-				fmt.Fprintf(&b, "  fact %s%s.\n", rel, t)
+		if withFacts {
+			for _, rel := range p.Schema.Relations() {
+				for _, t := range p.Inst.Tuples(rel) {
+					fmt.Fprintf(&b, "  fact %s%s.\n", rel, t)
+				}
 			}
 		}
 		for _, lvl := range []core.TrustLevel{core.TrustLess, core.TrustSame} {

@@ -127,4 +127,61 @@ func IndependentConflicts(k int) *core.System {
 	return core.NewSystem().MustAddPeer(p1).MustAddPeer(p2)
 }
 
+// WideUniverse builds an overlay whose query-relevant core is tiny
+// while the universe is wide — the workload where query-relevance
+// slicing (internal/slice) pays off. Root peer P0 declares q0 (the
+// query target) and imports it from peer PC's c0 via an inclusion DEC
+// (TrustLess, so missing tuples are forced imports). Additionally,
+// `width` bystander peers B0..B{width-1} each declare `relsPerPeer`
+// binary relations with `factsPerRel` facts, and the root maintains a
+// same-trust key EGD between each bystander's first two relations —
+// a repairable constraint mentioning no root relation, which the slice
+// for q0 drops, so a sliced snapshot never moves bystander data. The
+// first `conflictPeers` bystanders get one key conflict each, so the
+// full (unsliced) pipeline branches into 2^conflictPeers solutions
+// while the sliced one never sees the conflicts.
+func WideUniverse(width, relsPerPeer, factsPerRel, conflictPeers int, seed int64) *core.System {
+	if relsPerPeer < 2 {
+		panic("workload: WideUniverse needs relsPerPeer >= 2")
+	}
+	if conflictPeers > width {
+		conflictPeers = width
+	}
+	rng := rand.New(rand.NewSource(seed))
+	root := core.NewPeer("P0").Declare("q0", 2).
+		SetTrust("PC", core.TrustLess).
+		AddDEC("PC", constraint.Inclusion("inc_core", "c0", "q0", 2))
+	pc := core.NewPeer("PC").Declare("c0", 2)
+	for i := 0; i < 4; i++ {
+		root.Fact("q0", fmt.Sprintf("k%d", i), val(rng))
+	}
+	for i := 0; i < 3; i++ {
+		pc.Fact("c0", fmt.Sprintf("m%d", i), val(rng))
+	}
+	s := core.NewSystem().MustAddPeer(root).MustAddPeer(pc)
+	for b := 0; b < width; b++ {
+		id := core.PeerID(fmt.Sprintf("B%d", b))
+		peer := core.NewPeer(id)
+		rels := make([]string, relsPerPeer)
+		for r := 0; r < relsPerPeer; r++ {
+			rels[r] = fmt.Sprintf("b%d_r%d", b, r)
+			peer.Declare(rels[r], 2)
+			// Keys are disjoint across a bystander's relations, so the
+			// only EGD conflict is the one conflictPeers plants.
+			for f := 0; f < factsPerRel; f++ {
+				peer.Fact(rels[r], fmt.Sprintf("b%d_r%d_k%d", b, r, f), val(rng))
+			}
+		}
+		if b < conflictPeers {
+			key := fmt.Sprintf("b%d_c", b)
+			peer.Fact(rels[0], key, "u")
+			peer.Fact(rels[1], key, "v")
+		}
+		root.SetTrust(id, core.TrustSame)
+		root.AddDEC(id, constraint.KeyEGD(fmt.Sprintf("egd_b%d", b), rels[0], rels[1]))
+		s.MustAddPeer(peer)
+	}
+	return s
+}
+
 func val(rng *rand.Rand) string { return fmt.Sprintf("v%d", rng.Intn(1000)) }

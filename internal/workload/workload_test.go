@@ -114,3 +114,31 @@ func TestChainDirectStopsAtNeighbor(t *testing.T) {
 		t.Fatalf("t0 = %d, want 4 (direct is local)", got)
 	}
 }
+
+func TestWideUniverseShape(t *testing.T) {
+	s := WideUniverse(3, 2, 5, 2, 1)
+	// Peers: P0, PC, B0..B2.
+	if got := len(s.Peers()); got != 5 {
+		t.Fatalf("peers = %d, want 5", got)
+	}
+	// The full pipeline sees 2^conflictPeers solutions (one binary
+	// choice per planted bystander conflict).
+	sols, err := core.SolutionsFor(s, "P0", core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 4 {
+		t.Fatalf("solutions = %d, want 2^2 = 4", len(sols))
+	}
+	// Bystander keys are disjoint across relations, so no accidental
+	// conflicts beyond the planted ones: with conflictPeers=0 the
+	// system has exactly one solution.
+	clean := WideUniverse(3, 2, 5, 0, 1)
+	sols, err = core.SolutionsFor(clean, "P0", core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("clean solutions = %d, want 1", len(sols))
+	}
+}

@@ -1,0 +1,163 @@
+// Slicing equivalence tests: the query-relevance-sliced pipeline
+// (internal/slice projected onto core.SolveOptions and
+// program.RunOptions) must return byte-identical answers to the
+// unsliced pipeline — on the paper's fixtures and on seeded workloads,
+// at several parallelism levels, for both the repair route and the LP
+// route. Slicing is semantics-preserving (dropped rules/constraints
+// cannot affect query-relevant repairs); these tests enforce it.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/program"
+	"repro/internal/slice"
+	"repro/internal/sysdsl"
+	"repro/internal/workload"
+)
+
+func mustConstraint(t *testing.T, name, src string) *constraint.Dependency {
+	t.Helper()
+	d, err := sysdsl.ParseConstraint(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// slicingLevels is the parallelism sweep of the equivalence tests.
+var slicingLevels = []int{1, 4}
+
+// answersFingerprint renders every sliced/unsliced engine pair for the
+// triple. Errors are part of the rendering: a sliced engine must fail
+// exactly when the unsliced one does (e.g. "peer has no solutions").
+func answersFingerprint(t *testing.T, build func() *core.System, id core.PeerID, query string, vars []string, transitive bool, par int, sliced bool) string {
+	t.Helper()
+	sys := build()
+	q, err := foquery.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveOpt := core.SolveOptions{Parallelism: par}
+	runOpt := program.RunOptions{Transitive: transitive, Parallelism: par}
+	if sliced {
+		sl, err := slice.ForQuery(sys, id, q, transitive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solveOpt.KeepDep, solveOpt.RelevantRels = sl.KeepDep, sl.RelevantRels()
+		runOpt.KeepDep, runOpt.RelevantRels = sl.KeepDep, sl.RelevantRels()
+	}
+	out := ""
+	if !transitive {
+		pca, err := core.PeerConsistentAnswers(sys, id, q, vars, solveOpt)
+		out += fmt.Sprintf("repair pca=%v err=%v\n", pca, err)
+		poss, err := core.PossibleAnswers(sys, id, q, vars, solveOpt)
+		out += fmt.Sprintf("repair possible=%v err=%v\n", poss, err)
+	}
+	lpAns, err := program.PeerConsistentAnswersViaLP(sys, id, q, vars, runOpt)
+	out += fmt.Sprintf("lp pca=%v err=%v\n", lpAns, err)
+	return out
+}
+
+func requireSlicedEquivalent(t *testing.T, name string, build func() *core.System, id core.PeerID, query string, vars []string, transitive bool) {
+	t.Helper()
+	for _, par := range slicingLevels {
+		full := answersFingerprint(t, build, id, query, vars, transitive, par, false)
+		sliced := answersFingerprint(t, build, id, query, vars, transitive, par, true)
+		if full != sliced {
+			t.Fatalf("%s: sliced pipeline diverges at parallelism=%d:\n--- full ---\n%s--- sliced ---\n%s",
+				name, par, full, sliced)
+		}
+	}
+}
+
+// TestSlicingEquivalenceFixtures sweeps the paper's fixture systems.
+func TestSlicingEquivalenceFixtures(t *testing.T) {
+	cases := []struct {
+		name       string
+		build      func() *core.System
+		peer       core.PeerID
+		query      string
+		vars       []string
+		transitive bool
+	}{
+		{"Example1/P1", core.Example1System, "P1", "r1(X,Y)", []string{"X", "Y"}, false},
+		{"Section31/P", core.Section31System, "P", "r1(X,Y)", []string{"X", "Y"}, false},
+		{"Example4/P", core.Example4System, "P", "r1(X,Y)", []string{"X", "Y"}, false},
+		{"Example4/P/transitive", core.Example4System, "P", "r1(X,Y)", []string{"X", "Y"}, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			requireSlicedEquivalent(t, tc.name, tc.build, tc.peer, tc.query, tc.vars, tc.transitive)
+		})
+	}
+}
+
+// TestSlicingEquivalenceSeeded sweeps 20 seeds across four generator
+// shapes (wide universes with droppable bystanders, Example-1-shaped
+// conflicts, referential witness choices and transitive import
+// chains), at Parallelism {1,4} each.
+func TestSlicingEquivalenceSeeded(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("wide/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			build := func() *core.System {
+				return workload.WideUniverse(2+int(seed%3), 2, 2+int(seed%4), int(seed%3), seed)
+			}
+			requireSlicedEquivalent(t, t.Name(), build, "P0", "q0(X,Y)", []string{"X", "Y"}, false)
+		})
+		t.Run(fmt.Sprintf("example1shaped/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			build := func() *core.System {
+				return workload.Example1Shaped(2+int(seed%5), 1+int(seed%3), 1+int(seed%2), seed)
+			}
+			requireSlicedEquivalent(t, t.Name(), build, "P1", "r1(X,Y)", []string{"X", "Y"}, false)
+		})
+		t.Run(fmt.Sprintf("referential/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			build := func() *core.System {
+				return workload.ReferentialShaped(1+int(seed%2), 1+int(seed%2), int(seed%3), seed)
+			}
+			requireSlicedEquivalent(t, t.Name(), build, "P", "r1(X,Y)", []string{"X", "Y"}, false)
+		})
+		t.Run(fmt.Sprintf("chain/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			build := func() *core.System {
+				return workload.Chain(2+int(seed%3), 1+int(seed%3), seed)
+			}
+			requireSlicedEquivalent(t, t.Name(), build, "P0", "t0(X,Y)", []string{"X", "Y"}, true)
+		})
+	}
+}
+
+// TestSlicingEquivalenceNoSolutions: a violated guard constraint (all
+// predicates fixed) eliminates every solution; the sliced pipeline
+// must report the same "no solutions" outcome even though the guard
+// shares no relation with the query.
+func TestSlicingEquivalenceNoSolutions(t *testing.T) {
+	build := func() *core.System {
+		p := core.NewPeer("P").Declare("mine", 2).Fact("mine", "a", "b")
+		p.SetTrust("Q", core.TrustLess)
+		// Guard: a denial over Q's relation only; Q's data violates it.
+		d := mustConstraint(t, "guard", "qa(X,Y), qa(X,Z), Y != Z -> false")
+		p.AddDEC("Q", d)
+		q := core.NewPeer("Q").Declare("qa", 2).
+			Fact("qa", "k", "v1").Fact("qa", "k", "v2")
+		return core.NewSystem().MustAddPeer(p).MustAddPeer(q)
+	}
+	requireSlicedEquivalent(t, t.Name(), build, "P", "mine(X,Y)", []string{"X", "Y"}, false)
+	// Sanity: the outcome really is the no-solutions error.
+	sys := build()
+	_, err := core.PeerConsistentAnswers(sys, "P", foquery.MustParse("mine(X,Y)"), []string{"X", "Y"}, core.SolveOptions{})
+	if err != core.ErrNoSolutions {
+		t.Fatalf("fixture should have no solutions, got err=%v", err)
+	}
+}
