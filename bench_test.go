@@ -21,6 +21,7 @@ import (
 	"repro/internal/lp/solve"
 	"repro/internal/peernet"
 	"repro/internal/program"
+	"repro/internal/repair"
 	"repro/internal/rewrite"
 	"repro/internal/slice"
 	"repro/internal/workload"
@@ -458,6 +459,49 @@ func BenchmarkB9WideUniverseSlicing(b *testing.B) {
 				RelevantRels: sl.RelevantRels(),
 			})
 			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkB10ScatteredConflicts contrasts the global wave search
+// against the conflict-localized engine on k independent conflicts
+// scattered over disjoint relation pairs: consistent answering of a
+// single-relation query (per-component evaluation, no cross-product
+// materialization) and solution enumeration (composed cross-product).
+func BenchmarkB10ScatteredConflicts(b *testing.B) {
+	const k = 8
+	s := workload.ScatteredConflicts(k, 20, 1)
+	p, _ := s.Peer("A")
+	deps := p.DECs["B"]
+	inst := s.Global()
+	q := foquery.MustParse("ra0(X,Y)")
+	vars := []string{"X", "Y"}
+	b.Run("cqa-global", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repair.ConsistentAnswers(inst.Clone(), deps, q, vars, repair.Options{NoLocalize: true, Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cqa-localized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repair.ConsistentAnswers(inst.Clone(), deps, q, vars, repair.Options{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("solve-global", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolutionsFor(s, "A", core.SolveOptions{NoLocalize: true, Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("solve-localized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolutionsFor(s, "A", core.SolveOptions{Parallelism: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/lp/ground"
 	"repro/internal/program"
+	"repro/internal/repair"
 	"repro/internal/slice"
 	"repro/internal/workload"
 )
@@ -60,11 +61,16 @@ type gateResult struct {
 	// plus the slice-restricted repair-engine answering, no network
 	// (minimum over rounds).
 	B9SlicedNS int64 `json:"b9_sliced_wide_ns"`
-	// B5Norm, B1Norm and B9Norm are the machine-independent gate
-	// metrics: bench time divided by calibration time.
-	B5Norm float64 `json:"b5_norm"`
-	B1Norm float64 `json:"b1_norm"`
-	B9Norm float64 `json:"b9_norm"`
+	// B10LocalNS is the B10 scattered-conflict consistent-answering pass
+	// under the conflict-localized repair engine, k=8 (minimum over
+	// rounds).
+	B10LocalNS int64 `json:"b10_localized_scatter_ns"`
+	// B5Norm, B1Norm, B9Norm and B10Norm are the machine-independent
+	// gate metrics: bench time divided by calibration time.
+	B5Norm  float64 `json:"b5_norm"`
+	B1Norm  float64 `json:"b1_norm"`
+	B9Norm  float64 `json:"b9_norm"`
+	B10Norm float64 `json:"b10_norm"`
 }
 
 // calibrate runs a fixed workload with the same resource profile as
@@ -174,15 +180,33 @@ func runGateMeasure(par int) (*gateResult, error) {
 		return nil, err
 	}
 
+	// B10 localized scattered-conflict CQA, k=8: conflict-graph
+	// decomposition, per-component searches and the single-component
+	// answer intersection (the localized hot path end to end).
+	s10 := workload.ScatteredConflicts(8, 20, 1)
+	p10, _ := s10.Peer("A")
+	deps10 := p10.DECs["B"]
+	inst10 := s10.Global()
+	q10 := foquery.MustParse("ra0(X,Y)")
+	b10, err := minOver(gateRounds, func() error {
+		_, e := repair.ConsistentAnswers(inst10.Clone(), deps10, q10, []string{"X", "Y"}, repair.Options{Parallelism: par})
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	return &gateResult{
 		Parallelism: par,
 		CalibNS:     calib.Nanoseconds(),
 		B5GroundNS:  b5.Nanoseconds(),
 		B1RepairNS:  b1.Nanoseconds(),
 		B9SlicedNS:  b9.Nanoseconds(),
+		B10LocalNS:  b10.Nanoseconds(),
 		B5Norm:      float64(b5.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B1Norm:      float64(b1.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B9Norm:      float64(b9.Nanoseconds()) / float64(calib.Nanoseconds()),
+		B10Norm:     float64(b10.Nanoseconds()) / float64(calib.Nanoseconds()),
 	}, nil
 }
 
@@ -205,10 +229,15 @@ func gateCompare(w io.Writer, cur, base *gateResult, threshold float64) error {
 	if err := check("B1 repair n=40", cur.B1Norm, base.B1Norm); err != nil {
 		return err
 	}
+	// Baselines written before a metric existed carry no figure for it;
+	// skip rather than divide by zero.
 	if base.B9Norm > 0 {
-		// Baselines written before the B9 wide-universe metric existed
-		// carry no figure for it; skip rather than divide by zero.
-		return check("B9 sliced wide-universe", cur.B9Norm, base.B9Norm)
+		if err := check("B9 sliced wide-universe", cur.B9Norm, base.B9Norm); err != nil {
+			return err
+		}
+	}
+	if base.B10Norm > 0 {
+		return check("B10 localized scattered", cur.B10Norm, base.B10Norm)
 	}
 	return nil
 }
@@ -220,9 +249,9 @@ func runGate(w io.Writer, outPath, baselinePath string, threshold float64, par i
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "gate measured: calib=%v b5-ground=%v b1-repair=%v b9-sliced=%v (parallelism=%d, min of %d)\n",
+	fmt.Fprintf(w, "gate measured: calib=%v b5-ground=%v b1-repair=%v b9-sliced=%v b10-localized=%v (parallelism=%d, min of %d)\n",
 		time.Duration(cur.CalibNS), time.Duration(cur.B5GroundNS), time.Duration(cur.B1RepairNS),
-		time.Duration(cur.B9SlicedNS), par, gateRounds)
+		time.Duration(cur.B9SlicedNS), time.Duration(cur.B10LocalNS), par, gateRounds)
 	if outPath != "" {
 		data, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {

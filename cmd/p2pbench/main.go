@@ -45,6 +45,7 @@ var experiments = []experiment{
 	{"B7", "Choice keys: shared vs independent witness choices", runB7},
 	{"B8", "Solver ablation: support propagation on/off", runB8},
 	{"B9", "Wide universe: query-relevance slicing vs full snapshots", runB9},
+	{"B10", "Scattered conflicts: conflict-localized vs global repair", runB10},
 }
 
 // benchParallelism is the worker-pool bound used by the parallel
@@ -54,7 +55,7 @@ var benchParallelism = 4
 
 func main() {
 	fs := flag.NewFlagSet("p2pbench", flag.ContinueOnError)
-	which := fs.String("experiment", "", "experiment id (E1..E7, B1..B8); empty = all")
+	which := fs.String("experiment", "", "experiment id (E1..E7, B1..B10); empty = all")
 	list := fs.Bool("list", false, "list experiments")
 	fs.IntVar(&benchParallelism, "parallelism", benchParallelism,
 		"worker-pool bound for the parallel benchmark variants; 0 = GOMAXPROCS")

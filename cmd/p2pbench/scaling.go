@@ -16,6 +16,7 @@ import (
 	"repro/internal/peernet"
 	"repro/internal/program"
 	"repro/internal/relation"
+	"repro/internal/repair"
 	"repro/internal/rewrite"
 	"repro/internal/workload"
 )
@@ -503,6 +504,78 @@ func runB9(w io.Writer) error {
 	fmt.Fprintf(w, "answer cache: hits=%d misses=%d; slice kept %d/%d constraints\n", hits, misses, sl.KeptDeps, sl.TotalDeps)
 	fmt.Fprintf(w, "expected shape: sliced moves %d of %d remote relations and skips the\n", sl.RemoteRelCount(), totalRemote)
 	fmt.Fprintf(w, "bystander repair search; repeats are cache hits with zero re-grounding.\n")
+	return nil
+}
+
+// runB10 measures conflict-localized repair (ISSUE 5) on the
+// scattered-conflict workload: k independent EGD conflicts on k
+// disjoint relation pairs. The global wave search re-checks the whole
+// database at each of its ~2^k states and intersects answers over the
+// materialized 2^k repairs; the localized engine decomposes the
+// conflict graph into k trivial components, searches each with
+// incremental violation checking, and answers the (single-relation)
+// query from the one component it touches — never materializing the
+// cross-product.
+func runB10(w io.Writer) error {
+	fmt.Fprintf(w, "%-6s %-14s %-14s %-10s %-14s %-14s\n",
+		"k", "cqa-global", "cqa-localized", "speedup", "solve-global", "solve-localized")
+	for _, k := range []int{4, 8, 10} {
+		s := workload.ScatteredConflicts(k, 20, 1)
+		p, _ := s.Peer("A")
+		deps := p.DECs["B"]
+		inst := s.Global()
+		q := foquery.MustParse("ra0(X,Y)")
+		vars := []string{"X", "Y"}
+
+		var ansG []relation.Tuple
+		dCqaG, err := timed(func() error {
+			var e error
+			ansG, e = repair.ConsistentAnswers(inst.Clone(), deps, q, vars, repair.Options{NoLocalize: true, Parallelism: 1})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		var ansL []relation.Tuple
+		dCqaL, err := timed(func() error {
+			var e error
+			ansL, e = repair.ConsistentAnswers(inst.Clone(), deps, q, vars, repair.Options{Parallelism: 1})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(ansL, ansG) {
+			return fmt.Errorf("localized CQA diverges at k=%d: %v vs %v", k, ansL, ansG)
+		}
+
+		var solsG, solsL []*relation.Instance
+		dSolG, err := timed(func() error {
+			var e error
+			solsG, e = core.SolutionsFor(s, "A", core.SolveOptions{NoLocalize: true, Parallelism: 1})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		dSolL, err := timed(func() error {
+			var e error
+			solsL, e = core.SolutionsFor(s, "A", core.SolveOptions{Parallelism: 1})
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		if !sameKeys(solsL, solsG) {
+			return fmt.Errorf("localized solutions diverge at k=%d", k)
+		}
+		fmt.Fprintf(w, "%-6d %-14v %-14v %-10s %-14v %-14v\n",
+			k, dCqaG, dCqaL, fmt.Sprintf("%.1fx", float64(dCqaG)/float64(dCqaL)), dSolG, dSolL)
+	}
+	fmt.Fprintf(w, "expected shape: global CQA grows with 2^k (repair enumeration +\n")
+	fmt.Fprintf(w, "per-repair query evaluation); localized CQA grows with k (component\n")
+	fmt.Fprintf(w, "searches + one 2-repair intersection); solve still materializes the\n")
+	fmt.Fprintf(w, "2^k solution set, so its win is the search and minimality filter only.\n")
 	return nil
 }
 

@@ -86,6 +86,42 @@
 // deterministic too — unlike solve's MaxModels, a truncated repair
 // search returns the same repairs at every parallelism level.
 //
+// # Conflict-localized repair
+//
+// Repairs of an inconsistent instance factorize over the connected
+// components of its conflict graph (the classic CQA observation of
+// Arenas-Bertossi-Chomicki). The repair engine exploits this
+// (internal/repair/localize.go): at the root it computes every
+// violation (constraint.AllViolations) and partitions them by
+// interaction — fact-level edges where the facts their repair actions
+// can touch overlap, predicate-level dependency-closure edges where a
+// violation can cascade (existential-TGD witness inserts, insertions
+// that create new body matches, deletions that un-witness a TGD's
+// derived head facts). Each component is then searched independently by
+// the wave engine with everything outside frozen: violation checking is
+// incremental (after an action only the dependencies indexed under the
+// touched predicates — constraint.DepIndex — are re-checked against
+// lists carried on the search node), and the global minimal repairs are
+// composed as the cross-product of the component repairs, which is
+// exact because the disjoint deltas make ⊆-minimality factorize. When
+// a query's relations intersect the deltas of at most one component
+// (and the query is domain-independent by construction), consistent
+// answering evaluates that component's repairs alone and never
+// materializes the cross-product: k scattered conflicts cost k
+// component searches instead of a 2^k enumeration (benchmark B10:
+// ~54x at k=8, ~350x at k=10 on this box).
+//
+// Localization is applied only when provably exact, so it is
+// byte-identical to the global wave search (localized_equiv_test.go):
+// MaxRepairs truncation falls back to the global engine (truncation
+// order is the spec), domain-dependent witness enumeration falls back
+// (components would interact through the active domain), and the
+// component searches — run without subsumption pruning so every
+// reachable component delta is generated — prove ErrBound absent by
+// summing their largest generated deltas below MaxDelta, falling back
+// otherwise. repair.Options.NoLocalize / core.SolveOptions.NoLocalize
+// expose the global engine for A/B measurement.
+//
 // # Query-sliced pipeline
 //
 // The answer path is sliced end-to-end by query relevance

@@ -13,6 +13,7 @@ package constraint
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/relation"
@@ -206,6 +207,29 @@ func (v Violation) String() string {
 	return v.Dep.Name + " violated at " + strings.Join(atoms, ", ")
 }
 
+// Key returns a canonical identity for the violation: the dependency
+// name plus the bound body atoms, rendered with the same separator
+// bytes as Fact.Key (never the comma-joined Atom.String, whose
+// rendering can collide when constants contain commas). Two violations
+// of the same dependency list have equal keys exactly when they are the
+// same body match, so the repair engine's conflict localization can
+// recognize a frozen violation of another conflict component when it
+// reappears in a re-check.
+func (v Violation) Key() string {
+	var b strings.Builder
+	b.WriteString(v.Dep.Name)
+	for _, a := range v.Dep.Body {
+		g := v.Subst.Apply(a)
+		b.WriteByte('\x1e')
+		b.WriteString(g.Pred)
+		for _, t := range g.Args {
+			b.WriteByte('\x1f')
+			b.WriteString(t.Name)
+		}
+	}
+	return b.String()
+}
+
 // matchBody enumerates substitutions matching all body atoms against
 // the instance and satisfying the conditions. Candidate facts come from
 // the instance's per-column indexes (Instance.MatchingTuples) and
@@ -318,6 +342,15 @@ func matchHead(inst *relation.Instance, head []term.Atom, s term.Subst, i int, f
 	return nil
 }
 
+// BodyMatches enumerates the substitutions matching the dependency's
+// body (and satisfying its conditions) against the instance, in the
+// deterministic order underlying Violations. The repair engine's
+// conflict-graph construction uses it to enumerate the head facts a
+// full TGD derives.
+func (d *Dependency) BodyMatches(inst *relation.Instance, fn func(term.Subst) error) error {
+	return matchBody(inst, d.Body, d.Cond, fn)
+}
+
 // Violations returns every violation of the dependency in the instance.
 func (d *Dependency) Violations(inst *relation.Instance) ([]Violation, error) {
 	var out []Violation
@@ -366,6 +399,63 @@ func AllSatisfied(inst *relation.Instance, deps []*Dependency) (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// AllViolations returns every violation of every dependency, in
+// dependency order and deterministic match order within a dependency.
+// It is the root pass of the conflict-localized repair engine: the
+// returned violations are the nodes of the conflict graph.
+func AllViolations(inst *relation.Instance, deps []*Dependency) ([]Violation, error) {
+	var out []Violation
+	for _, d := range deps {
+		vs, err := d.Violations(inst)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+// DepIndex is a predicate-indexed table over a fixed dependency list:
+// for each predicate, the (ordered) indices of the dependencies that
+// mention it in their body or head. The repair engine uses it for
+// incremental violation checking — after an action it re-checks only
+// the dependencies whose predicates intersect the touched facts,
+// because a dependency's violation set depends only on the facts of
+// the predicates it mentions.
+type DepIndex struct {
+	deps   []*Dependency
+	byPred map[string][]int
+}
+
+// NewDepIndex builds the table. The dependency list is captured by
+// reference; it must not change afterwards.
+func NewDepIndex(deps []*Dependency) *DepIndex {
+	ix := &DepIndex{deps: deps, byPred: make(map[string][]int)}
+	for i, d := range deps {
+		for pred := range d.Preds() {
+			ix.byPred[pred] = append(ix.byPred[pred], i)
+		}
+	}
+	return ix
+}
+
+// Affected returns the sorted, de-duplicated indices of the
+// dependencies mentioning any of the given predicates.
+func (ix *DepIndex) Affected(preds []string) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, p := range preds {
+		for _, i := range ix.byPred[p] {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // FirstViolation returns one violation among the dependencies, or nil

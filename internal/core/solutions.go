@@ -38,6 +38,11 @@ type SolveOptions struct {
 	// before stage 1, so the repair search never materializes
 	// irrelevant relations.
 	RelevantRels map[string]bool
+	// NoLocalize disables the conflict-localized repair engine
+	// (repair.Options.NoLocalize) in every stage: the searches then run
+	// as single global wave searches. Localization is exact, so this is
+	// an A/B knob, not a semantics switch.
+	NoLocalize bool
 }
 
 // keeps applies the KeepDep filter (nil keeps everything).
@@ -52,6 +57,7 @@ func (o SolveOptions) repairOptions(fixed map[string]bool) repair.Options {
 		MaxDelta:    o.MaxDelta,
 		MaxRepairs:  o.MaxRepairs,
 		Parallelism: o.Parallelism,
+		NoLocalize:  o.NoLocalize,
 	}
 }
 
@@ -160,18 +166,32 @@ func SolutionsFor(s *System, id PeerID, opt SolveOptions) ([]*relation.Instance,
 	return dedupSorted(out), nil
 }
 
+// dedupSorted de-duplicates instances by canonical key and sorts them,
+// rendering each key exactly once (the comparator reuses the rendered
+// keys — Instance.Key walks the whole instance, so recomputing it per
+// comparison would dominate large solution sets).
 func dedupSorted(insts []*relation.Instance) []*relation.Instance {
 	seen := map[string]bool{}
 	var out []*relation.Instance
+	var keys []string
 	for _, in := range insts {
 		k := in.Key()
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, in)
+			keys = append(keys, k)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
-	return out
+	order := make([]int, len(out))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	sorted := make([]*relation.Instance, len(out))
+	for i, j := range order {
+		sorted[i] = out[j]
+	}
+	return sorted
 }
 
 // ErrNoSolutions is returned when a peer admits no solution (e.g. a

@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -144,16 +145,27 @@ type relData struct {
 	sorted    []Tuple                // sorted by Tuple.Key; read-only once built
 	sortedIDs []idTuple              // id tuples aligned with sorted
 	cols      []map[symtab.Sym][]int // column -> value id -> indices into sorted
+	// gen counts the mutations of the relation; hash is the cached
+	// content fingerprint, valid when hashGen == gen (hashGen starts
+	// behind gen so the zero value is invalid). Fingerprint composition
+	// (slice.DataFingerprint) reuses the cached hash of every relation
+	// whose generation did not move instead of rehashing each tuple per
+	// query.
+	gen     uint64
+	hash    uint64
+	hashGen uint64
 }
 
-func newRelData() *relData { return &relData{tuples: make(map[string]idTuple)} }
+func newRelData() *relData { return &relData{tuples: make(map[string]idTuple), gen: 1} }
 
-// invalidate drops the read caches after a mutation.
+// invalidate drops the read caches after a mutation and advances the
+// relation's generation.
 func (r *relData) invalidate() {
 	r.mu.Lock()
 	r.sorted = nil
 	r.sortedIDs = nil
 	r.cols = nil
+	r.gen++
 	r.mu.Unlock()
 }
 
@@ -486,6 +498,62 @@ func (in *Instance) MatchingTuples(pat term.Atom) []Tuple {
 	return out
 }
 
+// RelGen returns the mutation generation of a relation: a counter that
+// advances on every insert or delete touching the relation. It exists
+// so callers can key caches on "has this relation changed" without
+// hashing its content; 0 means the relation was never stored.
+func (in *Instance) RelGen(rel string) uint64 {
+	r, ok := in.rels[rel]
+	if !ok {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// RelHash returns an FNV-64a fingerprint of the relation's content (its
+// canonical sorted tuple keys). The hash is cached per relation and
+// keyed by the relation's generation, so repeated fingerprinting of an
+// unchanged relation costs a map probe instead of a rehash of every
+// tuple; mutations invalidate only the touched relation's entry. An
+// absent or empty relation hashes to the same (offset-basis) value.
+func (in *Instance) RelHash(rel string) uint64 {
+	r, ok := in.rels[rel]
+	if !ok {
+		return fnv64Offset
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hashGen == r.gen {
+		return r.hash
+	}
+	in.buildSorted(r)
+	h := uint64(fnv64Offset)
+	for _, t := range r.sorted {
+		for i := range t {
+			if i > 0 {
+				h = fnv64Step(h, '\x1f')
+			}
+			for j := 0; j < len(t[i]); j++ {
+				h = fnv64Step(h, t[i][j])
+			}
+		}
+		h = fnv64Step(h, '\x01')
+	}
+	r.hash, r.hashGen = h, r.gen
+	return h
+}
+
+// FNV-64a, inlined so the per-relation hash cache does not allocate a
+// hash.Hash64 per probe.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+func fnv64Step(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnv64Prime }
+
 // Count returns the number of tuples in a relation.
 func (in *Instance) Count(rel string) int {
 	if r, ok := in.rels[rel]; ok {
@@ -532,6 +600,7 @@ func (in *Instance) Clone() *Instance {
 		}
 		r.mu.Lock()
 		cr.sorted, cr.sortedIDs, cr.cols = r.sorted, r.sortedIDs, r.cols
+		cr.gen, cr.hash, cr.hashGen = r.gen, r.hash, r.hashGen
 		r.mu.Unlock()
 		c.rels[rel] = cr
 	}
@@ -590,6 +659,7 @@ func (in *Instance) restrict(keep func(string) bool) *Instance {
 		// share the read caches like Clone does.
 		rd.mu.Lock()
 		cr.sorted, cr.sortedIDs, cr.cols = rd.sorted, rd.sortedIDs, rd.cols
+		cr.gen, cr.hash, cr.hashGen = rd.gen, rd.hash, rd.hashGen
 		rd.mu.Unlock()
 		r.rels[rel] = cr
 	}
@@ -698,6 +768,29 @@ func (f Fact) String() string { return f.Rel + f.Tuple.String() }
 
 // Key returns the canonical key for the fact.
 func (f Fact) Key() string { return f.Rel + "\x1e" + f.Tuple.Key() }
+
+// IDKey returns an unambiguous canonical key for the fact: the
+// relation, the tuple's arity and the joined values. Unlike Key, an
+// arity-0 fact and an arity-1 fact with an empty-string value encode
+// differently, so the repair engine can invert the encoding faithfully
+// (ParseFactIDKey) when it materializes composed repairs from interned
+// fact-id deltas.
+func (f Fact) IDKey() string {
+	return f.Rel + "\x1e" + strconv.Itoa(len(f.Tuple)) + "\x1e" + f.Tuple.Key()
+}
+
+// ParseFactIDKey inverts Fact.IDKey. The separators (\x1e, \x1f) cannot
+// occur in constants produced by the parsers, so the round-trip is
+// exact.
+func ParseFactIDKey(key string) Fact {
+	rel, rest, _ := strings.Cut(key, "\x1e")
+	arityStr, vals, _ := strings.Cut(rest, "\x1e")
+	arity, _ := strconv.Atoi(arityStr)
+	if arity <= 0 {
+		return Fact{Rel: rel, Tuple: Tuple{}}
+	}
+	return Fact{Rel: rel, Tuple: Tuple(strings.SplitN(vals, "\x1f", arity))}
+}
 
 // SymDiff computes the symmetric difference Δ(r1,r2) of Definition 1:
 // the facts in r1 but not r2, and the facts in r2 but not r1. When both

@@ -216,3 +216,46 @@ func TestStringRendering(t *testing.T) {
 		t.Fatalf("Fact.String = %q", got)
 	}
 }
+
+func TestParseFactIDKeyRoundTrip(t *testing.T) {
+	for _, f := range []Fact{
+		{Rel: "r1", Tuple: Tuple{"a", "b"}},
+		{Rel: "r", Tuple: Tuple{"x"}},
+		{Rel: "wide", Tuple: Tuple{"1", "2", "3", "4"}},
+		{Rel: "p", Tuple: Tuple{}},
+		// The arity prefix disambiguates the cases Fact.Key cannot:
+		// empty-string constants vs lower arities.
+		{Rel: "p", Tuple: Tuple{""}},
+		{Rel: "p", Tuple: Tuple{"", ""}},
+		{Rel: "p", Tuple: Tuple{"a,b", "c"}},
+	} {
+		got := ParseFactIDKey(f.IDKey())
+		if got.Rel != f.Rel || !got.Tuple.Equal(f.Tuple) {
+			t.Fatalf("round-trip of %#v gave %#v", f, got)
+		}
+	}
+}
+
+func TestRelGenAdvancesOnMutation(t *testing.T) {
+	in := NewInstance()
+	if in.RelGen("r") != 0 {
+		t.Fatal("unknown relation must report generation 0")
+	}
+	in.Insert("r", Tuple{"a"})
+	g1 := in.RelGen("r")
+	if g1 == 0 {
+		t.Fatal("stored relation must report a nonzero generation")
+	}
+	in.Insert("r", Tuple{"a"}) // duplicate: no mutation
+	if in.RelGen("r") != g1 {
+		t.Fatal("duplicate insert must not advance the generation")
+	}
+	in.Delete("r", Tuple{"missing"}) // absent: no mutation
+	if in.RelGen("r") != g1 {
+		t.Fatal("no-op delete must not advance the generation")
+	}
+	in.Delete("r", Tuple{"a"})
+	if in.RelGen("r") == g1 {
+		t.Fatal("delete must advance the generation")
+	}
+}

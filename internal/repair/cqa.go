@@ -17,8 +17,29 @@ import (
 // fanned out across Options.Parallelism workers; the intersection is
 // order-independent, so the result does not depend on the degree of
 // parallelism.
+//
+// When the conflict-localized engine applies (localize.go) and the
+// query's relations intersect the deltas of at most one conflict
+// component, the intersection is evaluated over that component's
+// repairs alone: repairs of the other components agree with it on every
+// relation the (domain-independent) query can observe, so the 2^k
+// cross-product of scattered conflicts is never materialized.
 func ConsistentAnswers(inst *relation.Instance, deps []*constraint.Dependency, q foquery.Formula, vars []string, opt Options) ([]relation.Tuple, error) {
-	reps, err := Repairs(inst, deps, opt)
+	for _, d := range deps {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if opt.MaxDelta == 0 {
+		opt.MaxDelta = inst.Size() + 64
+	}
+	if pl, ok := tryLocalize(inst, deps, opt); ok {
+		if ans, done, err := pl.localizedAnswers(q, vars, opt); done {
+			return ans, err
+		}
+		return IntersectAnswersOpt(pl.materialize(opt), q, vars, opt)
+	}
+	reps, err := globalRepairs(inst, deps, opt)
 	if err != nil && err != ErrBound {
 		return nil, err
 	}
@@ -28,6 +49,73 @@ func ConsistentAnswers(inst *relation.Instance, deps []*constraint.Dependency, q
 		return nil, err
 	}
 	return ans, boundErr
+}
+
+// localizedAnswers evaluates the consistent answers per component when
+// that is exact: the query must be domain-independent by construction
+// (only atoms and positive boolean structure, so evaluation never
+// consults the active domain) and its predicates must intersect the
+// repair deltas of at most one component. done reports whether the
+// answers were produced this way; on false the caller materializes the
+// composed repair set.
+func (pl *localPlan) localizedAnswers(q foquery.Formula, vars []string, opt Options) ([]relation.Tuple, bool, error) {
+	if !domainFreeQuery(q) {
+		return nil, false, nil
+	}
+	for _, c := range pl.comps {
+		if len(c.deltas) == 0 {
+			// No repairs at all: the intersection over an empty repair
+			// set is empty, exactly as IntersectAnswers reports it.
+			return nil, true, nil
+		}
+	}
+	var touched *component
+	for _, c := range pl.comps {
+		for _, p := range foquery.Preds(q) {
+			if c.deltaPreds[p] {
+				if touched != nil && touched != c {
+					return nil, false, nil // query spans two components
+				}
+				touched = c
+			}
+		}
+	}
+	if touched == nil {
+		// Every repair agrees with the original instance on the query's
+		// relations.
+		ans, err := IntersectAnswersOpt([]*relation.Instance{pl.orig}, q, vars, opt)
+		return ans, true, err
+	}
+	ans, err := IntersectAnswersOpt(touched.insts, q, vars, opt)
+	return ans, true, err
+}
+
+// domainFreeQuery reports whether evaluating the formula can never
+// consult the active domain: only positive atoms under conjunction and
+// disjunction qualify (every such subformula is a generator, so the
+// evaluator's domain-enumeration fallback is unreachable). Negation,
+// quantifiers, implications and comparisons all may observe constants
+// of relations outside the query's predicates.
+func domainFreeQuery(f foquery.Formula) bool {
+	switch g := f.(type) {
+	case foquery.Atom:
+		return true
+	case foquery.And:
+		for _, h := range g.Fs {
+			if !domainFreeQuery(h) {
+				return false
+			}
+		}
+		return true
+	case foquery.Or:
+		for _, h := range g.Fs {
+			if !domainFreeQuery(h) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // IntersectAnswers evaluates the query on each instance and returns

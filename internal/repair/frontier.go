@@ -34,6 +34,13 @@ type frontier struct {
 	// foundDelta holds the sorted fact-id deltas of the consistent
 	// states found so far, in discovery order.
 	foundDelta [][]symtab.Sym
+	// noSubsume disables check 2 entirely (visited-only pruning). The
+	// per-component searches of the conflict-localized engine run this
+	// way: their bound-exactness argument needs every reachable
+	// component delta generated, because the global engine can wander
+	// through states whose component projection a subsumption prune
+	// would have skipped (see localize.go).
+	noSubsume bool
 }
 
 func newFrontier() *frontier {
@@ -59,7 +66,7 @@ func (f *frontier) admit(delta []symtab.Sym) bool {
 		return false
 	}
 	sh[key] = true
-	return !f.subsumed(delta)
+	return f.noSubsume || !f.subsumed(delta)
 }
 
 // subsumed reports whether delta strictly contains an already-found
@@ -74,7 +81,10 @@ func (f *frontier) subsumed(delta []symtab.Sym) bool {
 }
 
 // recordFound adds the delta of a newly found consistent state to the
-// subsumption set.
+// subsumption set (a no-op when subsumption is disabled).
 func (f *frontier) recordFound(delta []symtab.Sym) {
+	if f.noSubsume {
+		return
+	}
 	f.foundDelta = append(f.foundDelta, delta)
 }

@@ -40,7 +40,7 @@ func TestMinimalByDeltaLargeCandidateSet(t *testing.T) {
 		mk(id(i)) // duplicate of a minimal delta: deduplicated
 	}
 
-	min := minimalByDelta(insts, deltas)
+	min, _ := minimalByDelta(insts, deltas)
 	if len(min) != n {
 		t.Fatalf("minimalByDelta kept %d candidates, want %d", len(min), n)
 	}

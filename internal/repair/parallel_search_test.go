@@ -140,7 +140,7 @@ func TestChildDeltaMatchesSymDiff(t *testing.T) {
 			want := relation.SymDiff(orig, cur)
 			wantKeys := make([]string, len(want))
 			for i, wf := range want {
-				wantKeys[i] = wf.Key()
+				wantKeys[i] = wf.IDKey()
 			}
 			sort.Strings(wantKeys)
 			gotKeys := make([]string, len(delta))

@@ -58,6 +58,13 @@ type Options struct {
 	// merging happen on the coordinating goroutine in canonical order,
 	// parallelism only spreads the per-state expansion work.
 	Parallelism int
+	// NoLocalize disables the conflict-localized engine (localize.go):
+	// the search then always runs as one global wave search, the seed
+	// behaviour. Localization is an optimization, applied only when it
+	// is provably exact, so the two settings return byte-identical
+	// results; the flag exists for A/B measurement and the equivalence
+	// tests.
+	NoLocalize bool
 }
 
 // ErrBound reports that the search hit Options.MaxDelta and the set of
@@ -79,6 +86,21 @@ type searcher struct {
 	found      []*relation.Instance
 	foundDelta [][]symtab.Sym
 	hitBound   bool
+	// maxDeltaSeen is the largest delta size of any state the search
+	// generated (admitted or not). The conflict-localized engine sums it
+	// across components to prove the global engine could not have hit
+	// Options.MaxDelta (see localize.go).
+	maxDeltaSeen int
+
+	// Component-search mode (nil on the global path): depIdx drives
+	// incremental violation checking — after an action only the
+	// dependencies whose predicates intersect the touched facts are
+	// re-checked, against the violation lists carried on the node —
+	// and skip hides the frozen root violations of the other conflict
+	// components (keyed per dependency by Violation.Key).
+	depIdx   *constraint.DepIndex
+	skip     []map[string]bool
+	rootVios [][]constraint.Violation
 }
 
 // node is one state of the search, identified by its sorted fact-id
@@ -91,6 +113,12 @@ type node struct {
 	parent *relation.Instance
 	act    action
 	root   bool
+	// vios is the parent state's per-dependency violation lists
+	// (component-search mode only, indexed like searcher.deps). The
+	// expansion derives the node's own lists from them by re-checking
+	// just the dependencies the action's predicates touch; unchanged
+	// lists are shared, never copied.
+	vios [][]constraint.Violation
 }
 
 // expansion is the outcome of expanding one admitted node.
@@ -123,23 +151,56 @@ func Repairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options
 	if opt.MaxDelta == 0 {
 		opt.MaxDelta = inst.Size() + 64
 	}
+	if pl, ok := tryLocalize(inst, deps, opt); ok {
+		return pl.materialize(opt), nil
+	}
+	return globalRepairs(inst, deps, opt)
+}
+
+// globalRepairs is the single global wave search (the seed semantics);
+// the conflict-localized engine falls back to it whenever localization
+// cannot be proven exact.
+func globalRepairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options) ([]*relation.Instance, error) {
 	s := &searcher{orig: inst, deps: deps, opt: opt, facts: symtab.New(), front: newFrontier()}
 	if err := s.run(); err != nil {
 		return nil, err
 	}
-	min := minimalByDelta(s.found, s.foundDelta)
-	sort.Slice(min, func(i, j int) bool { return min[i].Key() < min[j].Key() })
+	min, _ := minimalByDelta(s.found, s.foundDelta)
+	sortByKey(min, s.opt.Parallelism)
 	if s.hitBound {
 		return min, ErrBound
 	}
 	return min, nil
 }
 
+// sortByKey sorts instances by their canonical key, rendering each key
+// exactly once (Instance.Key walks the whole instance, so a comparator
+// calling it directly would pay that walk O(n log n) times — the
+// dominant cost of returning thousands of composed repairs). The
+// renders fan out over the worker pool; the sort itself is sequential
+// and deterministic.
+func sortByKey(insts []*relation.Instance, parallelism int) {
+	keys := make([]string, len(insts))
+	parallel.Run(len(insts), parallel.Workers(parallelism), func(i int) {
+		keys[i] = insts[i].Key()
+	})
+	order := make([]int, len(insts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	sorted := make([]*relation.Instance, len(insts))
+	for i, j := range order {
+		sorted[i] = insts[j]
+	}
+	copy(insts, sorted)
+}
+
 // run is the wave loop. Admission (frontier pruning) and merging run on
 // the calling goroutine in canonical order; only the expansion of the
 // admitted states of one wave fans out.
 func (s *searcher) run() error {
-	pending := []node{{root: true}}
+	pending := []node{{root: true, vios: s.rootVios}}
 	var admitted []node
 	workers := parallel.Workers(s.opt.Parallelism)
 	for len(pending) > 0 {
@@ -180,6 +241,11 @@ func (s *searcher) run() error {
 			case ev.atBound:
 				s.hitBound = true
 			default:
+				for _, c := range ev.children {
+					if len(c.delta) > s.maxDeltaSeen {
+						s.maxDeltaSeen = len(c.delta)
+					}
+				}
 				pending = append(pending, ev.children...)
 			}
 		}
@@ -200,9 +266,32 @@ func (s *searcher) expand(nd node) (expansion, error) {
 		cur = nd.parent.Clone()
 		nd.act.apply(cur)
 	}
-	v, err := constraint.FirstViolation(cur, s.deps)
-	if err != nil {
-		return expansion{}, err
+	var v *constraint.Violation
+	var vios [][]constraint.Violation
+	var err error
+	if s.depIdx != nil {
+		// Component mode: derive the node's violation lists from the
+		// parent's by re-checking only the touched dependencies, then
+		// pick the first remaining violation (dependency order, match
+		// order — the order FirstViolation would use).
+		vios = nd.vios
+		if !nd.root {
+			vios, err = s.recheck(nd.vios, nd.act, cur)
+			if err != nil {
+				return expansion{}, err
+			}
+		}
+		for i := range vios {
+			if len(vios[i]) > 0 {
+				v = &vios[i][0]
+				break
+			}
+		}
+	} else {
+		v, err = constraint.FirstViolation(cur, s.deps)
+		if err != nil {
+			return expansion{}, err
+		}
 	}
 	if v == nil {
 		return expansion{inst: cur, consistent: true}, nil
@@ -216,9 +305,48 @@ func (s *searcher) expand(nd node) (expansion, error) {
 	}
 	children := make([]node, 0, len(acts))
 	for _, a := range acts {
-		children = append(children, node{delta: s.childDelta(nd.delta, a), parent: cur, act: a})
+		children = append(children, node{delta: s.childDelta(nd.delta, a), parent: cur, act: a, vios: vios})
 	}
 	return expansion{children: children}, nil
+}
+
+// recheck derives a state's per-dependency violation lists from its
+// parent's after an action: a dependency's violations depend only on
+// the facts of the predicates it mentions, so only the dependencies
+// indexed under the action's touched predicates are recomputed (against
+// the current instance, minus the frozen violations of the other
+// conflict components); every other list is shared with the parent.
+func (s *searcher) recheck(parent [][]constraint.Violation, act action, cur *relation.Instance) ([][]constraint.Violation, error) {
+	preds := make([]string, 0, len(act.deletes)+len(act.inserts))
+	seen := map[string]bool{}
+	for _, f := range act.deletes {
+		if !seen[f.Rel] {
+			seen[f.Rel] = true
+			preds = append(preds, f.Rel)
+		}
+	}
+	for _, f := range act.inserts {
+		if !seen[f.Rel] {
+			seen[f.Rel] = true
+			preds = append(preds, f.Rel)
+		}
+	}
+	out := make([][]constraint.Violation, len(parent))
+	copy(out, parent)
+	for _, i := range s.depIdx.Affected(preds) {
+		vs, err := s.deps[i].Violations(cur)
+		if err != nil {
+			return nil, err
+		}
+		kept := vs[:0]
+		for _, v := range vs {
+			if !s.skip[i][v.Key()] {
+				kept = append(kept, v)
+			}
+		}
+		out[i] = kept
+	}
+	return out, nil
 }
 
 // childDelta derives a child state's sorted fact-id delta from its
@@ -229,10 +357,10 @@ func (s *searcher) expand(nd node) (expansion, error) {
 func (s *searcher) childDelta(parent []symtab.Sym, a action) []symtab.Sym {
 	toggles := make([]symtab.Sym, 0, len(a.deletes)+len(a.inserts))
 	for _, f := range a.deletes {
-		toggles = append(toggles, s.facts.Intern(f.Key()))
+		toggles = append(toggles, s.facts.Intern(f.IDKey()))
 	}
 	for _, f := range a.inserts {
-		toggles = append(toggles, s.facts.Intern(f.Key()))
+		toggles = append(toggles, s.facts.Intern(f.IDKey()))
 	}
 	sort.Slice(toggles, func(i, j int) bool { return toggles[i] < toggles[j] })
 	// An action may name the same fact twice (two head atoms grounding
@@ -318,20 +446,26 @@ func (s *searcher) actions(cur *relation.Instance, v *constraint.Violation) ([]a
 // hold. Head atoms over fixed predicates must be matched against
 // existing tuples (they cannot be created), binding their variables;
 // remaining unbound existential variables enumerate the active domain.
+// Backtracking runs on one substitution with a binding trail
+// (term.MatchTrail/UnbindTrail) — only accepted witnesses are cloned —
+// and the active domain is only rendered for dependencies that still
+// have unbound existential variables after the fixed-atom join.
 func (s *searcher) witnesses(cur *relation.Instance, d *constraint.Dependency, base term.Subst) ([]term.Subst, error) {
 	// Order head atoms: fixed predicates first (they constrain).
-	var fixedAtoms, mutAtoms []term.Atom
+	var fixedAtoms []term.Atom
 	for _, ha := range d.Head {
 		if s.opt.Fixed[ha.Pred] {
 			fixedAtoms = append(fixedAtoms, ha)
-		} else {
-			mutAtoms = append(mutAtoms, ha)
 		}
 	}
-	dom := cur.ActiveDomain()
+	var dom []string
+	domReady := false
+	sub := base.Clone()
+	var trail []string
+	var argsBuf []term.Term
 	var out []term.Subst
-	var matchFixed func(i int, sub term.Subst) error
-	matchFixed = func(i int, sub term.Subst) error {
+	var matchFixed func(i int) error
+	matchFixed = func(i int) error {
 		if i == len(fixedAtoms) {
 			// Enumerate any still-unbound existential variables.
 			var unbound []string
@@ -340,8 +474,11 @@ func (s *searcher) witnesses(cur *relation.Instance, d *constraint.Dependency, b
 					unbound = append(unbound, v)
 				}
 			}
-			var enum func(j int, sub term.Subst) error
-			enum = func(j int, sub term.Subst) error {
+			if len(unbound) > 0 && !domReady {
+				dom, domReady = cur.ActiveDomain(), true
+			}
+			var enum func(j int) error
+			enum = func(j int) error {
 				if j == len(unbound) {
 					for _, c := range d.HeadEq {
 						ok, err := c.Eval(sub)
@@ -356,51 +493,54 @@ func (s *searcher) witnesses(cur *relation.Instance, d *constraint.Dependency, b
 					return nil
 				}
 				for _, c := range dom {
-					s2 := sub.Clone()
-					s2[unbound[j]] = term.C(c)
-					if err := enum(j+1, s2); err != nil {
+					sub[unbound[j]] = term.C(c)
+					if err := enum(j + 1); err != nil {
 						return err
 					}
 				}
+				delete(sub, unbound[j])
 				return nil
 			}
-			return enum(0, sub)
+			return enum(0)
 		}
 		// Indexed join: candidates for the fixed head atom come from the
 		// per-column indexes instead of a full relation scan.
 		pat := sub.Apply(fixedAtoms[i])
 		fact := term.Atom{Pred: pat.Pred}
 		for _, tup := range cur.MatchingTuples(pat) {
-			fact.Args = term.ConstArgs(fact.Args[:0], tup)
-			s2 := sub.Clone()
-			if term.Match(pat, fact, s2) {
-				if err := matchFixed(i+1, s2); err != nil {
+			mark := len(trail)
+			argsBuf = term.ConstArgs(argsBuf[:0], tup)
+			fact.Args = argsBuf
+			if term.MatchTrail(pat, fact, sub, &trail) {
+				if err := matchFixed(i + 1); err != nil {
 					return err
 				}
 			}
+			trail = term.UnbindTrail(sub, trail, mark)
 		}
 		return nil
 	}
-	if err := matchFixed(0, base.Clone()); err != nil {
+	if err := matchFixed(0); err != nil {
 		return nil, err
 	}
-	_ = mutAtoms
 	return out, nil
 }
 
 // minimalByDelta filters instances whose delta (vs the original) is
-// ⊆-minimal. Deltas are sorted fact-id sets: candidates are examined in
+// ⊆-minimal, returning the kept instances and the indices they were
+// kept from. Deltas are sorted fact-id sets: candidates are examined in
 // ascending delta size, so each instance is only compared against the
 // strictly smaller deltas before it and each comparison is a linear
 // merge walk instead of a string-keyed map probe — the seed's quadratic
 // map-probing collapse point for large candidate sets.
-func minimalByDelta(insts []*relation.Instance, deltas [][]symtab.Sym) []*relation.Instance {
+func minimalByDelta(insts []*relation.Instance, deltas [][]symtab.Sym) ([]*relation.Instance, []int) {
 	order := make([]int, len(insts))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return len(deltas[order[a]]) < len(deltas[order[b]]) })
 	var out []*relation.Instance
+	var kept []int
 	seen := make(map[string]bool)
 	for oi, i := range order {
 		minimal := true
@@ -415,10 +555,11 @@ func minimalByDelta(insts []*relation.Instance, deltas [][]symtab.Sym) []*relati
 			if !seen[k] {
 				seen[k] = true
 				out = append(out, insts[i])
+				kept = append(kept, i)
 			}
 		}
 	}
-	return out
+	return out, kept
 }
 
 func atomFact(a term.Atom) relation.Fact {

@@ -1,6 +1,7 @@
 package slice
 
 import (
+	"container/list"
 	"strings"
 	"sync"
 
@@ -12,28 +13,36 @@ import (
 // of the relevant relations, so entries never need invalidation — an
 // update to a relevant relation changes the fingerprint (a miss, fresh
 // computation), while an update to an irrelevant relation leaves the
-// key unchanged (a hit, no re-grounding). The cache is safe for
+// key unchanged (a hit, no re-grounding). Eviction is per-entry LRU:
+// when the cache is full, storing a new entry drops only the least
+// recently used one, so the hot keys of a steady query mix survive
+// overflow instead of being wiped wholesale. The cache is safe for
 // concurrent use.
 type AnswerCache struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string][]relation.Tuple
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
 	hits    int64
 	misses  int64
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	ans []relation.Tuple
 }
 
 // DefaultAnswerCacheSize bounds an AnswerCache built with max <= 0.
 const DefaultAnswerCacheSize = 1024
 
 // NewAnswerCache creates a cache holding up to max entries (<= 0 means
-// DefaultAnswerCacheSize). When the bound is exceeded the cache is
-// cleared wholesale: keys are content hashes with no useful recency
-// structure, and a full rebuild is exactly one answering pass.
+// DefaultAnswerCacheSize).
 func NewAnswerCache(max int) *AnswerCache {
 	if max <= 0 {
 		max = DefaultAnswerCacheSize
 	}
-	return &AnswerCache{max: max, entries: map[string][]relation.Tuple{}}
+	return &AnswerCache{max: max, entries: map[string]*list.Element{}, order: list.New()}
 }
 
 // AnswerKey builds the canonical cache key for a query posed to a peer
@@ -43,30 +52,50 @@ func AnswerKey(query string, vars []string, sl *Slice, fingerprint string) strin
 	return strings.Join([]string{query, strings.Join(vars, ","), sl.Signature, fingerprint}, "\x00")
 }
 
-// Get returns a deep copy of the cached answers for the key: a caller
-// mutating a returned tuple in place cannot poison the cache entry.
+// Get returns a deep copy of the cached answers for the key and marks
+// the entry most recently used: a caller mutating a returned tuple in
+// place cannot poison the cache entry.
 func (c *AnswerCache) Get(key string) ([]relation.Tuple, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ans, ok := c.entries[key]
+	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
 	c.hits++
-	return cloneTuples(ans), true
+	c.order.MoveToFront(el)
+	return cloneTuples(el.Value.(*cacheEntry).ans), true
 }
 
-// Put stores a deep copy of the answers under the key; the caller
-// keeps ownership of ans.
+// Put stores a deep copy of the answers under the key, evicting the
+// least recently used entry if the cache is full; the caller keeps
+// ownership of ans.
 func (c *AnswerCache) Put(key string, ans []relation.Tuple) {
 	cp := cloneTuples(ans)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.entries) >= c.max {
-		c.entries = map[string][]relation.Tuple{}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).ans = cp
+		c.order.MoveToFront(el)
+		return
 	}
-	c.entries[key] = cp
+	for len(c.entries) >= c.max {
+		last := c.order.Back()
+		if last == nil {
+			break
+		}
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, ans: cp})
+}
+
+// Len returns the number of cached entries.
+func (c *AnswerCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }
 
 func cloneTuples(ans []relation.Tuple) []relation.Tuple {

@@ -1,0 +1,143 @@
+package slice
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/relation"
+)
+
+// TestAnswerCacheLRUHotEntriesSurviveOverflow: overflowing the cache
+// evicts only the least recently used entries; a key kept hot by Gets
+// survives arbitrarily many insertions past the bound.
+func TestAnswerCacheLRUHotEntriesSurviveOverflow(t *testing.T) {
+	c := NewAnswerCache(4)
+	hot := "hot"
+	c.Put(hot, []relation.Tuple{{"h"}})
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("cold%d", i), []relation.Tuple{{fmt.Sprint(i)}})
+		if _, ok := c.Get(hot); !ok {
+			t.Fatalf("hot entry evicted after %d cold insertions", i+1)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache holds %d entries, want the bound 4", c.Len())
+	}
+	// The most recent cold keys survive, the oldest are gone.
+	if _, ok := c.Get("cold19"); !ok {
+		t.Fatal("most recent cold entry should survive")
+	}
+	if _, ok := c.Get("cold0"); ok {
+		t.Fatal("oldest cold entry should have been evicted")
+	}
+}
+
+// TestAnswerCacheLRUUpdateRefreshes: re-putting an existing key
+// replaces its value and makes it most recently used.
+func TestAnswerCacheLRUUpdateRefreshes(t *testing.T) {
+	c := NewAnswerCache(2)
+	c.Put("a", []relation.Tuple{{"1"}})
+	c.Put("b", []relation.Tuple{{"2"}})
+	c.Put("a", []relation.Tuple{{"3"}}) // refresh a: b becomes LRU
+	c.Put("c", []relation.Tuple{{"4"}}) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should be evicted")
+	}
+	got, ok := c.Get("a")
+	if !ok || len(got) != 1 || got[0][0] != "3" {
+		t.Fatalf("a = %v, want refreshed value", got)
+	}
+}
+
+// TestAnswerCacheCopies: cached answers are isolated from caller
+// mutations in both directions.
+func TestAnswerCacheCopies(t *testing.T) {
+	c := NewAnswerCache(0)
+	orig := []relation.Tuple{{"x", "y"}}
+	c.Put("k", orig)
+	orig[0][0] = "mutated"
+	got, _ := c.Get("k")
+	if got[0][0] != "x" {
+		t.Fatal("Put must deep-copy")
+	}
+	got[0][1] = "mutated"
+	got2, _ := c.Get("k")
+	if got2[0][1] != "y" {
+		t.Fatal("Get must deep-copy")
+	}
+}
+
+// TestDataFingerprintIncremental: the fingerprint is served from cached
+// per-relation hashes — repeated fingerprinting leaves every relation
+// generation untouched, a relevant update changes the fingerprint, and
+// an irrelevant one does not.
+func TestDataFingerprintIncremental(t *testing.T) {
+	sys := twoPeerSystem(t)
+	sl, err := ForQuery(sys, "P", foquery.MustParse("a1(X,Y)"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := DataFingerprint(sys, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := sys.Peer(core.PeerID("P"))
+	gen := p.Inst.RelGen("a1")
+	fp2, err := DataFingerprint(sys, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprint unstable: %s vs %s", fp1, fp2)
+	}
+	if p.Inst.RelGen("a1") != gen {
+		t.Fatal("fingerprinting must not advance relation generations")
+	}
+	// Relevant update: generation moves, fingerprint changes.
+	p.Fact("a1", "new", "tuple")
+	if p.Inst.RelGen("a1") == gen {
+		t.Fatal("mutation must advance the relation generation")
+	}
+	fp3, err := DataFingerprint(sys, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == fp1 {
+		t.Fatal("relevant update must change the fingerprint")
+	}
+}
+
+// TestRelHashCachedPerRelation: hashing twice returns the same value
+// without rebuilding (generation-keyed), and a mutation of one relation
+// leaves the other relation's cached hash valid.
+func TestRelHashCachedPerRelation(t *testing.T) {
+	in := relation.NewInstance()
+	in.Insert("a", relation.Tuple{"1", "2"})
+	in.Insert("b", relation.Tuple{"3", "4"})
+	ha, hb := in.RelHash("a"), in.RelHash("b")
+	if in.RelHash("a") != ha || in.RelHash("b") != hb {
+		t.Fatal("cached hashes must be stable")
+	}
+	in.Insert("a", relation.Tuple{"5", "6"})
+	if in.RelHash("a") == ha {
+		t.Fatal("mutating a must change a's hash")
+	}
+	if in.RelHash("b") != hb {
+		t.Fatal("mutating a must not change b's hash")
+	}
+	// Content equality implies hash equality regardless of history.
+	other := relation.NewInstance()
+	other.Insert("b", relation.Tuple{"3", "4"})
+	if other.RelHash("b") != hb {
+		t.Fatal("equal content must hash equally")
+	}
+}
+
+func twoPeerSystem(t *testing.T) *core.System {
+	t.Helper()
+	p := core.NewPeer("P").Declare("a1", 2).Fact("a1", "x", "y")
+	q := core.NewPeer("Q").Declare("b1", 2).Fact("b1", "u", "v")
+	return core.NewSystem().MustAddPeer(p).MustAddPeer(q)
+}

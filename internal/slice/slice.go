@@ -41,6 +41,7 @@
 package slice
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -378,14 +379,20 @@ func signature(sl *Slice) string {
 	return b.String()
 }
 
-// DataFingerprint hashes the content of the slice's relations — the
-// canonical sorted tuples of each relevant relation, read off the
-// owning peers' instances. Two systems with the same fingerprint agree
-// on every relation the sliced pipeline can observe, so answers keyed
-// by (signature, fingerprint) stay valid across changes to irrelevant
-// relations.
+// DataFingerprint hashes the content of the slice's relations. Two
+// systems with the same fingerprint agree on every relation the sliced
+// pipeline can observe, so answers keyed by (signature, fingerprint)
+// stay valid across changes to irrelevant relations.
+//
+// The fingerprint is incremental: it composes the per-relation content
+// hashes cached on the owning instances (relation.Instance.RelHash,
+// keyed by the relation's mutation generation), so fingerprinting a
+// query over unchanged data costs one cached-hash probe per relevant
+// relation instead of rehashing every tuple per query; an update
+// re-hashes only the touched relation.
 func DataFingerprint(s *core.System, sl *Slice) (string, error) {
 	h := fnv.New64a()
+	var buf [8]byte
 	for _, rel := range sl.Rels {
 		owner, ok := s.Owner(rel)
 		if !ok {
@@ -394,10 +401,8 @@ func DataFingerprint(s *core.System, sl *Slice) (string, error) {
 		p, _ := s.Peer(owner)
 		h.Write([]byte(rel))
 		h.Write([]byte{0})
-		for _, t := range p.Inst.Tuples(rel) {
-			h.Write([]byte(t.Key()))
-			h.Write([]byte{1})
-		}
+		binary.BigEndian.PutUint64(buf[:], p.Inst.RelHash(rel))
+		h.Write(buf[:])
 		h.Write([]byte{2})
 	}
 	return fmt.Sprintf("%016x", h.Sum64()), nil

@@ -127,6 +127,36 @@ func IndependentConflicts(k int) *core.System {
 	return core.NewSystem().MustAddPeer(p1).MustAddPeer(p2)
 }
 
+// ScatteredConflicts builds a two-peer system with k independent
+// same-trust EGD conflicts scattered across k disjoint relation pairs:
+// peer A declares ra0..ra{k-1}, each holding cleanPerRel clean facts
+// plus one conflicting key, and peer B declares rb0..rb{k-1} with the
+// opposing value for that key. The peer has 2^k solutions, but the
+// conflicts are pairwise independent — no shared facts, no TGD
+// cascades — so the conflict-localized repair engine decomposes the
+// search into k trivial components and a query over a single relation
+// observes exactly one of them (benchmark B10); the global wave search
+// pays the full 2^k enumeration.
+func ScatteredConflicts(k, cleanPerRel int, seed int64) *core.System {
+	rng := rand.New(rand.NewSource(seed))
+	pa := core.NewPeer("A").SetTrust("B", core.TrustSame)
+	pb := core.NewPeer("B")
+	for i := 0; i < k; i++ {
+		ra := fmt.Sprintf("ra%d", i)
+		rb := fmt.Sprintf("rb%d", i)
+		pa.Declare(ra, 2)
+		pb.Declare(rb, 2)
+		pa.AddDEC("B", constraint.KeyEGD(fmt.Sprintf("egd%d", i), ra, rb))
+		for j := 0; j < cleanPerRel; j++ {
+			pa.Fact(ra, fmt.Sprintf("k%d_%d", i, j), val(rng))
+		}
+		key := fmt.Sprintf("c%d", i)
+		pa.Fact(ra, key, "u")
+		pb.Fact(rb, key, "v")
+	}
+	return core.NewSystem().MustAddPeer(pa).MustAddPeer(pb)
+}
+
 // WideUniverse builds an overlay whose query-relevant core is tiny
 // while the universe is wide — the workload where query-relevance
 // slicing (internal/slice) pays off. Root peer P0 declares q0 (the

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -140,5 +141,40 @@ func TestWideUniverseShape(t *testing.T) {
 	}
 	if len(sols) != 1 {
 		t.Fatalf("clean solutions = %d, want 1", len(sols))
+	}
+}
+
+func TestScatteredConflictsShape(t *testing.T) {
+	s := ScatteredConflicts(3, 4, 1)
+	sols, err := core.SolutionsFor(s, "A", core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 8 {
+		t.Fatalf("solutions = %d, want 2^3 = 8", len(sols))
+	}
+	// Every solution keeps the clean facts; the conflicts are resolved
+	// by deleting one side or the other.
+	for _, sol := range sols {
+		for i := 0; i < 3; i++ {
+			rel := fmt.Sprintf("ra%d", i)
+			if n := sol.Count(rel); n != 4 && n != 5 {
+				t.Fatalf("%s has %d tuples, want 4 (conflict deleted) or 5 (kept)", rel, n)
+			}
+		}
+	}
+	// Localized and global engines agree (the equivalence suite at the
+	// repo root stresses this further).
+	global, err := core.SolutionsFor(ScatteredConflicts(3, 4, 1), "A", core.SolveOptions{NoLocalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(global) != len(sols) {
+		t.Fatalf("localized %d vs global %d solutions", len(sols), len(global))
+	}
+	for i := range sols {
+		if !sols[i].Equal(global[i]) {
+			t.Fatalf("solution %d diverges", i)
+		}
 	}
 }

@@ -1,0 +1,131 @@
+// Conflict-localization equivalence tests: the conflict-localized
+// repair engine (internal/repair/localize.go) must return byte-identical
+// results to the global wave search — solutions, peer consistent
+// answers and possible answers, including error values — on the paper's
+// fixtures and on seeded workloads, at several parallelism levels, and
+// under MaxDelta (ErrBound) and MaxRepairs (truncation) stress.
+// Localization is gated to apply only when provably exact; these tests
+// enforce the gate.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/foquery"
+	"repro/internal/workload"
+)
+
+// localizedLevels is the parallelism sweep of the equivalence tests.
+var localizedLevels = []int{1, 4}
+
+// localizedFingerprint renders the repair-engine outputs for the triple
+// with localization on or off. Errors are part of the rendering: the
+// localized engine must fail exactly when the global one does.
+func localizedFingerprint(t *testing.T, build func() *core.System, id core.PeerID, query string, vars []string, opt core.SolveOptions) string {
+	t.Helper()
+	sys := build()
+	q, err := foquery.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	sols, err := core.SolutionsFor(sys, id, opt)
+	out += fmt.Sprintf("solutions err=%v\n", err)
+	for _, r := range sols {
+		out += fmt.Sprintf("solution %s\n", r.Key())
+	}
+	pca, err := core.PeerConsistentAnswers(sys, id, q, vars, opt)
+	out += fmt.Sprintf("pca err=%v tuples=%v\n", err, pca)
+	poss, err := core.PossibleAnswers(sys, id, q, vars, opt)
+	out += fmt.Sprintf("possible err=%v tuples=%v\n", err, poss)
+	return out
+}
+
+func requireLocalizedEquivalent(t *testing.T, name string, build func() *core.System, id core.PeerID, query string, vars []string, variants []core.SolveOptions) {
+	t.Helper()
+	for vi, base := range variants {
+		for _, par := range localizedLevels {
+			global, localized := base, base
+			global.NoLocalize, global.Parallelism = true, par
+			localized.NoLocalize, localized.Parallelism = false, par
+			want := localizedFingerprint(t, build, id, query, vars, global)
+			got := localizedFingerprint(t, build, id, query, vars, localized)
+			if want != got {
+				t.Fatalf("%s (variant %d, parallelism=%d): localized engine diverges:\n--- global ---\n%s--- localized ---\n%s",
+					name, vi, par, want, got)
+			}
+		}
+	}
+}
+
+// defaultVariants stresses the unbounded search plus ErrBound and
+// MaxRepairs truncation, which must fall back to (and so agree with)
+// the global engine.
+var defaultVariants = []core.SolveOptions{
+	{},
+	{MaxDelta: 2},
+	{MaxDelta: 4},
+	{MaxRepairs: 1},
+	{MaxRepairs: 3},
+}
+
+// TestLocalizedEquivalenceFixtures sweeps the paper's fixture systems.
+func TestLocalizedEquivalenceFixtures(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *core.System
+		peer  core.PeerID
+		query string
+		vars  []string
+	}{
+		{"Example1/P1", core.Example1System, "P1", "r1(X,Y)", []string{"X", "Y"}},
+		{"Section31/P", core.Section31System, "P", "r1(X,Y)", []string{"X", "Y"}},
+		{"Example4/P", core.Example4System, "P", "r1(X,Y)", []string{"X", "Y"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			requireLocalizedEquivalent(t, tc.name, tc.build, tc.peer, tc.query, tc.vars, defaultVariants)
+		})
+	}
+}
+
+// TestLocalizedEquivalenceSeededWorkloads sweeps generated systems over
+// 20 seeds and four generator shapes, including the scattered-conflict
+// workload the localized engine was built for.
+func TestLocalizedEquivalenceSeededWorkloads(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("example1shaped/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			build := func() *core.System {
+				return workload.Example1Shaped(2+int(seed%5), 1+int(seed%3), 1+int(seed%2), seed)
+			}
+			requireLocalizedEquivalent(t, t.Name(), build, "P1", "r1(X,Y)", []string{"X", "Y"}, defaultVariants)
+		})
+		t.Run(fmt.Sprintf("referential/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			build := func() *core.System {
+				return workload.ReferentialShaped(1+int(seed%2), 1+int(seed%2), int(seed%3), seed)
+			}
+			requireLocalizedEquivalent(t, t.Name(), build, "P", "r1(X,Y)", []string{"X", "Y"}, defaultVariants)
+		})
+		t.Run(fmt.Sprintf("independent/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			build := func() *core.System {
+				return workload.IndependentConflicts(1 + int(seed%5))
+			}
+			requireLocalizedEquivalent(t, t.Name(), build, "A", "ra(X,Y)", []string{"X", "Y"}, defaultVariants)
+		})
+		t.Run(fmt.Sprintf("scattered/seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			build := func() *core.System {
+				return workload.ScatteredConflicts(2+int(seed%4), 3+int(seed%4), seed)
+			}
+			requireLocalizedEquivalent(t, t.Name(), build, "A", "ra0(X,Y)", []string{"X", "Y"}, defaultVariants)
+		})
+	}
+}
