@@ -13,6 +13,7 @@ import (
 	"repro/internal/foquery"
 	"repro/internal/lp"
 	"repro/internal/lp/ground"
+	"repro/internal/peernet"
 	"repro/internal/program"
 	"repro/internal/repair"
 	"repro/internal/slice"
@@ -65,12 +66,19 @@ type gateResult struct {
 	// under the conflict-localized repair engine, k=8 (minimum over
 	// rounds).
 	B10LocalNS int64 `json:"b10_localized_scatter_ns"`
-	// B5Norm, B1Norm, B9Norm and B10Norm are the machine-independent
-	// gate metrics: bench time divided by calibration time.
+	// B11DelegNS is the B11 delegated answering pass on the delegation
+	// fanout workload over a zero-latency in-process overlay (minimum
+	// over rounds): the plan + fan-out + composition hot path, no
+	// network delay.
+	B11DelegNS int64 `json:"b11_delegated_fanout_ns"`
+	// B5Norm, B1Norm, B9Norm, B10Norm and B11Norm are the
+	// machine-independent gate metrics: bench time divided by
+	// calibration time.
 	B5Norm  float64 `json:"b5_norm"`
 	B1Norm  float64 `json:"b1_norm"`
 	B9Norm  float64 `json:"b9_norm"`
 	B10Norm float64 `json:"b10_norm"`
+	B11Norm float64 `json:"b11_norm"`
 }
 
 // calibrate runs a fixed workload with the same resource profile as
@@ -196,6 +204,44 @@ func runGateMeasure(par int) (*gateResult, error) {
 		return nil, err
 	}
 
+	// B11 delegated answering on the fanout workload over a zero-latency
+	// in-process overlay: spec snapshot, delegation plan, OpPCA fan-out
+	// and the composed solve (the delegated hot path without network
+	// delay). The overlay is deployed once; the measured path includes
+	// the delegates serving their (slice-keyed, warm after the first
+	// round) answer caches, matching a long-lived node's steady state.
+	s11 := workload.DelegationFanout(3, 20, 4, 40, 1)
+	ip11 := peernet.NewInProc()
+	nodes11 := map[core.PeerID]*peernet.Node{}
+	for _, id := range s11.Peers() {
+		p, _ := s11.Peer(id)
+		n := peernet.NewNode(p, ip11, nil)
+		n.Parallelism = par
+		if err := n.Start(":0"); err != nil {
+			return nil, err
+		}
+		defer n.Stop()
+		nodes11[id] = n
+	}
+	for _, n := range nodes11 {
+		for _, m := range nodes11 {
+			if n != m {
+				n.SetNeighbor(m.Peer.ID, m.BoundAddr())
+			}
+		}
+	}
+	q11 := foquery.MustParse("r0(X,Y)")
+	b11, err := minOver(gateRounds, func() error {
+		_, info, e := nodes11["P0"].DelegatedAnswersInfo(q11, []string{"X", "Y"}, true)
+		if e == nil && !info.Delegated {
+			return fmt.Errorf("B11 gate workload should delegate, fell back: %s", info.Reason)
+		}
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	return &gateResult{
 		Parallelism: par,
 		CalibNS:     calib.Nanoseconds(),
@@ -203,10 +249,12 @@ func runGateMeasure(par int) (*gateResult, error) {
 		B1RepairNS:  b1.Nanoseconds(),
 		B9SlicedNS:  b9.Nanoseconds(),
 		B10LocalNS:  b10.Nanoseconds(),
+		B11DelegNS:  b11.Nanoseconds(),
 		B5Norm:      float64(b5.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B1Norm:      float64(b1.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B9Norm:      float64(b9.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B10Norm:     float64(b10.Nanoseconds()) / float64(calib.Nanoseconds()),
+		B11Norm:     float64(b11.Nanoseconds()) / float64(calib.Nanoseconds()),
 	}, nil
 }
 
@@ -237,7 +285,12 @@ func gateCompare(w io.Writer, cur, base *gateResult, threshold float64) error {
 		}
 	}
 	if base.B10Norm > 0 {
-		return check("B10 localized scattered", cur.B10Norm, base.B10Norm)
+		if err := check("B10 localized scattered", cur.B10Norm, base.B10Norm); err != nil {
+			return err
+		}
+	}
+	if base.B11Norm > 0 {
+		return check("B11 delegated fanout", cur.B11Norm, base.B11Norm)
 	}
 	return nil
 }
@@ -249,9 +302,9 @@ func runGate(w io.Writer, outPath, baselinePath string, threshold float64, par i
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "gate measured: calib=%v b5-ground=%v b1-repair=%v b9-sliced=%v b10-localized=%v (parallelism=%d, min of %d)\n",
+	fmt.Fprintf(w, "gate measured: calib=%v b5-ground=%v b1-repair=%v b9-sliced=%v b10-localized=%v b11-delegated=%v (parallelism=%d, min of %d)\n",
 		time.Duration(cur.CalibNS), time.Duration(cur.B5GroundNS), time.Duration(cur.B1RepairNS),
-		time.Duration(cur.B9SlicedNS), time.Duration(cur.B10LocalNS), par, gateRounds)
+		time.Duration(cur.B9SlicedNS), time.Duration(cur.B10LocalNS), time.Duration(cur.B11DelegNS), par, gateRounds)
 	if outPath != "" {
 		data, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {

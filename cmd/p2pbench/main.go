@@ -46,6 +46,7 @@ var experiments = []experiment{
 	{"B8", "Solver ablation: support propagation on/off", runB8},
 	{"B9", "Wide universe: query-relevance slicing vs full snapshots", runB9},
 	{"B10", "Scattered conflicts: conflict-localized vs global repair", runB10},
+	{"B11", "Delegation fanout: central pull vs delegated peer answering", runB11},
 }
 
 // benchParallelism is the worker-pool bound used by the parallel
@@ -55,7 +56,7 @@ var benchParallelism = 4
 
 func main() {
 	fs := flag.NewFlagSet("p2pbench", flag.ContinueOnError)
-	which := fs.String("experiment", "", "experiment id (E1..E7, B1..B10); empty = all")
+	which := fs.String("experiment", "", "experiment id (E1..E7, B1..B11); empty = all")
 	list := fs.Bool("list", false, "list experiments")
 	fs.IntVar(&benchParallelism, "parallelism", benchParallelism,
 		"worker-pool bound for the parallel benchmark variants; 0 = GOMAXPROCS")

@@ -10,7 +10,9 @@
 // lp (Section 3 answer set program), lav (Section 4.2 annotated
 // program), rewrite (Section 2 first-order rewriting; atomic queries
 // in its applicability class only). -transitive switches the lp engine
-// to the combined program of Section 4.3.
+// to the combined program of Section 4.3. -delegate deploys the system
+// as an in-process overlay and answers through delegated distributed
+// execution (slice-aware OpPCA fan-out with centralized fallback).
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"repro/internal/foquery"
 	"repro/internal/lp"
 	"repro/internal/lp/ground"
+	"repro/internal/peernet"
 	"repro/internal/program"
 	"repro/internal/relation"
 	"repro/internal/rewrite"
@@ -53,6 +56,7 @@ func run(args []string, out io.Writer) error {
 	par := fs.Int("parallelism", 0, "worker-pool bound for the repair search and fan-out, grounding, per-solution query evaluation and stable-model search; 0 = GOMAXPROCS for the repair engine with sequential grounder/solver, 1 = fully sequential, >1 also fans out grounding and the solver search")
 	stats := fs.Bool("stats", false, "print system statistics (peers, tuples, interned symbols) after loading; with -query, also the query-relevance slice statistics (relations/constraints kept vs dropped, answer cache hits/misses)")
 	sliced := fs.Bool("sliced", false, "answer through the query-relevance-sliced pipeline (repair and lp engines): only slice constraints are enforced, only slice relations repaired/grounded, answers cached per slice+data key; answers are identical to the unsliced run")
+	delegate := fs.Bool("delegate", false, "answer through delegated distributed execution: deploy every peer as an in-process node, decompose the query's relevance slice per owning peer and let each repairing neighbour answer its sub-queries itself over OpPCA, composing at the queried node (falls back to the centralized sliced path whenever delegation is not provably exact; answers are identical either way); with -stats, the delegation report is printed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,6 +134,30 @@ func run(args []string, out io.Writer) error {
 	varList := strings.Split(*vars, ",")
 	for i := range varList {
 		varList[i] = strings.TrimSpace(varList[i])
+	}
+
+	if *delegate {
+		f, perr := foquery.Parse(*query)
+		if perr != nil {
+			return perr
+		}
+		ans, info, err := delegatedAnswers(sys, id, f, varList, *transitive, *par)
+		if err != nil {
+			return err
+		}
+		if *stats {
+			if info.Delegated {
+				fmt.Fprintf(out, "delegation: delegated; delegates=%v fetches=%v remote calls=%d sub-tuples=%d\n",
+					info.Delegates, info.Fetches, info.RemoteCalls, info.SubTuples)
+			} else {
+				fmt.Fprintf(out, "delegation: fell back to the centralized sliced path: %s\n", info.Reason)
+			}
+		}
+		fmt.Fprintf(out, "%d peer consistent answer(s):\n", len(ans))
+		for _, t := range ans {
+			fmt.Fprintln(out, t)
+		}
+		return nil
 	}
 
 	// Query-relevance slicing: compute the slice when the sliced
@@ -234,6 +262,35 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, t)
 	}
 	return nil
+}
+
+// delegatedAnswers deploys every peer of the system as a node on an
+// in-process transport (full neighbour mesh) and answers through the
+// queried peer's delegated distributed path.
+func delegatedAnswers(sys *core.System, id core.PeerID, q foquery.Formula, vars []string, transitive bool, par int) ([]relation.Tuple, peernet.DelegationInfo, error) {
+	if _, ok := sys.Peer(id); !ok {
+		return nil, peernet.DelegationInfo{}, fmt.Errorf("unknown peer %s", id)
+	}
+	tr := peernet.NewInProc()
+	nodes := map[core.PeerID]*peernet.Node{}
+	for _, pid := range sys.Peers() {
+		p, _ := sys.Peer(pid)
+		n := peernet.NewNode(p, tr, nil)
+		n.Parallelism = par
+		if err := n.Start(":0"); err != nil {
+			return nil, peernet.DelegationInfo{}, err
+		}
+		defer n.Stop()
+		nodes[pid] = n
+	}
+	for _, n := range nodes {
+		for _, m := range nodes {
+			if n != m {
+				n.SetNeighbor(m.Peer.ID, m.BoundAddr())
+			}
+		}
+	}
+	return nodes[id].DelegatedAnswersInfo(q, vars, transitive)
 }
 
 // cachedAnswers serves the query through the slice-keyed answer cache:

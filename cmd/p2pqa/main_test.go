@@ -184,3 +184,38 @@ func TestStatsPrintsSliceStatistics(t *testing.T) {
 		}
 	}
 }
+
+func TestDelegateFlag(t *testing.T) {
+	path := writeSpec(t)
+	// Direct semantics: delegation falls back to the centralized path
+	// and the answers match Example 1's PCAs.
+	var direct bytes.Buffer
+	if err := run([]string{
+		"-system", path, "-peer", "P1",
+		"-query", "r1(X,Y)", "-vars", "X,Y",
+		"-delegate", "-stats",
+	}, &direct); err != nil {
+		t.Fatal(err)
+	}
+	s := direct.String()
+	if !strings.Contains(s, "delegation: fell back") || !strings.Contains(s, "direct semantics") {
+		t.Fatalf("direct -delegate should report the fallback:\n%s", s)
+	}
+	if !strings.Contains(s, "3 peer consistent answer(s):") {
+		t.Fatalf("direct -delegate answers:\n%s", s)
+	}
+	// Transitive semantics: Example 1 is a pure fetch plan, which the
+	// gate admits; the report names both fetched peers.
+	var trans bytes.Buffer
+	if err := run([]string{
+		"-system", path, "-peer", "P1",
+		"-query", "r1(X,Y)", "-vars", "X,Y",
+		"-delegate", "-transitive", "-stats",
+	}, &trans); err != nil {
+		t.Fatal(err)
+	}
+	s = trans.String()
+	if !strings.Contains(s, "delegation: delegated") || !strings.Contains(s, "fetches=[P2 P3]") {
+		t.Fatalf("transitive -delegate should run the plan:\n%s", s)
+	}
+}

@@ -167,6 +167,48 @@
 // sliced (1 of 25 remote relations moved), with repeats served from
 // the answer cache in ~100µs.
 //
+// # Delegated distributed execution
+//
+// Centralized answering pulls every relevant peer's data to the
+// querying node and solves there — N peers as N data sources.
+// Node.DelegatedAnswers inverts that: slice.PlanDelegation decomposes
+// the query's relevance slice per owning peer and classifies each
+// target of the root's DECs as a delegate (the target enforces DECs of
+// its own, so it must repair before answering), a fetch (data read
+// raw) or a stub (schema only). Delegates receive one atomic sub-query
+// per shared relation over the existing OpPCA wire op with
+// Request.Sliced and Request.Delegate set, answer it transitively from
+// their own data through their own slice.AnswerCache, and ship answer
+// sets — not relations — back. The querying node rebuilds a mini
+// system in which each delegate's answered relations appear as plain
+// facts (its DECs consumed, trust edges dropped), and runs the
+// ordinary sliced transitive pipeline over it, so composition is the
+// same combined-program semantics, just over pre-repaired inputs.
+//
+// Delegation runs only when provably exact
+// (internal/slice/delegate.go); every refused shape falls back to
+// PeerConsistentAnswersFor, byte-identical answers and errors. The
+// gate refuses: direct semantics (Definition 4 reads neighbour data
+// raw — nothing to delegate); domain-dependent (Full) slices (repairs
+// may draw witnesses from the whole active domain); same-trust DECs at
+// a non-root peer (the combined program ignores them, a delegate would
+// enforce them); root same-trust DECs toward a repairing peer (a joint
+// repair does not factor through the delegate's answer sets); and any
+// kept dependency whose repair is not forced (a delegate with repair
+// choices returns the intersection over its own solutions, which can
+// differ from composing per-solution answers). The wire protocol
+// carries a hop budget and a visited-peer set, so cyclic overlays
+// terminate and surface the same error as the centralized path.
+// delegated_equiv_test.go pins equivalence on the paper fixtures plus
+// 20 seeded systems per shape at Parallelism {1,4} under both
+// semantics, with the expected delegate/fallback outcome asserted so
+// delegation cannot silently degrade into fallback-vs-fallback
+// comparisons. Benchmark B11 (workload.DelegationFanout) measures the
+// point: the querying peer receives filtered answer sets instead of
+// raw hub+leaf relations (~2.4x fewer bytes, fewer round-trips), and
+// repair CPU runs at the hubs, where the data lives. cmd/p2pqa
+// surfaces the path as -delegate.
+//
 // # Interned-symbol core and indexing
 //
 // All hot paths run over interned symbols instead of raw strings:

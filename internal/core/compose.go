@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// DelegatedPeer is the stub standing in for a remote peer in a
+// composed delegated-answering system: the peer's schema plus the
+// answer sets its own engine returned for the delegated sub-queries
+// (or its raw relations, for DEC-less data peers). A stub carries no
+// DECs, ICs or trust edges — its data is final from the composing
+// peer's point of view.
+type DelegatedPeer struct {
+	ID     PeerID
+	Schema *relation.Schema
+	// Rels maps a relation to its delegated answer set. Relations of
+	// the schema without an entry are empty (a remote peer with no
+	// matching tuples answers with an empty set).
+	Rels map[string][]relation.Tuple
+}
+
+// ComposeDelegated assembles the mini system a querying peer solves
+// locally after its neighbours answered their delegated sub-queries:
+// a clone of the root peer (DECs toward peers that are not part of the
+// composition are dropped, as are their trust edges) plus one
+// constraint-free stub per delegated neighbour holding the returned
+// answer sets. Because CQA answers are an intersection over repairs
+// (Arenas–Bertossi–Chomicki), a neighbour with a unique solution is
+// fully described by its answer sets, so solving the composed system
+// with the same engine as the centralized path yields byte-identical
+// peer consistent answers; internal/slice.PlanDelegation gates
+// delegation to exactly those shapes.
+func ComposeDelegated(root *Peer, stubs []DelegatedPeer) (*System, error) {
+	rc := root.Clone()
+	present := make(map[PeerID]bool, len(stubs))
+	for _, st := range stubs {
+		present[st.ID] = true
+	}
+	for q := range rc.DECs {
+		if !present[q] {
+			delete(rc.DECs, q)
+			delete(rc.Trust, q)
+		}
+	}
+	for q := range rc.Trust {
+		if !present[q] {
+			delete(rc.Trust, q)
+		}
+	}
+	sys := NewSystem()
+	if err := sys.AddPeer(rc); err != nil {
+		return nil, err
+	}
+	ordered := append([]DelegatedPeer(nil), stubs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, st := range ordered {
+		sp := NewPeer(st.ID)
+		for _, rel := range st.Schema.Relations() {
+			d, _ := st.Schema.Decl(rel)
+			sp.Schema.Add(d)
+		}
+		rels := make([]string, 0, len(st.Rels))
+		for rel := range st.Rels {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		for _, rel := range rels {
+			for _, t := range st.Rels[rel] {
+				sp.Inst.Insert(rel, t)
+			}
+		}
+		if err := sys.AddPeer(sp); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

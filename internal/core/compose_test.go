@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/relation"
+)
+
+// TestComposeDelegated: the composed mini system keeps the root's DECs
+// and trust edges only toward peers present in the composition, stands
+// each delegated peer in as a constraint-free stub holding its answer
+// sets, and validates.
+func TestComposeDelegated(t *testing.T) {
+	root := NewPeer("R").Declare("tr", 2).Fact("tr", "r", "1").
+		SetTrust("A", TrustLess).
+		AddDEC("A", constraint.Inclusion("incRA", "ta", "tr", 2)).
+		SetTrust("C", TrustLess).
+		AddDEC("C", constraint.Inclusion("incRC", "tc", "tr", 2)).
+		SetTrust("D", TrustLess)
+	a := NewPeer("A").Declare("ta", 2)
+	stubs := []DelegatedPeer{{
+		ID:     "A",
+		Schema: a.Schema,
+		Rels: map[string][]relation.Tuple{
+			"ta": {{"a", "1"}, {"a", "2"}},
+		},
+	}}
+	sys, err := ComposeDelegated(root, stubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, ok := sys.Peer("R")
+	if !ok {
+		t.Fatal("composed system lost the root")
+	}
+	if len(rc.DECs) != 1 || len(rc.DECs["A"]) != 1 {
+		t.Fatalf("root DECs = %v, want only incRA toward the present peer A", rc.DECs)
+	}
+	if _, ok := rc.Trust["C"]; ok {
+		t.Fatal("trust edge toward absent DEC target C should be dropped")
+	}
+	if _, ok := rc.Trust["D"]; ok {
+		t.Fatal("trust edge toward absent DEC-less peer D should be dropped")
+	}
+	sp, ok := sys.Peer("A")
+	if !ok {
+		t.Fatal("composed system lost the stub A")
+	}
+	if len(sp.DECs) != 0 || len(sp.Trust) != 0 || len(sp.ICs) != 0 {
+		t.Fatalf("stub must be constraint-free, got DECs=%v trust=%v ICs=%v",
+			sp.DECs, sp.Trust, sp.ICs)
+	}
+	if n := sp.Inst.Count("ta"); n != 2 {
+		t.Fatalf("stub ta has %d tuples, want the 2 delegated answers", n)
+	}
+	// The composition must not alias the original root.
+	if &root.DECs == &rc.DECs || len(root.DECs) != 2 {
+		t.Fatal("ComposeDelegated must clone the root, not mutate it")
+	}
+}
+
+// TestComposeDelegatedEmptyAnswerSet: a schema relation without an
+// answer entry stays present and empty — a remote peer with no matching
+// tuples answers with the empty set, not a missing relation.
+func TestComposeDelegatedEmptyAnswerSet(t *testing.T) {
+	root := NewPeer("R").Declare("tr", 2).
+		SetTrust("A", TrustLess).
+		AddDEC("A", constraint.Inclusion("incRA", "ta", "tr", 2))
+	a := NewPeer("A").Declare("ta", 2)
+	sys, err := ComposeDelegated(root, []DelegatedPeer{{ID: "A", Schema: a.Schema, Rels: nil}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := sys.Peer("A")
+	if !sp.Schema.Has("ta") {
+		t.Fatal("stub schema lost ta")
+	}
+	if n := sp.Inst.Count("ta"); n != 0 {
+		t.Fatalf("ta has %d tuples, want 0", n)
+	}
+}
+
+// TestComposeDelegatedDuplicateID: a stub colliding with the root's ID
+// surfaces as an error, not a panic or silent overwrite.
+func TestComposeDelegatedDuplicateID(t *testing.T) {
+	root := NewPeer("R").Declare("tr", 2)
+	if _, err := ComposeDelegated(root, []DelegatedPeer{{ID: "R", Schema: root.Schema}}); err == nil {
+		t.Fatal("composing a stub with the root's ID should fail")
+	}
+}

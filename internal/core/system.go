@@ -107,6 +107,32 @@ func (p *Peer) SetTrust(other PeerID, lvl TrustLevel) *Peer {
 	return p
 }
 
+// Clone returns a snapshot copy of the peer: a copy-on-write clone of
+// the instance (relation.Instance.Clone shares the symbol table, the
+// immutable id tuples and the built read caches, so this is cheap)
+// together with fresh IC/DEC/Trust containers. The *Dependency values
+// themselves are shared — the engines and internal/slice compare
+// dependencies by identity, so a clone participates in slices computed
+// on the original. The schema is shared too: it is only mutated by
+// Declare during construction, never while a peer is being served.
+func (p *Peer) Clone() *Peer {
+	c := &Peer{
+		ID:     p.ID,
+		Schema: p.Schema,
+		Inst:   p.Inst.Clone(),
+		ICs:    append([]*constraint.Dependency(nil), p.ICs...),
+		DECs:   make(map[PeerID][]*constraint.Dependency, len(p.DECs)),
+		Trust:  make(map[PeerID]TrustLevel, len(p.Trust)),
+	}
+	for q, deps := range p.DECs {
+		c.DECs[q] = append([]*constraint.Dependency(nil), deps...)
+	}
+	for q, lvl := range p.Trust {
+		c.Trust[q] = lvl
+	}
+	return c
+}
+
 // System is a P2P data exchange system: a finite set of peers with
 // disjoint schemas (Definition 2(a)-(b)). Every system owns one symbol
 // table: the first added peer's table is adopted and every later

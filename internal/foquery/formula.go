@@ -127,6 +127,22 @@ func (f Quant) freeVars(bound, out map[string]bool) {
 	f.Body.freeVars(inner, out)
 }
 
+// AtomQuery builds the canonical atomic query over one relation —
+// rel(V0,...,V{arity-1}) — together with its answer-variable list.
+// Delegated peer answering poses exactly these sub-queries: a remote
+// peer's peer consistent answers to the full atomic query are its
+// entire contribution to the composed system, so the querying peer can
+// re-run any query shape of its own over the returned sets.
+func AtomQuery(rel string, arity int) (Formula, []string) {
+	vars := make([]string, arity)
+	args := make([]term.Term, arity)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("V%d", i)
+		args[i] = term.V(vars[i])
+	}
+	return Atom{A: term.Atom{Pred: rel, Args: args}}, vars
+}
+
 // FreeVars returns the sorted free variables of the formula.
 func FreeVars(f Formula) []string {
 	out := make(map[string]bool)

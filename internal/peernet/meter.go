@@ -1,0 +1,69 @@
+package peernet
+
+import (
+	"encoding/gob"
+	"sync/atomic"
+)
+
+// Meter wraps a Transport and counts, for every Call made through it,
+// the round trips and the wire size of the requests sent and responses
+// received (the gob encoding both transports would ship). Giving each
+// node its own Meter over a shared underlying transport measures that
+// node's traffic in isolation — benchmark B11 uses this to compare the
+// querying peer's bytes received under central pull vs delegation,
+// uniformly over InProc and TCP. Listen passes through unmetered.
+type Meter struct {
+	T     Transport
+	calls int64
+	sent  int64
+	recv  int64
+}
+
+// Listen implements Transport by delegating to the wrapped transport.
+func (m *Meter) Listen(addr string, h Handler) (string, func(), error) {
+	return m.T.Listen(addr, h)
+}
+
+// Call implements Transport, counting the round trip and the gob sizes
+// of the request and response.
+func (m *Meter) Call(addr string, req Request) (Response, error) {
+	atomic.AddInt64(&m.calls, 1)
+	atomic.AddInt64(&m.sent, gobSize(&req))
+	resp, err := m.T.Call(addr, req)
+	if err == nil {
+		atomic.AddInt64(&m.recv, gobSize(&resp))
+	}
+	return resp, err
+}
+
+// Stats returns the calls made and the request/response bytes moved
+// through this meter since creation (or the last Reset).
+func (m *Meter) Stats() (calls, sentBytes, recvBytes int64) {
+	return atomic.LoadInt64(&m.calls), atomic.LoadInt64(&m.sent), atomic.LoadInt64(&m.recv)
+}
+
+// Reset zeroes the counters.
+func (m *Meter) Reset() {
+	atomic.StoreInt64(&m.calls, 0)
+	atomic.StoreInt64(&m.sent, 0)
+	atomic.StoreInt64(&m.recv, 0)
+}
+
+// countWriter counts bytes written.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// gobSize measures the gob encoding of v. Each value is encoded with a
+// fresh encoder, matching the one-request-per-connection framing of the
+// TCP transport (type descriptors are re-sent per call there too).
+func gobSize(v any) int64 {
+	var w countWriter
+	if err := gob.NewEncoder(&w).Encode(v); err != nil {
+		return 0
+	}
+	return w.n
+}

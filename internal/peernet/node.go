@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/constraint"
@@ -43,9 +44,22 @@ type Node struct {
 	// sequential seed behaviour. Set before Start.
 	Parallelism int
 
-	mu   sync.RWMutex // guards Neighbors
+	mu   sync.RWMutex // guards Neighbors, Addr and stop
 	tr   Transport
 	stop func()
+
+	// dataMu serializes mutations of the live peer instance against the
+	// readers: request handling, spec export and snapshot cloning all
+	// take the read side, UpdateLocal takes the write side. Mutating
+	// n.Peer directly while the node is serving is a data race — the
+	// instance's read caches are only safe under concurrent *reads*.
+	dataMu sync.RWMutex
+
+	// delegated/delegFallbacks count DelegatedAnswers outcomes;
+	// lastFallback (under mu) records the most recent fallback reason.
+	delegated      int64
+	delegFallbacks int64
+	lastFallback   string
 
 	cacheMu sync.Mutex
 	// snapGen is bumped by every SetNeighbor (assembled snapshots embed
@@ -95,23 +109,63 @@ func NewNode(peer *core.Peer, tr Transport, neighbors map[core.PeerID]string) *N
 }
 
 // Start begins serving at the requested address ("" or ":0" picks one)
-// and records the bound address in n.Addr.
+// and records the bound address in n.Addr (read it via BoundAddr when
+// other goroutines may be starting/stopping the node).
 func (n *Node) Start(addr string) error {
 	bound, closer, err := n.tr.Listen(addr, n.handle)
 	if err != nil {
 		return err
 	}
+	n.mu.Lock()
+	if n.stop != nil {
+		n.mu.Unlock()
+		closer()
+		return fmt.Errorf("peernet: node %s already started", n.Peer.ID)
+	}
 	n.Addr = bound
 	n.stop = closer
+	n.mu.Unlock()
 	return nil
 }
 
-// Stop stops serving.
+// BoundAddr returns the address Start bound, under the lock.
+func (n *Node) BoundAddr() string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.Addr
+}
+
+// Stop stops serving. It is safe to call twice and concurrently; only
+// one caller performs the shutdown.
 func (n *Node) Stop() {
-	if n.stop != nil {
-		n.stop()
-		n.stop = nil
+	n.mu.Lock()
+	stop := n.stop
+	n.stop = nil
+	n.mu.Unlock()
+	if stop != nil {
+		stop()
 	}
+}
+
+// UpdateLocal runs a mutation of the node's live peer (Fact inserts,
+// instance deletes, ...) under the node's data lock, serializing it
+// against concurrent request handling and snapshot cloning. Route every
+// write to a served peer's instance through here; mutating n.Peer
+// directly while the node is serving is a data race.
+func (n *Node) UpdateLocal(fn func(p *core.Peer)) {
+	n.dataMu.Lock()
+	defer n.dataMu.Unlock()
+	fn(n.Peer)
+}
+
+// localClone snapshots the live peer under the data lock: the returned
+// clone shares nothing mutable with the live instance, so snapshots and
+// exports built from it cannot race concurrent UpdateLocal writes (and
+// a TTL-cached snapshot can no longer change under its fingerprint).
+func (n *Node) localClone() *core.Peer {
+	n.dataMu.RLock()
+	defer n.dataMu.RUnlock()
+	return n.Peer.Clone()
 }
 
 // SetNeighbor records (or updates) a neighbour address and invalidates
@@ -177,38 +231,39 @@ func (n *Node) handle(req Request) Response {
 		if !n.Peer.Schema.Has(req.Rel) {
 			return errResp(fmt.Errorf("peer %s has no relation %s", n.Peer.ID, req.Rel))
 		}
-		var tuples [][]string
-		for _, t := range n.Peer.Inst.Tuples(req.Rel) {
-			tuples = append(tuples, []string(t))
-		}
+		// Normalized to non-nil even when empty, like OpFetchBatch: the
+		// wire contract pins "declared but empty" to an empty slice on
+		// the serving side (gob still drops zero-length slices, so
+		// clients additionally treat a missing field as empty).
+		n.dataMu.RLock()
+		tuples := tupleStrings(n.Peer.Inst.Tuples(req.Rel))
+		n.dataMu.RUnlock()
 		return Response{Tuples: tuples}
 	case OpFetchBatch:
 		rt := make(map[string][][]string, len(req.Rels))
+		n.dataMu.RLock()
 		for _, rel := range req.Rels {
 			if !n.Peer.Schema.Has(rel) {
+				n.dataMu.RUnlock()
 				return errResp(fmt.Errorf("peer %s has no relation %s", n.Peer.ID, rel))
 			}
-			tuples := [][]string{}
-			for _, t := range n.Peer.Inst.Tuples(rel) {
-				tuples = append(tuples, []string(t))
-			}
-			rt[rel] = tuples
+			rt[rel] = tupleStrings(n.Peer.Inst.Tuples(rel))
 		}
+		n.dataMu.RUnlock()
 		return Response{RelTuples: rt}
 	case OpQuery:
 		f, err := foquery.Parse(req.Query)
 		if err != nil {
 			return errResp(err)
 		}
-		ans, err := foquery.Answers(n.Peer.Inst, f, req.Vars)
+		n.dataMu.RLock()
+		inst := n.Peer.Inst.Clone()
+		n.dataMu.RUnlock()
+		ans, err := foquery.Answers(inst, f, req.Vars)
 		if err != nil {
 			return errResp(err)
 		}
-		var tuples [][]string
-		for _, t := range ans {
-			tuples = append(tuples, []string(t))
-		}
-		return Response{Tuples: tuples}
+		return Response{Tuples: tupleStrings(ans)}
 	case OpExport, OpExportSpec:
 		spec, err := n.exportSpec(req.Op == OpExport)
 		if err != nil {
@@ -226,28 +281,50 @@ func (n *Node) handle(req Request) Response {
 			return errResp(err)
 		}
 		var ans []relation.Tuple
-		if req.Sliced {
+		switch {
+		case req.Delegate:
+			ans, _, err = n.delegatedAnswers(f, req.Vars, req.Transitive,
+				req.HopBudget, appendVisited(req.Visited, n.Peer.ID))
+		case req.Sliced:
 			ans, err = n.PeerConsistentAnswersFor(f, req.Vars, req.Transitive)
-		} else {
+		default:
 			ans, err = n.PeerConsistentAnswers(f, req.Vars, req.Transitive)
 		}
 		if err != nil {
 			return errResp(err)
 		}
-		var tuples [][]string
-		for _, t := range ans {
-			tuples = append(tuples, []string(t))
-		}
-		return Response{Tuples: tuples}
+		return Response{Tuples: tupleStrings(ans)}
 	}
 	return errResp(fmt.Errorf("unknown op %q", req.Op))
 }
 
+// tupleStrings renders tuples in the wire form, always non-nil: the
+// empty-relation response is pinned to an empty slice on the serving
+// side for both OpFetch and OpFetchBatch (and the OpQuery/OpPCA answer
+// fields), so the two fetch ops can no longer disagree.
+func tupleStrings(ts []relation.Tuple) [][]string {
+	out := make([][]string, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, []string(t))
+	}
+	return out
+}
+
+// appendVisited returns visited + id without aliasing the input (the
+// handler fans out to several neighbours from one request slice).
+func appendVisited(visited []string, id core.PeerID) []string {
+	out := make([]string, 0, len(visited)+1)
+	out = append(out, visited...)
+	return append(out, string(id))
+}
+
 // exportSpec renders this peer's specification as a single-peer system
-// fragment in the sysdsl format, with or without the facts.
+// fragment in the sysdsl format, with or without the facts. It formats
+// a clone taken under the data lock, so a concurrent local write cannot
+// race the rendering.
 func (n *Node) exportSpec(withFacts bool) (string, error) {
 	frag := core.NewSystem()
-	if err := frag.AddPeer(n.Peer); err != nil {
+	if err := frag.AddPeer(n.localClone()); err != nil {
 		return "", err
 	}
 	if withFacts {
@@ -331,7 +408,10 @@ type specFragment struct {
 // discovered along the way.
 func (n *Node) snapshotBFS(transitive bool, fetch func(id core.PeerID, addr string) (string, map[string]string, error)) (*core.System, map[core.PeerID]string, error) {
 	sys := core.NewSystem()
-	if err := sys.AddPeer(n.Peer); err != nil {
+	// The snapshot gets a clone of the live peer, not the peer itself:
+	// a snapshot (possibly TTL-cached and shared by in-flight queries)
+	// must not alias an instance a concurrent local write can mutate.
+	if err := sys.AddPeer(n.localClone()); err != nil {
 		return nil, nil, err
 	}
 	fetched := map[core.PeerID]bool{n.Peer.ID: true}
@@ -577,6 +657,197 @@ func (n *Node) PeerConsistentAnswersFor(q foquery.Formula, vars []string, transi
 	}
 	cache.Put(key, ans)
 	return ans, nil
+}
+
+// DefaultHopBudget bounds the delegation depth of DelegatedAnswers:
+// each delegated hop decrements the budget, and a peer receiving 0
+// answers centrally. Deep overlays beyond the budget still answer
+// correctly — the tail is just computed centrally by the last delegate.
+const DefaultHopBudget = 8
+
+// DelegationInfo reports how DelegatedAnswers answered one query.
+type DelegationInfo struct {
+	// Delegated is true when the delegated plan ran to completion;
+	// false means the centralized sliced path answered (Reason says
+	// why).
+	Delegated bool
+	Reason    string
+	// Delegates and Fetches are the plan's peers (empty on fallback).
+	Delegates []core.PeerID
+	Fetches   []core.PeerID
+	// RemoteCalls counts the plan's round trips; SubTuples the tuples
+	// the delegates and fetches returned.
+	RemoteCalls int
+	SubTuples   int
+}
+
+// DelegatedAnswers answers a query posed to this peer with the same
+// peer-consistent semantics as PeerConsistentAnswers(For), but through
+// delegated distributed execution when that is provably exact: the
+// query's relevance slice is decomposed per owning peer
+// (slice.PlanDelegation), each repairing neighbour computes its own
+// peer consistent answers to atomic sub-queries over OpPCA (recursively
+// delegating in turn, within the hop budget), DEC-less data peers ship
+// raw relations, and the node solves the composed mini system
+// (core.ComposeDelegated) locally. The querying peer then receives
+// answer sets instead of raw upstream data, and the repair work runs
+// where the data lives.
+//
+// Whenever the plan is refused (direct semantics, domain-dependent
+// slice, joint same-trust repair, non-forced remote constraints), a
+// remote call fails, a delegate is already on the delegation path
+// (cyclic overlay) or the composed solve errors, the node falls back to
+// the centralized sliced path — so answers and errors are byte-identical
+// to PeerConsistentAnswersFor in every case.
+func (n *Node) DelegatedAnswers(q foquery.Formula, vars []string, transitive bool) ([]relation.Tuple, error) {
+	ans, _, err := n.delegatedAnswers(q, vars, transitive, DefaultHopBudget, []string{string(n.Peer.ID)})
+	return ans, err
+}
+
+// DelegatedAnswersInfo is DelegatedAnswers with the delegation report.
+func (n *Node) DelegatedAnswersInfo(q foquery.Formula, vars []string, transitive bool) ([]relation.Tuple, DelegationInfo, error) {
+	return n.delegatedAnswers(q, vars, transitive, DefaultHopBudget, []string{string(n.Peer.ID)})
+}
+
+// DelegationStats reports how many DelegatedAnswers calls ran the
+// delegated plan vs fell back to the centralized path, and the most
+// recent fallback reason.
+func (n *Node) DelegationStats() (delegated, fallbacks int64, lastFallback string) {
+	n.mu.RLock()
+	last := n.lastFallback
+	n.mu.RUnlock()
+	return atomic.LoadInt64(&n.delegated), atomic.LoadInt64(&n.delegFallbacks), last
+}
+
+// delegatedAnswers implements DelegatedAnswers; budget and visited are
+// the cycle guards threaded through OpPCA requests.
+func (n *Node) delegatedAnswers(q foquery.Formula, vars []string, transitive bool, budget int, visited []string) ([]relation.Tuple, DelegationInfo, error) {
+	fallback := func(reason string) ([]relation.Tuple, DelegationInfo, error) {
+		atomic.AddInt64(&n.delegFallbacks, 1)
+		n.mu.Lock()
+		n.lastFallback = reason
+		n.mu.Unlock()
+		ans, err := n.PeerConsistentAnswersFor(q, vars, transitive)
+		return ans, DelegationInfo{Reason: reason}, err
+	}
+	if !transitive {
+		return fallback("direct semantics reads neighbour data raw (nothing to delegate)")
+	}
+	if budget <= 0 {
+		return fallback("delegation hop budget exhausted")
+	}
+	sys, addrs, err := n.specSnapshot(true)
+	if err != nil {
+		return fallback(fmt.Sprintf("spec snapshot failed: %v", err))
+	}
+	sl, err := slice.ForQuery(sys, n.Peer.ID, q, true)
+	if err != nil {
+		return fallback(fmt.Sprintf("slice computation failed: %v", err))
+	}
+	plan, reason := slice.PlanDelegation(sys, n.Peer.ID, sl)
+	if plan == nil {
+		return fallback(reason)
+	}
+	onPath := make(map[string]bool, len(visited))
+	for _, id := range visited {
+		onPath[id] = true
+	}
+	for _, d := range plan.Delegates {
+		if onPath[string(d)] {
+			return fallback(fmt.Sprintf("peer %s is already on the delegation path (cyclic overlay)", d))
+		}
+	}
+
+	// Fan the plan out: one worker per planned peer, delegates first.
+	// Results merge in plan order, so the composed system (and any
+	// error, MapErr reports the first in index order) is deterministic.
+	type kindOf struct {
+		id       core.PeerID
+		delegate bool
+	}
+	work := make([]kindOf, 0, len(plan.Delegates)+len(plan.Fetches))
+	for _, d := range plan.Delegates {
+		work = append(work, kindOf{d, true})
+	}
+	for _, f := range plan.Fetches {
+		work = append(work, kindOf{f, false})
+	}
+	results, err := parallel.MapErr(len(work), parallel.Workers(n.Parallelism), func(i int) (map[string][]relation.Tuple, error) {
+		w := work[i]
+		addr, ok := addrs[w.id]
+		if !ok {
+			return nil, fmt.Errorf("peernet: no address known for peer %s", w.id)
+		}
+		if !w.delegate {
+			return n.fetchRelationsAddr(w.id, addr, plan.Rels[w.id])
+		}
+		sp, _ := sys.Peer(w.id)
+		out := make(map[string][]relation.Tuple, len(plan.Rels[w.id]))
+		for _, rel := range plan.Rels[w.id] {
+			decl, ok := sp.Schema.Decl(rel)
+			if !ok {
+				return nil, fmt.Errorf("peernet: peer %s does not declare %s", w.id, rel)
+			}
+			sub, subVars := foquery.AtomQuery(rel, decl.Arity)
+			resp, err := n.tr.Call(addr, Request{
+				Op: OpPCA, Query: sub.String(), Vars: subVars,
+				Transitive: true, Sliced: true,
+				Delegate: true, HopBudget: budget - 1, Visited: visited,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if resp.Err != "" {
+				return nil, fmt.Errorf("peernet: delegated answers for %s from %s: %s", rel, w.id, resp.Err)
+			}
+			tuples := make([]relation.Tuple, 0, len(resp.Tuples))
+			for _, t := range resp.Tuples {
+				tuples = append(tuples, relation.Tuple(t))
+			}
+			out[rel] = tuples
+		}
+		return out, nil
+	})
+	if err != nil {
+		return fallback(fmt.Sprintf("remote call failed: %v", err))
+	}
+
+	// Compose the mini system: the root clone plus one constraint-free
+	// stub per planned peer holding the returned answer sets.
+	stubs := make([]core.DelegatedPeer, 0, len(work)+len(plan.Stubs))
+	subTuples := 0
+	for i, w := range work {
+		sp, _ := sys.Peer(w.id)
+		stubs = append(stubs, core.DelegatedPeer{ID: w.id, Schema: sp.Schema, Rels: results[i]})
+		for _, ts := range results[i] {
+			subTuples += len(ts)
+		}
+	}
+	for _, id := range plan.Stubs {
+		sp, _ := sys.Peer(id)
+		stubs = append(stubs, core.DelegatedPeer{ID: id, Schema: sp.Schema})
+	}
+	rootClone, _ := sys.Peer(n.Peer.ID)
+	mini, err := core.ComposeDelegated(rootClone, stubs)
+	if err != nil {
+		return fallback(fmt.Sprintf("composition failed: %v", err))
+	}
+	ans, err := program.PeerConsistentAnswersViaLP(mini, n.Peer.ID, q, vars,
+		program.RunOptions{Transitive: true, Parallelism: n.Parallelism})
+	if err != nil {
+		// A failed composed solve (e.g. the root has no solutions) falls
+		// back so the error is the centralized path's, byte for byte.
+		return fallback(fmt.Sprintf("composed solve failed: %v", err))
+	}
+	atomic.AddInt64(&n.delegated, 1)
+	info := DelegationInfo{
+		Delegated:   true,
+		Delegates:   plan.Delegates,
+		Fetches:     plan.Fetches,
+		RemoteCalls: plan.RemoteCalls(),
+		SubTuples:   subTuples,
+	}
+	return ans, info, nil
 }
 
 // AnswerCacheStats reports the hit/miss counters of the slice-keyed

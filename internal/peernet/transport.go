@@ -13,6 +13,7 @@ package peernet
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -64,6 +65,24 @@ type Request struct {
 	// answers from its slice-keyed cache. Answers are identical either
 	// way.
 	Sliced bool
+	// Delegate asks OpPCA to answer through the delegated distributed
+	// path (Node.DelegatedAnswers): the remote peer decomposes its own
+	// relevance slice per owning peer and fans the sub-queries out in
+	// turn, falling back to its centralized sliced path whenever
+	// delegation is not provably exact. Answers are identical either
+	// way.
+	Delegate bool
+	// HopBudget bounds further delegation depth when Delegate is set:
+	// each hop decrements it, and a peer receiving 0 answers centrally
+	// instead of delegating. Zero-valued requests therefore never
+	// recurse; initiators start from DefaultHopBudget.
+	HopBudget int
+	// Visited lists the peer ids already on the delegation path (the
+	// initiator first). A peer whose plan would delegate to a visited
+	// peer falls back to the centralized path, so cyclic overlays
+	// terminate — and then surface the same cyclic-trust error as the
+	// centralized path does.
+	Visited []string
 }
 
 // Response is a wire response.
@@ -144,7 +163,22 @@ func (t *InProc) Call(addr string, req Request) (Response, error) {
 type TCP struct {
 	// DialTimeout bounds connection establishment; zero means 5s.
 	DialTimeout time.Duration
+	// IOTimeout bounds each blocking read/write of a served connection:
+	// the request must arrive within IOTimeout of the accept, and the
+	// response write must complete within IOTimeout of the handler
+	// returning (the handler's own computation is not bounded). A hung
+	// or stalled client therefore cannot pin a serving goroutine
+	// forever. Zero means 30s.
+	IOTimeout time.Duration
 }
+
+// Accept-loop backoff bounds: a transient Accept error (fd exhaustion,
+// an aborted handshake) retries after acceptBackoffMin, doubling up to
+// acceptBackoffMax, instead of busy-spinning at 100% CPU.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
 
 // Listen implements Transport.
 func (t *TCP) Listen(addr string, h Handler) (string, func(), error) {
@@ -153,20 +187,7 @@ func (t *TCP) Listen(addr string, h Handler) (string, func(), error) {
 		return "", nil, err
 	}
 	done := make(chan struct{})
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				select {
-				case <-done:
-					return
-				default:
-					continue
-				}
-			}
-			go serveConn(conn, h)
-		}
-	}()
+	go acceptLoop(ln, h, done, t.ioTimeout())
 	closer := func() {
 		close(done)
 		ln.Close()
@@ -174,14 +195,68 @@ func (t *TCP) Listen(addr string, h Handler) (string, func(), error) {
 	return ln.Addr().String(), closer, nil
 }
 
-func serveConn(conn net.Conn, h Handler) {
+func (t *TCP) ioTimeout() time.Duration {
+	if t.IOTimeout > 0 {
+		return t.IOTimeout
+	}
+	return 30 * time.Second
+}
+
+// acceptLoop accepts and serves connections until the listener is
+// closed. Errors back off exponentially (acceptBackoffMin doubling to
+// acceptBackoffMax) instead of spinning; the loop exits on shutdown
+// (done closed, or the listener reports net.ErrClosed) and on permanent
+// failures (errors that are not net.Errors — the listener is broken,
+// retrying cannot help).
+func acceptLoop(ln net.Listener, h Handler, done chan struct{}, ioTimeout time.Duration) {
+	var delay time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if _, ok := err.(net.Error); !ok {
+				return
+			}
+			if delay == 0 {
+				delay = acceptBackoffMin
+			} else if delay *= 2; delay > acceptBackoffMax {
+				delay = acceptBackoffMax
+			}
+			timer := time.NewTimer(delay)
+			select {
+			case <-done:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			continue
+		}
+		delay = 0
+		go serveConn(conn, h, ioTimeout)
+	}
+}
+
+func serveConn(conn net.Conn, h Handler, ioTimeout time.Duration) {
 	defer conn.Close()
 	var req Request
+	if ioTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(ioTimeout))
+	}
 	dec := gob.NewDecoder(conn)
 	if err := dec.Decode(&req); err != nil {
 		return
 	}
 	resp := h(req)
+	if ioTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(ioTimeout))
+	}
 	enc := gob.NewEncoder(conn)
 	_ = enc.Encode(&resp)
 }

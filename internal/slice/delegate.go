@@ -1,0 +1,250 @@
+package slice
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+)
+
+// Plan is a delegated-answering plan for one (system, root, slice)
+// triple: which of the root's DEC neighbours answer their sub-queries
+// with their own engines (Delegates, peers that maintain DECs of their
+// own), which merely ship raw relations (Fetches, DEC-less data peers),
+// and which relations the root needs from each. PlanDelegation returns
+// a plan only when composing the per-peer answers is provably exact;
+// otherwise the caller must fall back to the centralized snapshot path.
+type Plan struct {
+	Root core.PeerID
+	// Delegates are the root's trusted DEC neighbours that repair data
+	// themselves (they maintain DECs), sorted. Each is asked for its
+	// peer consistent answers to the atomic queries over Rels[peer].
+	Delegates []core.PeerID
+	// Fetches are the root's trusted DEC neighbours without DECs of
+	// their own, sorted. Their relations are read raw, exactly as the
+	// combined program of Section 4.3 reads DEC-less leaves.
+	Fetches []core.PeerID
+	// Stubs are trusted DEC neighbours whose relations the root's DECs
+	// never mention (constraints purely over the root's schema), sorted:
+	// no data moves, but the composed system still needs an empty peer
+	// so the DEC stays well-formed and enforced.
+	Stubs []core.PeerID
+	// Rels maps each planned peer to the relations the root's DECs
+	// mention of it, sorted. Peers in Stubs have no entry.
+	Rels map[core.PeerID][]string
+}
+
+// Peers returns every planned peer (delegates, fetches and stubs),
+// sorted.
+func (p *Plan) Peers() []core.PeerID {
+	out := append([]core.PeerID(nil), p.Delegates...)
+	out = append(out, p.Fetches...)
+	out = append(out, p.Stubs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RemoteCalls counts the network round-trips the plan needs: one OpPCA
+// per delegated relation, one batched fetch per raw-data peer.
+func (p *Plan) RemoteCalls() int {
+	n := len(p.Fetches)
+	for _, d := range p.Delegates {
+		n += len(p.Rels[d])
+	}
+	return n
+}
+
+// PlanDelegation decides whether the query behind the slice can be
+// answered by delegation — each neighbour computing its own peer
+// consistent answers, the root composing them — with answers identical
+// to the centralized path, and builds the plan if so. On refusal it
+// returns a nil plan and the reason.
+//
+// Delegation is exact when every remote peer's contribution is a
+// function of its own data alone, i.e. when each reachable non-root
+// peer has a unique solution (or none, which surfaces as an error and
+// triggers the fallback). The gate enforces, conservatively:
+//
+//   - transitive semantics only: Definition 4 (direct) reads neighbour
+//     data raw, so there is no remote computation to delegate;
+//   - no domain-dependent slice (Full): repairs may then draw
+//     witnesses from the whole active domain, which no single peer
+//     sees;
+//   - no same-trust DECs at non-root peers (the combined program of
+//     Section 4.3 ignores them — a peer answering its own query would
+//     enforce them), and same-trust DECs of the root only toward
+//     DEC-less peers (toward a repairing peer they interleave the
+//     root's choices with the neighbour's, a joint repair that does
+//     not factor through answer sets);
+//   - every kept constraint enforced by a non-root peer is *forced*:
+//     each violation admits exactly one repair action, so the peer's
+//     solution is unique when one exists. Guards (no mutable
+//     predicate) are also fine — they only decide solution existence,
+//     and a "no solutions" outcome surfaces as an error either way.
+//
+// Constraints the slice dropped need no check: a dropped constraint
+// shares no relation with the closure (which contains every relation
+// the root's DECs mention), so its repair choices cannot reach any
+// delegated answer set, and at worst it erases a remote peer's
+// solutions — an error, which the caller turns into a fallback.
+func PlanDelegation(s *core.System, root core.PeerID, sl *Slice) (*Plan, string) {
+	if !sl.Transitive {
+		return nil, "direct semantics reads neighbour data raw (nothing to delegate)"
+	}
+	if sl.Full {
+		return nil, "slice is domain-dependent (Full): repairs may draw witnesses from the whole active domain"
+	}
+	rp, ok := s.Peer(root)
+	if !ok {
+		return nil, fmt.Sprintf("unknown root peer %s", root)
+	}
+
+	// Walk the reachable overlay exactly like the constraint pool /
+	// combined program: trust edges carrying DECs, starting at the root.
+	seen := map[core.PeerID]bool{root: true}
+	queue := []core.PeerID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		p, ok := s.Peer(cur)
+		if !ok {
+			return nil, fmt.Sprintf("unknown peer %s reached via trust edges", cur)
+		}
+		for _, q := range s.TrustedPeers(cur, core.TrustSame) {
+			if len(p.DECs[q]) == 0 {
+				continue
+			}
+			qp, ok := s.Peer(q)
+			if !ok {
+				return nil, fmt.Sprintf("unknown peer %s reached via trust edges", q)
+			}
+			if cur != root {
+				return nil, fmt.Sprintf("peer %s enforces same-trust DECs toward %s (ignored by the combined program, enforced by a delegate)", cur, q)
+			}
+			if len(qp.DECs) > 0 {
+				return nil, fmt.Sprintf("root maintains same-trust DECs toward repairing peer %s (joint repair does not factor through answer sets)", q)
+			}
+		}
+		if cur != root && len(p.DECs) > 0 {
+			mutable := map[string]bool{}
+			for _, rel := range p.Schema.Relations() {
+				mutable[rel] = true
+			}
+			check := func(d *constraint.Dependency) (string, bool) {
+				if !sl.KeepDep(d) {
+					return "", true
+				}
+				if forcedRepair(d, mutable) {
+					return "", true
+				}
+				return fmt.Sprintf("constraint %s of peer %s admits repair choices (delegate's solution may not be unique)", d.Name, cur), false
+			}
+			for _, q := range s.TrustedPeers(cur, core.TrustLess) {
+				for _, d := range p.DECs[q] {
+					if reason, ok := check(d); !ok {
+						return nil, reason
+					}
+				}
+			}
+			for _, ic := range p.ICs {
+				if reason, ok := check(ic); !ok {
+					return nil, reason
+				}
+			}
+		}
+		for _, lvl := range []core.TrustLevel{core.TrustLess, core.TrustSame} {
+			for _, q := range s.TrustedPeers(cur, lvl) {
+				if len(p.DECs[q]) > 0 && !seen[q] {
+					seen[q] = true
+					queue = append(queue, q)
+				}
+			}
+		}
+	}
+
+	// The plan covers the root's trusted DEC targets: the relations its
+	// DECs mention are everything the root's own fragment reads. (Every
+	// DEC of the root is in the slice — the closure is seeded with all
+	// root relations, and a DEC mentioning none of them is a guard,
+	// which is always kept — so no kept-check is needed here.)
+	plan := &Plan{Root: root, Rels: map[core.PeerID][]string{}}
+	targets := append(s.TrustedPeers(root, core.TrustLess), s.TrustedPeers(root, core.TrustSame)...)
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, q := range targets {
+		if len(rp.DECs[q]) == 0 {
+			continue
+		}
+		qp, _ := s.Peer(q)
+		set := map[string]bool{}
+		for _, d := range rp.DECs[q] {
+			for pred := range d.Preds() {
+				if qp.Schema.Has(pred) {
+					set[pred] = true
+				}
+			}
+		}
+		rels := make([]string, 0, len(set))
+		for rel := range set {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		switch {
+		case len(rels) == 0:
+			plan.Stubs = append(plan.Stubs, q)
+		case len(qp.DECs) > 0:
+			plan.Delegates = append(plan.Delegates, q)
+			plan.Rels[q] = rels
+		default:
+			plan.Fetches = append(plan.Fetches, q)
+			plan.Rels[q] = rels
+		}
+	}
+	return plan, ""
+}
+
+// forcedRepair reports whether every violation of the dependency admits
+// exactly one repair action under the given mutable-predicate set, so
+// that repairing it is deterministic (unit propagation): a full TGD
+// whose body is entirely fixed and whose head is entirely mutable (the
+// missing head atoms must be inserted), or a denial/EGD with exactly
+// one body atom on a mutable predicate (that tuple must be deleted).
+// Guards — no mutable predicate at all — are also accepted: they only
+// decide whether solutions exist.
+func forcedRepair(d *constraint.Dependency, mutable map[string]bool) bool {
+	guard := true
+	for pred := range d.Preds() {
+		if mutable[pred] {
+			guard = false
+			break
+		}
+	}
+	if guard {
+		return true
+	}
+	if d.IsTGD() {
+		if len(d.ExVars) > 0 {
+			return false
+		}
+		for _, a := range d.Body {
+			if mutable[a.Pred] {
+				return false
+			}
+		}
+		for _, a := range d.Head {
+			if !mutable[a.Pred] {
+				return false
+			}
+		}
+		return true
+	}
+	// Denial or EGD: deletion is the only repair action; it is forced
+	// exactly when a single body atom sits on a mutable predicate.
+	n := 0
+	for _, a := range d.Body {
+		if mutable[a.Pred] {
+			n++
+		}
+	}
+	return n == 1
+}

@@ -1,0 +1,235 @@
+package slice
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/term"
+	"repro/internal/workload"
+)
+
+// mustPlan computes the slice and requires PlanDelegation to accept.
+func mustPlan(t *testing.T, s *core.System, root core.PeerID, query string, transitive bool) *Plan {
+	t.Helper()
+	sl := mustCompute(t, s, root, query, transitive)
+	plan, reason := PlanDelegation(s, root, sl)
+	if plan == nil {
+		t.Fatalf("PlanDelegation refused: %s", reason)
+	}
+	return plan
+}
+
+// TestPlanDelegationFanout: on the delegation-fanout workload every hub
+// enforces DECs of its own, so each becomes a delegate asked for its
+// single shared relation; leaves are reached transitively by the hubs,
+// not planned by the root.
+func TestPlanDelegationFanout(t *testing.T) {
+	s := workload.DelegationFanout(2, 3, 1, 2, 1)
+	plan := mustPlan(t, s, "P0", "r0(X,Y)", true)
+	if got := plan.Delegates; len(got) != 2 || got[0] != "H0" || got[1] != "H1" {
+		t.Fatalf("Delegates = %v, want [H0 H1]", got)
+	}
+	if len(plan.Fetches) != 0 || len(plan.Stubs) != 0 {
+		t.Fatalf("Fetches = %v Stubs = %v, want none", plan.Fetches, plan.Stubs)
+	}
+	for h, rels := range map[core.PeerID][]string{"H0": {"s0"}, "H1": {"s1"}} {
+		if got := plan.Rels[h]; len(got) != 1 || got[0] != rels[0] {
+			t.Fatalf("Rels[%s] = %v, want %v", h, got, rels)
+		}
+	}
+	if got := plan.RemoteCalls(); got != 2 {
+		t.Fatalf("RemoteCalls = %d, want 2 (one OpPCA per delegated relation)", got)
+	}
+	if got := plan.Peers(); len(got) != 2 || got[0] != "H0" || got[1] != "H1" {
+		t.Fatalf("Peers = %v, want [H0 H1]", got)
+	}
+}
+
+// TestPlanDelegationChainFetchOnly: a two-peer chain's neighbour has no
+// DECs of its own, so the plan reads it raw — a fetch, not a delegate.
+// A fetch still costs one remote call (the batched relation fetch).
+func TestPlanDelegationChainFetchOnly(t *testing.T) {
+	plan := mustPlan(t, workload.Chain(2, 2, 1), "P0", "t0(X,Y)", true)
+	if len(plan.Delegates) != 0 {
+		t.Fatalf("Delegates = %v, want none (P1 is DEC-less)", plan.Delegates)
+	}
+	if got := plan.Fetches; len(got) != 1 || got[0] != "P1" {
+		t.Fatalf("Fetches = %v, want [P1]", got)
+	}
+	if got := plan.RemoteCalls(); got != 1 {
+		t.Fatalf("RemoteCalls = %d, want 1", got)
+	}
+}
+
+// TestPlanDelegationStub: a root DEC purely over the root's own schema,
+// targeted at a data-less neighbour, plans the neighbour as a stub — no
+// data moves, no remote calls, but the peer stays in the composition so
+// the DEC remains well-formed.
+func TestPlanDelegationStub(t *testing.T) {
+	r := core.NewPeer("R").Declare("ta", 2).Declare("ua", 2).
+		Fact("ta", "a", "1").Fact("ua", "a", "1").
+		SetTrust("B", core.TrustLess).
+		AddDEC("B", constraint.KeyEGD("egdR", "ta", "ua"))
+	b := core.NewPeer("B").Declare("ub", 2)
+	s := core.NewSystem().MustAddPeer(r).MustAddPeer(b)
+	plan := mustPlan(t, s, "R", "ta(X,Y)", true)
+	if got := plan.Stubs; len(got) != 1 || got[0] != "B" {
+		t.Fatalf("Stubs = %v, want [B]", got)
+	}
+	if len(plan.Rels) != 0 {
+		t.Fatalf("Rels = %v, want empty (stubs ship no data)", plan.Rels)
+	}
+	if got := plan.RemoteCalls(); got != 0 {
+		t.Fatalf("RemoteCalls = %d, want 0", got)
+	}
+}
+
+// TestPlanDelegationRefusals walks every refusal branch of the
+// exactness gate and pins its reason.
+func TestPlanDelegationRefusals(t *testing.T) {
+	importBase := func() (*core.Peer, *core.Peer, *core.Peer) {
+		r := core.NewPeer("R").Declare("tr", 2).Fact("tr", "r", "1").
+			SetTrust("A", core.TrustLess).
+			AddDEC("A", constraint.Inclusion("incRA", "ta", "tr", 2))
+		a := core.NewPeer("A").Declare("ta", 2).Fact("ta", "a", "1")
+		b := core.NewPeer("B").Declare("ub", 2).Fact("ub", "a", "1")
+		return r, a, b
+	}
+	cases := []struct {
+		name       string
+		build      func() *core.System
+		root       core.PeerID
+		query      string
+		transitive bool
+		reason     string
+	}{
+		{
+			"direct-semantics", core.Example1System, "P1", "r1(X,Y)", false,
+			"direct semantics reads neighbour data raw",
+		},
+		{
+			"unknown-root",
+			func() *core.System { return core.Example1System() },
+			"PX", "r1(X,Y)", true,
+			"unknown root peer PX",
+		},
+		{
+			"same-trust-at-non-root",
+			func() *core.System {
+				r, a, b := importBase()
+				a.SetTrust("B", core.TrustSame).
+					AddDEC("B", constraint.KeyEGD("egdAB", "ta", "ub"))
+				return core.NewSystem().MustAddPeer(r).MustAddPeer(a).MustAddPeer(b)
+			},
+			"R", "tr(X,Y)", true,
+			"enforces same-trust DECs toward",
+		},
+		{
+			"root-same-trust-toward-repairing-peer",
+			func() *core.System {
+				r, a, b := importBase()
+				r.Declare("ur", 2).SetTrust("A", core.TrustSame)
+				a.SetTrust("B", core.TrustLess).
+					AddDEC("B", constraint.Inclusion("incAB", "ub", "ta", 2))
+				return core.NewSystem().MustAddPeer(r).MustAddPeer(a).MustAddPeer(b)
+			},
+			"R", "tr(X,Y)", true,
+			"root maintains same-trust DECs toward repairing peer A",
+		},
+		{
+			"non-forced-remote-constraint",
+			func() *core.System {
+				r, a, b := importBase()
+				a.Declare("ua", 2).Fact("ua", "a", "2").
+					SetTrust("B", core.TrustLess).
+					AddDEC("B", constraint.KeyEGD("egdA", "ta", "ua"))
+				return core.NewSystem().MustAddPeer(r).MustAddPeer(a).MustAddPeer(b)
+			},
+			"R", "tr(X,Y)", true,
+			"admits repair choices",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.build()
+			// For the unknown-root case the slice is computed for a peer the
+			// system has, and the plan is then pointed at one it does not.
+			computeAs := tc.root
+			if tc.name == "unknown-root" {
+				computeAs = "P1"
+			}
+			sl := mustCompute(t, s, computeAs, tc.query, tc.transitive)
+			plan, reason := PlanDelegation(s, tc.root, sl)
+			if plan != nil {
+				t.Fatalf("PlanDelegation accepted, want refusal %q", tc.reason)
+			}
+			if !strings.Contains(reason, tc.reason) {
+				t.Fatalf("reason = %q, want substring %q", reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestPlanDelegationRefusesFullSlice: a Full (domain-dependent) slice
+// is refused before any overlay walk.
+func TestPlanDelegationRefusesFullSlice(t *testing.T) {
+	s := workload.Chain(2, 2, 1)
+	sl := mustCompute(t, s, "P0", "t0(X,Y)", true)
+	sl.Full = true
+	plan, reason := PlanDelegation(s, "P0", sl)
+	if plan != nil {
+		t.Fatal("PlanDelegation accepted a Full slice")
+	}
+	if !strings.Contains(reason, "domain-dependent") {
+		t.Fatalf("reason = %q, want domain-dependent refusal", reason)
+	}
+}
+
+// TestForcedRepair exercises the unit-propagation classifier directly.
+func TestForcedRepair(t *testing.T) {
+	atom := func(pred string, vars ...string) term.Atom {
+		args := make([]term.Term, len(vars))
+		for i, v := range vars {
+			args[i] = term.V(v)
+		}
+		return term.Atom{Pred: pred, Args: args}
+	}
+	mutable := map[string]bool{"m": true, "m2": true}
+	cases := []struct {
+		name string
+		d    *constraint.Dependency
+		want bool
+	}{
+		{"guard-no-mutable-pred", &constraint.Dependency{
+			Name: "g", Body: []term.Atom{atom("f", "X")},
+		}, true},
+		{"full-tgd-fixed-body-mutable-head", &constraint.Dependency{
+			Name: "t1", Body: []term.Atom{atom("f", "X")}, Head: []term.Atom{atom("m", "X")},
+		}, true},
+		{"tgd-existential", &constraint.Dependency{
+			Name: "t2", Body: []term.Atom{atom("f", "X")}, ExVars: []string{"W"},
+			Head: []term.Atom{atom("m", "X", "W")},
+		}, false},
+		{"tgd-mutable-body", &constraint.Dependency{
+			Name: "t3", Body: []term.Atom{atom("m", "X")}, Head: []term.Atom{atom("m2", "X")},
+		}, false},
+		{"tgd-fixed-head-atom", &constraint.Dependency{
+			Name: "t4", Body: []term.Atom{atom("f", "X")},
+			Head: []term.Atom{atom("m", "X"), atom("f2", "X")},
+		}, false},
+		{"denial-one-mutable-atom", &constraint.Dependency{
+			Name: "d1", Body: []term.Atom{atom("m", "X", "Y"), atom("f", "X")},
+		}, true},
+		{"denial-two-mutable-atoms", &constraint.Dependency{
+			Name: "d2", Body: []term.Atom{atom("m", "X", "Y"), atom("m2", "X", "Z")},
+		}, false},
+	}
+	for _, tc := range cases {
+		if got := forcedRepair(tc.d, mutable); got != tc.want {
+			t.Errorf("%s: forcedRepair = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/core"
+	"repro/internal/term"
 )
 
 // Example1Shaped builds a P1/P2/P3 system with the Example 1 DEC shape
@@ -210,6 +211,64 @@ func WideUniverse(width, relsPerPeer, factsPerRel, conflictPeers int, seed int64
 		root.SetTrust(id, core.TrustSame)
 		root.AddDEC(id, constraint.KeyEGD(fmt.Sprintf("egd_b%d", b), rels[0], rels[1]))
 		s.MustAddPeer(peer)
+	}
+	return s
+}
+
+// DelegationFanout builds the delegated-answering showcase overlay
+// (benchmark B11): root P0 imports s_i from `hubs` hub peers H_i via
+// inclusion DECs (TrustLess), and every hub filters its s_i against a
+// large private relation d_i of a leaf peer L_i it trusts more, via the
+// one-mutable-atom denial
+//
+//	s_i(x,y) ∧ d_i(x,z) → false
+//
+// (delete the flagged s_i rows — a forced repair, so the exactness gate
+// of slice.PlanDelegation admits delegation). Each hub holds rowsPerHub
+// clean rows plus flaggedPerHub rows whose keys appear in d_i; each
+// leaf additionally holds noisePerLeaf unrelated d_i rows. A
+// centralized snapshot must move every s_i AND every d_i to the root
+// (the denial is in the slice), while delegation moves only the
+// filtered s_i answer sets — the hubs read their leaves themselves.
+func DelegationFanout(hubs, rowsPerHub, flaggedPerHub, noisePerLeaf int, seed int64) *core.System {
+	if hubs < 1 {
+		panic("workload: DelegationFanout needs hubs >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	root := core.NewPeer("P0").Declare("r0", 2)
+	for i := 0; i < 2; i++ {
+		root.Fact("r0", fmt.Sprintf("r0_k%d", i), val(rng))
+	}
+	s := core.NewSystem().MustAddPeer(root)
+	for h := 0; h < hubs; h++ {
+		hid := core.PeerID(fmt.Sprintf("H%d", h))
+		lid := core.PeerID(fmt.Sprintf("L%d", h))
+		si := fmt.Sprintf("s%d", h)
+		di := fmt.Sprintf("d%d", h)
+		root.SetTrust(hid, core.TrustLess).
+			AddDEC(hid, constraint.Inclusion(fmt.Sprintf("imp%d", h), si, "r0", 2))
+		hub := core.NewPeer(hid).Declare(si, 2).
+			SetTrust(lid, core.TrustLess).
+			AddDEC(lid, &constraint.Dependency{
+				Name: fmt.Sprintf("flag%d", h),
+				Body: []term.Atom{
+					{Pred: si, Args: []term.Term{term.V("X"), term.V("Y")}},
+					{Pred: di, Args: []term.Term{term.V("X"), term.V("Z")}},
+				},
+			})
+		leaf := core.NewPeer(lid).Declare(di, 2)
+		for r := 0; r < rowsPerHub; r++ {
+			hub.Fact(si, fmt.Sprintf("h%d_k%d", h, r), val(rng))
+		}
+		for f := 0; f < flaggedPerHub; f++ {
+			key := fmt.Sprintf("h%d_f%d", h, f)
+			hub.Fact(si, key, val(rng))
+			leaf.Fact(di, key, "flag")
+		}
+		for x := 0; x < noisePerLeaf; x++ {
+			leaf.Fact(di, fmt.Sprintf("l%d_x%d", h, x), val(rng))
+		}
+		s.MustAddPeer(hub).MustAddPeer(leaf)
 	}
 	return s
 }

@@ -178,3 +178,52 @@ func TestScatteredConflictsShape(t *testing.T) {
 		}
 	}
 }
+
+// TestDelegationFanoutShape: every hub imports into the root, carries
+// clean plus flagged rows, and its flag denial forces exactly the
+// flagged rows out — so each hub's unique solution keeps rowsPerHub
+// tuples, and the root's answer is determined by the hubs alone.
+func TestDelegationFanoutShape(t *testing.T) {
+	const hubs, rows, flagged, noise = 3, 4, 2, 5
+	s := DelegationFanout(hubs, rows, flagged, noise, 7)
+	if got := len(s.Peers()); got != 1+2*hubs {
+		t.Fatalf("peers = %d, want root + hub + leaf per fanout = %d", got, 1+2*hubs)
+	}
+	for h := 0; h < hubs; h++ {
+		hid := core.PeerID(fmt.Sprintf("H%d", h))
+		hub, ok := s.Peer(hid)
+		if !ok {
+			t.Fatalf("missing hub %s", hid)
+		}
+		si := fmt.Sprintf("s%d", h)
+		if n := hub.Inst.Count(si); n != rows+flagged {
+			t.Fatalf("%s.%s = %d tuples, want %d clean + %d flagged", hid, si, n, rows, flagged)
+		}
+		leaf, _ := s.Peer(core.PeerID(fmt.Sprintf("L%d", h)))
+		di := fmt.Sprintf("d%d", h)
+		if n := leaf.Inst.Count(di); n != flagged+noise {
+			t.Fatalf("L%d.%s = %d tuples, want %d flags + %d noise", h, di, n, flagged, noise)
+		}
+		// The hub's solution is unique: the flag denial deletes exactly
+		// the flagged rows (forced — one mutable body atom).
+		sols, err := core.SolutionsFor(s, hid, core.SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sols) != 1 {
+			t.Fatalf("hub %s has %d solutions, want a unique one", hid, len(sols))
+		}
+		if n := sols[0].Count(si); n != rows {
+			t.Fatalf("hub %s solution keeps %d tuples, want the %d clean rows", hid, n, rows)
+		}
+	}
+	if DelegationFanout(1, 1, 0, 0, 1) == nil {
+		t.Fatal("minimal fanout should build")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hubs < 1 should panic")
+		}
+	}()
+	DelegationFanout(0, 1, 0, 0, 1)
+}
