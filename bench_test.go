@@ -507,3 +507,34 @@ func BenchmarkB10ScatteredConflicts(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkB12LargeUniverse measures the repair+answer hot path over a
+// 10^5-fact universe (workload.LargeUniverse): a selective query on the
+// conflicted core relation, answered through the conflict-localized
+// repair engine over the full (unsliced) instance. Run with -benchmem:
+// the allocs/op figure is the columnar-memory-plane acceptance metric —
+// per-candidate instance clones dominate, so storage that clones by
+// copy-on-write segment sharing instead of per-tuple map copying drops
+// it by orders of magnitude.
+func BenchmarkB12LargeUniverse(b *testing.B) {
+	s := workload.LargeUniverse(100000, 4, 4, 2500, 1)
+	p, _ := s.Peer("P0")
+	deps := p.DECs["PK"]
+	inst := s.Global()
+	q := foquery.MustParse("q0(c0,Y)")
+	vars := []string{"Y"}
+	b.Run("repair-answer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := repair.ConsistentAnswers(inst.Clone(), deps, q, vars, repair.Options{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inst.Clone()
+		}
+	})
+}

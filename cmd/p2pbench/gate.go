@@ -42,10 +42,15 @@ import (
 // the garbage-collection cost of the measured path inside the
 // measurement (a single isolated run can dodge collection entirely,
 // which would flatter allocation-heavy code), while the min over
-// blocks rejects co-tenant noise spikes.
+// blocks rejects co-tenant noise spikes. gateB12Reps is the block size
+// of the large-universe metric: one B12 run is five orders of
+// magnitude bigger than the other metrics and garbage-collects many
+// times internally, so two repetitions amortize enough and keep the
+// gate's wall time bounded.
 const (
 	gateRounds    = 5
 	gateBlockReps = 20
+	gateB12Reps   = 2
 )
 
 // gateResult is the BENCH_*.json schema.
@@ -71,14 +76,35 @@ type gateResult struct {
 	// over rounds): the plan + fan-out + composition hot path, no
 	// network delay.
 	B11DelegNS int64 `json:"b11_delegated_fanout_ns"`
-	// B5Norm, B1Norm, B9Norm, B10Norm and B11Norm are the
-	// machine-independent gate metrics: bench time divided by
-	// calibration time.
+	// B12LargeNS is the B12 large-universe repair+answer pass — CQA over
+	// the columnar memory plane at 20k core facts (minimum over rounds).
+	B12LargeNS int64 `json:"b12_large_universe_ns"`
+	// B5Norm..B12Norm are the machine-independent gate metrics: bench
+	// time divided by calibration time.
 	B5Norm  float64 `json:"b5_norm"`
 	B1Norm  float64 `json:"b1_norm"`
 	B9Norm  float64 `json:"b9_norm"`
 	B10Norm float64 `json:"b10_norm"`
 	B11Norm float64 `json:"b11_norm"`
+	B12Norm float64 `json:"b12_norm"`
+	// *AllocsOp are the per-run heap allocation counts of the same
+	// measured paths (minimum over rounds). Allocation counts are
+	// machine-independent — no calibration needed — and far more stable
+	// than times, so they catch allocation regressions (a dropped buffer
+	// reuse, a map rebuilt per candidate) that time-based gating under
+	// CI noise would let through.
+	B5AllocsOp  int64 `json:"b5_ground_facts100_allocs_op"`
+	B1AllocsOp  int64 `json:"b1_repair_n40_allocs_op"`
+	B9AllocsOp  int64 `json:"b9_sliced_wide_allocs_op"`
+	B10AllocsOp int64 `json:"b10_localized_scatter_allocs_op"`
+	B11AllocsOp int64 `json:"b11_delegated_fanout_allocs_op"`
+	B12AllocsOp int64 `json:"b12_large_universe_allocs_op"`
+	// PeakRSSKB is the process's peak resident set size (KB) after all
+	// measurements, as reported by the OS (0 where unsupported).
+	// Recorded for trend inspection, not gated: RSS folds in the Go
+	// heap target, fixture construction and the runner's page cache
+	// behaviour, which vary across environments.
+	PeakRSSKB int64 `json:"peak_rss_kb"`
 }
 
 // calibrate runs a fixed workload with the same resource profile as
@@ -108,32 +134,45 @@ func calibrate() error {
 	return nil
 }
 
-// minOver returns the minimum per-repetition duration over gateRounds
-// blocks of gateBlockReps back-to-back runs of f. A GC runs before
-// each block so one block's leftover garbage is not billed to the
-// next; within a block the measured path pays for its own allocations.
-func minOver(n int, f func() error) (time.Duration, error) {
+// minOver returns the minimum per-repetition duration and heap
+// allocation count over n blocks of reps back-to-back runs of f. A GC
+// runs before each block so one block's leftover garbage is not billed
+// to the next; within a block the measured path pays for its own
+// allocations. Durations and allocation counts take their minima
+// independently: the minimum allocation block is the run least
+// polluted by background goroutines, and the measured path's own
+// allocations are identical across blocks.
+func minOver(n, reps int, f func() error) (time.Duration, int64, error) {
 	var best time.Duration
+	var bestAllocs int64
+	var ms runtime.MemStats
 	for i := 0; i < n; i++ {
 		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		startMallocs := ms.Mallocs
 		start := time.Now()
-		for rep := 0; rep < gateBlockReps; rep++ {
+		for rep := 0; rep < reps; rep++ {
 			if err := f(); err != nil {
-				return 0, err
+				return 0, 0, err
 			}
 		}
-		d := time.Since(start) / gateBlockReps
+		d := time.Since(start) / time.Duration(reps)
+		runtime.ReadMemStats(&ms)
+		allocs := int64(ms.Mallocs-startMallocs) / int64(reps)
 		if i == 0 || d < best {
 			best = d
 		}
+		if i == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
 	}
-	return best, nil
+	return best, bestAllocs, nil
 }
 
 // runGateMeasure produces the gate measurements at the given
 // parallelism.
 func runGateMeasure(par int) (*gateResult, error) {
-	calib, err := minOver(gateRounds, calibrate)
+	calib, _, err := minOver(gateRounds, gateBlockReps, calibrate)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +187,7 @@ func runGateMeasure(par int) (*gateResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	b5, err := minOver(gateRounds, func() error {
+	b5, b5Allocs, err := minOver(gateRounds, gateBlockReps, func() error {
 		_, e := ground.GroundOpt(unfolded, ground.Options{Parallelism: par})
 		return e
 	})
@@ -159,7 +198,7 @@ func runGateMeasure(par int) (*gateResult, error) {
 	// B1 repair-engine PCA, n=40.
 	s1 := workload.Example1Shaped(40, 3, 2, 1)
 	q := foquery.MustParse("r1(X,Y)")
-	b1, err := minOver(gateRounds, func() error {
+	b1, b1Allocs, err := minOver(gateRounds, gateBlockReps, func() error {
 		_, e := core.PeerConsistentAnswers(s1, "P1", q, []string{"X", "Y"}, core.SolveOptions{Parallelism: par})
 		return e
 	})
@@ -172,7 +211,7 @@ func runGateMeasure(par int) (*gateResult, error) {
 	// network-independent cost of the sliced pipeline).
 	s9 := workload.WideUniverse(8, 3, 40, 2, 1)
 	q9 := foquery.MustParse("q0(X,Y)")
-	b9, err := minOver(gateRounds, func() error {
+	b9, b9Allocs, err := minOver(gateRounds, gateBlockReps, func() error {
 		sl, e := slice.ForQuery(s9, "P0", q9, false)
 		if e != nil {
 			return e
@@ -196,7 +235,7 @@ func runGateMeasure(par int) (*gateResult, error) {
 	deps10 := p10.DECs["B"]
 	inst10 := s10.Global()
 	q10 := foquery.MustParse("ra0(X,Y)")
-	b10, err := minOver(gateRounds, func() error {
+	b10, b10Allocs, err := minOver(gateRounds, gateBlockReps, func() error {
 		_, e := repair.ConsistentAnswers(inst10.Clone(), deps10, q10, []string{"X", "Y"}, repair.Options{Parallelism: par})
 		return e
 	})
@@ -231,11 +270,29 @@ func runGateMeasure(par int) (*gateResult, error) {
 		}
 	}
 	q11 := foquery.MustParse("r0(X,Y)")
-	b11, err := minOver(gateRounds, func() error {
+	b11, b11Allocs, err := minOver(gateRounds, gateBlockReps, func() error {
 		_, info, e := nodes11["P0"].DelegatedAnswersInfo(q11, []string{"X", "Y"}, true)
 		if e == nil && !info.Delegated {
 			return fmt.Errorf("B11 gate workload should delegate, fell back: %s", info.Reason)
 		}
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// B12 large-universe repair+answer: CQA over the columnar memory
+	// plane at 20k core facts plus bulk bystander relations — the
+	// million-tuple-universe hot path at a gate-friendly scale. The
+	// per-op clone is COW (shared column segments), so the measured
+	// path is the repair search and answer intersection, not setup.
+	s12 := workload.LargeUniverse(20000, 4, 4, 500, 1)
+	inst12 := s12.Global()
+	p12, _ := s12.Peer("P0")
+	deps12 := p12.DECs["PK"]
+	q12 := foquery.MustParse("q0(c0,Y)")
+	b12, b12Allocs, err := minOver(gateRounds, gateB12Reps, func() error {
+		_, e := repair.ConsistentAnswers(inst12.Clone(), deps12, q12, []string{"Y"}, repair.Options{Parallelism: par})
 		return e
 	})
 	if err != nil {
@@ -250,11 +307,20 @@ func runGateMeasure(par int) (*gateResult, error) {
 		B9SlicedNS:  b9.Nanoseconds(),
 		B10LocalNS:  b10.Nanoseconds(),
 		B11DelegNS:  b11.Nanoseconds(),
+		B12LargeNS:  b12.Nanoseconds(),
 		B5Norm:      float64(b5.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B1Norm:      float64(b1.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B9Norm:      float64(b9.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B10Norm:     float64(b10.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B11Norm:     float64(b11.Nanoseconds()) / float64(calib.Nanoseconds()),
+		B12Norm:     float64(b12.Nanoseconds()) / float64(calib.Nanoseconds()),
+		B5AllocsOp:  b5Allocs,
+		B1AllocsOp:  b1Allocs,
+		B9AllocsOp:  b9Allocs,
+		B10AllocsOp: b10Allocs,
+		B11AllocsOp: b11Allocs,
+		B12AllocsOp: b12Allocs,
+		PeakRSSKB:   peakRSSKB(),
 	}, nil
 }
 
@@ -290,7 +356,36 @@ func gateCompare(w io.Writer, cur, base *gateResult, threshold float64) error {
 		}
 	}
 	if base.B11Norm > 0 {
-		return check("B11 delegated fanout", cur.B11Norm, base.B11Norm)
+		if err := check("B11 delegated fanout", cur.B11Norm, base.B11Norm); err != nil {
+			return err
+		}
+	}
+	if base.B12Norm > 0 {
+		if err := check("B12 large universe", cur.B12Norm, base.B12Norm); err != nil {
+			return err
+		}
+	}
+	// Allocation gates: counts, not times, so no calibration — the
+	// ratio is machine-independent and tight by nature. The same
+	// threshold applies; a path that suddenly allocates 25% more per
+	// op has lost a buffer reuse somewhere.
+	for _, m := range []struct {
+		name      string
+		cur, base int64
+	}{
+		{"B5 grounding allocs/op", cur.B5AllocsOp, base.B5AllocsOp},
+		{"B1 repair allocs/op", cur.B1AllocsOp, base.B1AllocsOp},
+		{"B9 sliced allocs/op", cur.B9AllocsOp, base.B9AllocsOp},
+		{"B10 localized allocs/op", cur.B10AllocsOp, base.B10AllocsOp},
+		{"B11 delegated allocs/op", cur.B11AllocsOp, base.B11AllocsOp},
+		{"B12 large-universe allocs/op", cur.B12AllocsOp, base.B12AllocsOp},
+	} {
+		if m.base <= 0 {
+			continue
+		}
+		if err := check(m.name, float64(m.cur), float64(m.base)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -302,9 +397,13 @@ func runGate(w io.Writer, outPath, baselinePath string, threshold float64, par i
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "gate measured: calib=%v b5-ground=%v b1-repair=%v b9-sliced=%v b10-localized=%v b11-delegated=%v (parallelism=%d, min of %d)\n",
+	fmt.Fprintf(w, "gate measured: calib=%v b5-ground=%v b1-repair=%v b9-sliced=%v b10-localized=%v b11-delegated=%v b12-large=%v (parallelism=%d, min of %d)\n",
 		time.Duration(cur.CalibNS), time.Duration(cur.B5GroundNS), time.Duration(cur.B1RepairNS),
-		time.Duration(cur.B9SlicedNS), time.Duration(cur.B10LocalNS), time.Duration(cur.B11DelegNS), par, gateRounds)
+		time.Duration(cur.B9SlicedNS), time.Duration(cur.B10LocalNS), time.Duration(cur.B11DelegNS),
+		time.Duration(cur.B12LargeNS), par, gateRounds)
+	fmt.Fprintf(w, "gate allocs/op: b5=%d b1=%d b9=%d b10=%d b11=%d b12=%d peak-rss=%dKB\n",
+		cur.B5AllocsOp, cur.B1AllocsOp, cur.B9AllocsOp, cur.B10AllocsOp, cur.B11AllocsOp,
+		cur.B12AllocsOp, cur.PeakRSSKB)
 	if outPath != "" {
 		data, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {

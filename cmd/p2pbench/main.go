@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/core"
@@ -47,6 +49,7 @@ var experiments = []experiment{
 	{"B9", "Wide universe: query-relevance slicing vs full snapshots", runB9},
 	{"B10", "Scattered conflicts: conflict-localized vs global repair", runB10},
 	{"B11", "Delegation fanout: central pull vs delegated peer answering", runB11},
+	{"B12", "Large universe: columnar memory plane, repair+answer allocs", runB12},
 }
 
 // benchParallelism is the worker-pool bound used by the parallel
@@ -64,8 +67,36 @@ func main() {
 	gateOut := fs.String("gate-out", "", "measure the benchmark gate (B5 grounding, B1 repair) and write the result JSON to this path")
 	gateBase := fs.String("gate", "", "compare the gate measurement against this baseline JSON and exit non-zero on regression")
 	gateThreshold := fs.Float64("gate-threshold", 0.25, "allowed regression of the normalized gate metrics (0.25 = 25%)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run (experiments or gate) to this path")
+	memProfile := fs.String("memprofile", "", "write an allocation (heap) profile taken at exit to this path")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows retained, not transient, heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 	if *gateOut != "" || *gateBase != "" {
 		// The gate always measures at Parallelism 1: its calibration

@@ -1,0 +1,15 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// peakRSSKB returns the process's peak resident set size in kilobytes
+// (getrusage ru_maxrss, which Linux reports in KB).
+func peakRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss)
+}

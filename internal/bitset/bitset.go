@@ -1,0 +1,180 @@
+// Package bitset implements dense bit sets over small unsigned integer
+// ids. The repair engine keys its deltas, visited sets and subsumption
+// checks by interned fact ids (symtab.Sym), and the columnar relation
+// store keys live rows by dense row ids — both are exactly the shape a
+// packed []uint64 serves best: O(n/64) subset and xor, allocation-free
+// membership, and a canonical byte key for map-based dedup.
+//
+// Canonical form: a Set never ends in a zero word. All constructors and
+// mutators in this package preserve that invariant, so two Sets holding
+// the same bits are deep-equal, produce the same Key, and compare
+// correctly under SubsetOf regardless of the capacity they grew
+// through. Clearing bits through Clear or Flip re-trims automatically.
+package bitset
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Set is a bit set in canonical (trailing-zero-trimmed) form. The zero
+// value is an empty set ready for use.
+type Set []uint64
+
+// New returns an empty set with capacity for n bits, so that setting
+// ids below n never reallocates.
+func New(n int) Set {
+	if n <= 0 {
+		return nil
+	}
+	return make(Set, 0, (n+63)/64)
+}
+
+// Has reports whether bit i is set.
+func (s Set) Has(i uint32) bool {
+	w := int(i >> 6)
+	return w < len(s) && s[w]&(1<<(i&63)) != 0
+}
+
+// Set sets bit i, growing as needed.
+func (s *Set) Set(i uint32) {
+	w := int(i >> 6)
+	for len(*s) <= w {
+		*s = append(*s, 0)
+	}
+	(*s)[w] |= 1 << (i & 63)
+}
+
+// Clear clears bit i and re-trims to canonical form.
+func (s *Set) Clear(i uint32) {
+	w := int(i >> 6)
+	if w >= len(*s) {
+		return
+	}
+	(*s)[w] &^= 1 << (i & 63)
+	s.trim()
+}
+
+// Flip toggles bit i, growing or re-trimming as needed.
+func (s *Set) Flip(i uint32) {
+	w := int(i >> 6)
+	for len(*s) <= w {
+		*s = append(*s, 0)
+	}
+	(*s)[w] ^= 1 << (i & 63)
+	s.trim()
+}
+
+func (s *Set) trim() {
+	n := len(*s)
+	for n > 0 && (*s)[n-1] == 0 {
+		n--
+	}
+	*s = (*s)[:n]
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bit is set.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	if len(s) == 0 {
+		return nil
+	}
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether both sets hold exactly the same bits.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i, w := range s {
+		if t[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports s ⊆ t.
+func (s Set) SubsetOf(t Set) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	for i, w := range s {
+		if w&^t[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Xor returns the symmetric difference a △ b as a new canonical set.
+func Xor(a, b Set) Set {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make(Set, len(a))
+	copy(out, a)
+	for i, w := range b {
+		out[i] ^= w
+	}
+	out.trim()
+	return out
+}
+
+// FlipAll returns a copy of base with every listed bit toggled, in
+// canonical form. Duplicate ids toggle repeatedly (two occurrences
+// cancel), matching xor semantics; callers that mean set semantics
+// must dedup first.
+func FlipAll(base Set, ids []uint32) Set {
+	out := base.Clone()
+	for _, i := range ids {
+		w := int(i >> 6)
+		for len(out) <= w {
+			out = append(out, 0)
+		}
+		out[w] ^= 1 << (i & 63)
+	}
+	out.trim()
+	return out
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s Set) ForEach(fn func(uint32)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(uint32(wi<<6 + b))
+			w &= w - 1
+		}
+	}
+}
+
+// AppendKey appends the canonical byte encoding of the set (8 bytes per
+// word, little-endian) to dst and returns it. Because sets are trimmed,
+// equal sets produce equal keys.
+func (s Set) AppendKey(dst []byte) []byte {
+	for _, w := range s {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], w)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// Key returns the canonical byte encoding as a string, usable as a map
+// key for set-level dedup.
+func (s Set) Key() string { return string(s.AppendKey(nil)) }

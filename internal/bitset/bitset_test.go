@@ -1,0 +1,175 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSet mirrors a Set as a plain map — the oracle for randomized
+// equivalence below.
+type refSet map[uint32]bool
+
+func (r refSet) toSet() Set {
+	var s Set
+	for i := range r {
+		s.Set(i)
+	}
+	return s
+}
+
+func (r refSet) sorted() []uint32 {
+	out := make([]uint32, 0, len(r))
+	for i := range r {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func TestSetBasics(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Count() != 0 || s.Has(0) || s.Has(1000) {
+		t.Fatal("zero value is not an empty set")
+	}
+	s.Set(3)
+	s.Set(64) // second word
+	s.Set(3)  // idempotent
+	if s.Count() != 2 || !s.Has(3) || !s.Has(64) || s.Has(4) {
+		t.Fatalf("after Set: %v count=%d", s, s.Count())
+	}
+	s.Clear(64)
+	if len(s) != 1 {
+		t.Fatalf("Clear(64) did not re-trim: len=%d", len(s))
+	}
+	s.Clear(200) // beyond capacity: no-op
+	s.Flip(3)
+	if !s.Empty() || len(s) != 0 {
+		t.Fatalf("Flip to empty did not trim: %v", s)
+	}
+	s.Flip(130)
+	if !s.Has(130) || s.Count() != 1 {
+		t.Fatalf("Flip grow: %v", s)
+	}
+}
+
+func TestCanonicalFormInvariant(t *testing.T) {
+	// Two construction orders for the same bits must be deep-equal and
+	// share a Key — the invariant every map-based dedup in the repair
+	// engine relies on.
+	a := New(256)
+	a.Set(5)
+	a.Set(200)
+	a.Clear(200) // shrinks back below one word
+	var b Set
+	b.Set(5)
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Fatalf("canonical form violated: a=%v b=%v", a, b)
+	}
+	if New(0) != nil || New(-1) != nil {
+		t.Fatal("New(<=0) should be nil")
+	}
+}
+
+func TestSubsetXorFlipAllAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		ra, rb := refSet{}, refSet{}
+		for i := 0; i < rng.Intn(40); i++ {
+			ra[uint32(rng.Intn(300))] = true
+		}
+		for i := range ra { // bias b toward supersets sometimes
+			if rng.Intn(2) == 0 {
+				rb[i] = true
+			}
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			rb[uint32(rng.Intn(300))] = true
+		}
+		a, b := ra.toSet(), rb.toSet()
+
+		wantSub := true
+		for i := range ra {
+			if !rb[i] {
+				wantSub = false
+				break
+			}
+		}
+		if a.SubsetOf(b) != wantSub {
+			t.Fatalf("trial %d: SubsetOf = %v, want %v", trial, a.SubsetOf(b), wantSub)
+		}
+		if !a.SubsetOf(a) {
+			t.Fatalf("trial %d: a not subset of itself", trial)
+		}
+
+		x := Xor(a, b)
+		wantXor := refSet{}
+		for i := range ra {
+			if !rb[i] {
+				wantXor[i] = true
+			}
+		}
+		for i := range rb {
+			if !ra[i] {
+				wantXor[i] = true
+			}
+		}
+		if !x.Equal(wantXor.toSet()) {
+			t.Fatalf("trial %d: Xor mismatch", trial)
+		}
+		if x.Count() != len(wantXor) {
+			t.Fatalf("trial %d: Xor count %d want %d", trial, x.Count(), len(wantXor))
+		}
+
+		// FlipAll over b's members must reproduce Xor(a, b); duplicate
+		// ids cancel pairwise.
+		ids := rb.sorted()
+		if f := FlipAll(a, ids); !f.Equal(x) {
+			t.Fatalf("trial %d: FlipAll != Xor", trial)
+		}
+		dup := append(append([]uint32{}, ids...), ids...)
+		if f := FlipAll(a, dup); !f.Equal(a) {
+			t.Fatalf("trial %d: doubled FlipAll should cancel to base", trial)
+		}
+		// FlipAll must not mutate its base.
+		if !a.Equal(ra.toSet()) {
+			t.Fatalf("trial %d: FlipAll mutated base", trial)
+		}
+
+		// ForEach ascending enumeration matches the reference order.
+		var got []uint32
+		a.ForEach(func(i uint32) { got = append(got, i) })
+		want := ra.sorted()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: ForEach count %d want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: ForEach[%d] = %d want %d", trial, i, got[i], want[i])
+			}
+		}
+
+		// Key equality iff set equality (over this trial's pair).
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			t.Fatalf("trial %d: Key/Equal disagree", trial)
+		}
+		if c := a.Clone(); !c.Equal(a) {
+			t.Fatalf("trial %d: Clone mismatch", trial)
+		}
+	}
+}
+
+func TestAppendKeyReuse(t *testing.T) {
+	var s Set
+	s.Set(1)
+	s.Set(100)
+	buf := make([]byte, 0, 64)
+	k1 := string(s.AppendKey(buf[:0]))
+	if k1 != s.Key() {
+		t.Fatal("AppendKey into reused buffer differs from Key")
+	}
+	var empty Set
+	if empty.Key() != "" || len(empty.AppendKey(nil)) != 0 {
+		t.Fatal("empty set must have empty key")
+	}
+}

@@ -240,6 +240,13 @@ func matchBody(inst *relation.Instance, body []term.Atom, cond []Comparison, fn 
 	s := term.NewSubst()
 	var trail []string
 	var argsBuf []term.Term
+	// Per-depth scratch: the applied pattern's argument buffer and the
+	// candidate-tuple buffer both live for the whole loop at their
+	// depth, so each depth owns one of each and no inner scan
+	// allocates. (argsBuf is only read inside MatchTrail, so a single
+	// buffer shared across depths suffices for the fact side.)
+	patBufs := make([][]term.Term, len(body))
+	tupBufs := make([][]relation.Tuple, len(body))
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(body) {
@@ -254,8 +261,9 @@ func matchBody(inst *relation.Instance, body []term.Atom, cond []Comparison, fn 
 			}
 			return fn(s.Clone())
 		}
-		pat := s.Apply(body[i])
-		for _, tup := range inst.MatchingTuples(pat) {
+		pat := s.ApplyInto(body[i], patBufs[i])
+		patBufs[i] = pat.Args
+		for _, tup := range inst.MatchingTuplesBuf(pat, &tupBufs[i]) {
 			mark := len(trail)
 			argsBuf = term.ConstArgs(argsBuf[:0], tup)
 			if term.MatchTrail(pat, term.Atom{Pred: pat.Pred, Args: argsBuf}, s, &trail) {

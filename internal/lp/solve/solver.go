@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/lp/ground"
 )
 
@@ -75,6 +76,11 @@ type solver struct {
 	inNeg  [][]int
 	models []Model
 	seen   map[string]bool
+	// leafBits/keyBuf are the reusable leaf-signature buffers: every
+	// leaf renders its true-atom bitset and canonical key into them, so
+	// dedup probes stop allocating per leaf.
+	leafBits bitset.Set
+	keyBuf   []byte
 	// counter, when non-nil, is the global model count shared between
 	// parallel subtree solvers; it makes MaxModels a global bound.
 	counter *atomic.Int64
@@ -156,12 +162,11 @@ func StableModels(gp *ground.Program, opt Options) ([]Model, error) {
 // modelBits renders a model as its atom-id bitset signature under the
 // program's atom index, the same keying leaf uses for deduplication.
 func modelBits(gp *ground.Program, m Model) string {
-	bits := make([]byte, (len(gp.Atoms)+7)/8)
+	var bits bitset.Set
 	for _, k := range m {
-		a := gp.Index[k]
-		bits[a>>3] |= 1 << uint(a&7)
+		bits.Set(uint32(gp.Index[k]))
 	}
-	return string(bits)
+	return bits.Key()
 }
 
 func sortModels(models []Model) {
@@ -465,19 +470,21 @@ func (s *solver) search() {
 }
 
 // leaf verifies the total assignment is a stable model and records it.
-// Models are deduplicated by an atom-id bitset signature, so a repeated
-// leaf costs one bit scan instead of rendering and joining the sorted
-// atom keys (and known models skip the stability re-check entirely).
+// Models are deduplicated by an atom-id bitset signature rendered into
+// the solver's reusable buffers, so a repeated leaf costs one bit scan
+// and a map probe — no allocation, no rendering of the sorted atom keys
+// — and known models skip the stability re-check entirely.
 func (s *solver) leaf() {
-	bits := make([]byte, (len(s.assign)+7)/8)
+	s.leafBits = s.leafBits[:0]
 	count := 0
 	for a, v := range s.assign {
 		if v == vTrue {
-			bits[a>>3] |= 1 << uint(a&7)
+			s.leafBits.Set(uint32(a))
 			count++
 		}
 	}
-	if s.seen[string(bits)] {
+	s.keyBuf = s.leafBits.AppendKey(s.keyBuf[:0])
+	if s.seen[string(s.keyBuf)] {
 		return
 	}
 	m := make(map[int]bool, count)
@@ -489,7 +496,7 @@ func (s *solver) leaf() {
 	if !s.isStable(m) {
 		return
 	}
-	s.seen[string(bits)] = true
+	s.seen[string(s.keyBuf)] = true
 	keys := make([]string, 0, count)
 	for a := range m {
 		keys = append(keys, s.gp.Atoms[a])

@@ -1,0 +1,389 @@
+package relation
+
+// Property, fuzz and concurrency tests for the columnar storage plane:
+// every observable behaviour of the packed-segment Instance is checked
+// against refInstance, a deliberately naive map-of-maps implementation
+// matching the seed's storage model. The reference is test-only — it
+// exists so the equivalence oracle stays independent of the arena,
+// slot-index and copy-on-write machinery under test.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/term"
+)
+
+// refInstance is the map-backed reference: one map per relation, keyed
+// by the rendered fact key, exactly the seed's representation.
+type refInstance struct {
+	rels map[string]map[string]Tuple
+}
+
+func newRef() *refInstance { return &refInstance{rels: map[string]map[string]Tuple{}} }
+
+func refKey(t Tuple) string {
+	k := fmt.Sprintf("%d", len(t))
+	for _, v := range t {
+		k += "\x1f" + v
+	}
+	return k
+}
+
+func (r *refInstance) insert(rel string, t Tuple) bool {
+	m := r.rels[rel]
+	if m == nil {
+		m = map[string]Tuple{}
+		r.rels[rel] = m
+	}
+	k := refKey(t)
+	if _, ok := m[k]; ok {
+		return false
+	}
+	m[k] = append(Tuple(nil), t...)
+	return true
+}
+
+func (r *refInstance) delete(rel string, t Tuple) bool {
+	m := r.rels[rel]
+	k := refKey(t)
+	if _, ok := m[k]; !ok {
+		return false
+	}
+	delete(m, k)
+	return true
+}
+
+func (r *refInstance) has(rel string, t Tuple) bool {
+	_, ok := r.rels[rel][refKey(t)]
+	return ok
+}
+
+// tuples returns the relation's tuples in the canonical sorted order
+// Instance.Tuples documents.
+func (r *refInstance) tuples(rel string) []Tuple {
+	var out []Tuple
+	for _, t := range r.rels[rel] {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// matching filters tuples by the pattern's ground arguments, the
+// specification MatchingTuples implements with its column indexes.
+func (r *refInstance) matching(pat term.Atom) []Tuple {
+	var out []Tuple
+	for _, t := range r.tuples(pat.Pred) {
+		if len(t) != len(pat.Args) {
+			continue
+		}
+		ok := true
+		for i, a := range pat.Args {
+			if !a.IsVar && t[i] != a.Name {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (r *refInstance) clone() *refInstance {
+	c := newRef()
+	for rel, m := range r.rels {
+		cm := make(map[string]Tuple, len(m))
+		for k, t := range m {
+			cm[k] = t
+		}
+		c.rels[rel] = cm
+	}
+	return c
+}
+
+func (r *refInstance) count(rel string) int { return len(r.rels[rel]) }
+
+func (r *refInstance) size() int {
+	n := 0
+	for _, m := range r.rels {
+		n += len(m)
+	}
+	return n
+}
+
+// checkEquiv compares every observable of the Instance against the
+// reference: membership, counts, the sorted tuple view, and indexed
+// pattern matching for a spread of ground/variable argument shapes.
+func checkEquiv(t *testing.T, label string, in *Instance, ref *refInstance, rels []string, dom []string) {
+	t.Helper()
+	if in.Size() != ref.size() {
+		t.Fatalf("%s: Size = %d, ref %d", label, in.Size(), ref.size())
+	}
+	var buf []Tuple
+	for _, rel := range rels {
+		if in.Count(rel) != ref.count(rel) {
+			t.Fatalf("%s: Count(%s) = %d, ref %d", label, rel, in.Count(rel), ref.count(rel))
+		}
+		got := in.Tuples(rel)
+		want := ref.tuples(rel)
+		if len(got) != len(want) {
+			t.Fatalf("%s: Tuples(%s) len %d, ref %d\ngot %v\nwant %v", label, rel, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%s: Tuples(%s)[%d] = %v, ref %v", label, rel, i, got[i], want[i])
+			}
+		}
+		for _, pat := range []term.Atom{
+			term.NewAtom(rel, term.V("X"), term.V("Y")),
+			term.NewAtom(rel, term.C(dom[0]), term.V("Y")),
+			term.NewAtom(rel, term.V("X"), term.C(dom[1])),
+			term.NewAtom(rel, term.C(dom[2]), term.C(dom[0])),
+		} {
+			got := in.MatchingTuplesBuf(pat, &buf)
+			want := ref.matching(pat)
+			if len(got) != len(want) {
+				t.Fatalf("%s: MatchingTuples(%v) len %d, ref %d", label, pat, len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("%s: MatchingTuples(%v)[%d] = %v, ref %v", label, pat, i, got[i], want[i])
+				}
+			}
+		}
+		for _, v := range dom {
+			tu := Tuple{v, dom[0]}
+			if in.Has(rel, tu) != ref.has(rel, tu) {
+				t.Fatalf("%s: Has(%s, %v) = %v, ref %v", label, rel, tu, in.Has(rel, tu), ref.has(rel, tu))
+			}
+		}
+	}
+}
+
+// TestColumnarMatchesMapReference drives random insert/delete/clone
+// sequences through the columnar Instance and the map-backed reference
+// in lockstep: tombstone revival, COW privatization and the
+// cache-invalidation levels all get exercised because deletes and
+// re-inserts hit the same keys repeatedly from a small domain.
+func TestColumnarMatchesMapReference(t *testing.T) {
+	rels := []string{"r", "s"}
+	dom := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		in := NewInstance()
+		ref := newRef()
+		// Interleaved clone lineage: ops alternate between the current
+		// pair and a clone taken mid-sequence, so shared segments see
+		// both liveness-only and structural mutations afterwards.
+		for step := 0; step < 120; step++ {
+			rel := rels[rng.Intn(len(rels))]
+			tu := Tuple{dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))]}
+			switch rng.Intn(5) {
+			case 0, 1, 2: // insert (biased: keeps relations populated)
+				if got, want := in.Insert(rel, tu), ref.insert(rel, tu); got != want {
+					t.Fatalf("trial %d step %d: Insert(%s,%v) = %v, ref %v", trial, step, rel, tu, got, want)
+				}
+			case 3:
+				if got, want := in.Delete(rel, tu), ref.delete(rel, tu); got != want {
+					t.Fatalf("trial %d step %d: Delete(%s,%v) = %v, ref %v", trial, step, rel, tu, got, want)
+				}
+			case 4: // clone and switch lineage; old pair must stay frozen
+				oldIn, oldRef := in, ref
+				in, ref = in.Clone(), ref.clone()
+				// Mutate the new lineage, then verify the old one did
+				// not move (COW isolation).
+				in.Insert(rel, tu)
+				ref.insert(rel, tu)
+				checkEquiv(t, fmt.Sprintf("trial %d step %d (parent after clone mutation)", trial, step), oldIn, oldRef, rels, dom)
+			}
+			if step%17 == 0 {
+				checkEquiv(t, fmt.Sprintf("trial %d step %d", trial, step), in, ref, rels, dom)
+			}
+		}
+		checkEquiv(t, fmt.Sprintf("trial %d final", trial), in, ref, rels, dom)
+		// Canonical key/hash agree with a rebuilt instance holding the
+		// same facts (storage history — tombstones, arena order — must
+		// not leak into observables).
+		rebuilt := NewInstance()
+		for _, rel := range rels {
+			for _, tu := range ref.tuples(rel) {
+				rebuilt.Insert(rel, tu)
+			}
+		}
+		if in.Key() != rebuilt.Key() {
+			t.Fatalf("trial %d: Key differs from rebuilt instance", trial)
+		}
+		if !in.Equal(rebuilt) {
+			t.Fatalf("trial %d: Equal differs from rebuilt instance", trial)
+		}
+		for _, rel := range rels {
+			if in.RelHash(rel) != rebuilt.RelHash(rel) {
+				t.Fatalf("trial %d: RelHash(%s) differs from rebuilt instance", trial, rel)
+			}
+		}
+	}
+}
+
+// FuzzColumnarOps fuzzes the same lockstep equivalence with a raw byte
+// string as the op tape, so the fuzzer can search for op interleavings
+// the random trials miss (e.g. delete-revive-delete of one key across
+// a clone boundary).
+func FuzzColumnarOps(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0x01, 0xc4})
+	f.Add([]byte{0x00, 0x40, 0x80, 0xc0, 0x00, 0x40})
+	f.Add([]byte("delete-revive-delete"))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		rels := []string{"r", "s"}
+		dom := []string{"a", "b", "c", "d"}
+		in := NewInstance()
+		ref := newRef()
+		for _, b := range tape {
+			rel := rels[int(b>>5)%len(rels)]
+			tu := Tuple{dom[int(b>>3)%len(dom)], dom[int(b>>1)%len(dom)]}
+			switch b % 3 {
+			case 0, 1:
+				if in.Insert(rel, tu) != ref.insert(rel, tu) {
+					t.Fatalf("Insert(%s,%v) diverged", rel, tu)
+				}
+			case 2:
+				if in.Delete(rel, tu) != ref.delete(rel, tu) {
+					t.Fatalf("Delete(%s,%v) diverged", rel, tu)
+				}
+			}
+			if b&0x10 != 0 {
+				in, ref = in.Clone(), ref.clone()
+			}
+		}
+		checkEquiv(t, "fuzz final", in, ref, rels, dom)
+	})
+}
+
+// TestCloneCOWConcurrentMutation pins the copy-on-write contract under
+// the race detector: after Clone, the parent and the clone may be
+// mutated and read from different goroutines concurrently — each write
+// privatizes against the shared segments, which are never written in
+// place — and a second clone may serve reads (cache fills included)
+// throughout. Run with -race to make the isolation claim meaningful.
+func TestCloneCOWConcurrentMutation(t *testing.T) {
+	in := NewInstance()
+	for i := 0; i < 200; i++ {
+		in.Insert("r", Tuple{fmt.Sprintf("k%d", i), "v"})
+	}
+	parent := in
+	clone := in.Clone()
+	reader := in.Clone()
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			parent.Delete("r", Tuple{fmt.Sprintf("k%d", i), "v"})
+			parent.Insert("r", Tuple{fmt.Sprintf("p%d", i), "v"})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 100; i < 200; i++ {
+			clone.Delete("r", Tuple{fmt.Sprintf("k%d", i), "v"})
+			clone.Insert("r", Tuple{fmt.Sprintf("c%d", i), "v"})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var buf []Tuple
+		for i := 0; i < 50; i++ {
+			if n := len(reader.Tuples("r")); n != 200 {
+				t.Errorf("reader clone sees %d tuples, want 200", n)
+				return
+			}
+			reader.RelHash("r")
+			reader.MatchingTuplesBuf(term.NewAtom("r", term.V("X"), term.C("v")), &buf)
+		}
+	}()
+	wg.Wait()
+
+	if parent.Count("r") != 200 || clone.Count("r") != 200 || reader.Count("r") != 200 {
+		t.Fatalf("counts diverged: parent=%d clone=%d reader=%d",
+			parent.Count("r"), clone.Count("r"), reader.Count("r"))
+	}
+	for i := 0; i < 100; i++ {
+		if parent.Has("r", Tuple{fmt.Sprintf("k%d", i), "v"}) {
+			t.Fatalf("parent delete of k%d leaked back", i)
+		}
+		if !clone.Has("r", Tuple{fmt.Sprintf("k%d", i), "v"}) {
+			t.Fatalf("clone lost k%d to the parent's delete", i)
+		}
+		if !reader.Has("r", Tuple{fmt.Sprintf("k%d", i), "v"}) {
+			t.Fatalf("reader lost k%d", i)
+		}
+	}
+	for i := 100; i < 200; i++ {
+		if !parent.Has("r", Tuple{fmt.Sprintf("k%d", i), "v"}) {
+			t.Fatalf("parent lost k%d to the clone's delete", i)
+		}
+		if clone.Has("r", Tuple{fmt.Sprintf("k%d", i), "v"}) {
+			t.Fatalf("clone delete of k%d leaked back", i)
+		}
+	}
+}
+
+// TestMatchingTuplesBufReuse pins the buffer contract: results from a
+// previous MatchingTuplesBuf call must stay valid only until the next
+// call with the same buffer, and the no-ground-args fall-back must NOT
+// capture the shared sorted view into the caller's buffer (a later
+// filtered call would then scribble over the live cache).
+func TestMatchingTuplesBufReuse(t *testing.T) {
+	in := NewInstance()
+	in.Insert("r", Tuple{"a", "1"})
+	in.Insert("r", Tuple{"b", "2"})
+	in.Insert("r", Tuple{"a", "3"})
+
+	var buf []Tuple
+	all := in.MatchingTuplesBuf(term.NewAtom("r", term.V("X"), term.V("Y")), &buf)
+	if len(all) != 3 {
+		t.Fatalf("full view = %v", all)
+	}
+	if buf != nil {
+		t.Fatalf("fall-back path wrote the shared view into the caller's buffer")
+	}
+	got := in.MatchingTuplesBuf(term.NewAtom("r", term.C("a"), term.V("Y")), &buf)
+	if len(got) != 2 || got[0][1] != "1" || got[1][1] != "3" {
+		t.Fatalf("filtered = %v", got)
+	}
+	// The earlier full view must be unaffected by the filtered call.
+	if len(all) != 3 || all[0][0] != "a" || all[1][0] != "a" || all[2][0] != "b" {
+		t.Fatalf("shared sorted view corrupted by buffered call: %v", all)
+	}
+}
+
+// TestTombstoneReviveKeepsViews covers the delete → re-insert cycle the
+// repair search performs constantly: revival must restore the exact
+// tuple, keep the sorted order canonical, and advance the generation so
+// memoized views refresh.
+func TestTombstoneReviveKeepsViews(t *testing.T) {
+	in := NewInstance()
+	in.Insert("r", Tuple{"a", "1"})
+	in.Insert("r", Tuple{"b", "2"})
+	g0 := in.RelGen("r")
+	in.Delete("r", Tuple{"a", "1"})
+	if got := in.Tuples("r"); len(got) != 1 || got[0][0] != "b" {
+		t.Fatalf("after delete: %v", got)
+	}
+	in.Insert("r", Tuple{"a", "1"}) // revives the tombstoned row
+	if got := in.Tuples("r"); len(got) != 2 || got[0][0] != "a" || got[1][0] != "b" {
+		t.Fatalf("after revive: %v", got)
+	}
+	if in.RelGen("r") == g0 {
+		t.Fatal("generation did not advance across delete+revive")
+	}
+	if in.Count("r") != 2 {
+		t.Fatalf("Count = %d", in.Count("r"))
+	}
+}

@@ -5,16 +5,23 @@
 // concrete realization of the instances r(P) of Definition 2 and of the
 // distance Δ(r1,r2) of Definition 1 in the paper.
 //
-// Storage is interned: every constant is mapped to a dense uint32 id in
-// a symtab.Table (shared across the instances of one core.System), and
-// tuples are stored and hashed as packed id vectors instead of joined
-// strings. Each relation additionally carries lazily built per-column
-// hash indexes (value id → tuples), so constraint matching, grounding
-// and the repair search join through index lookups instead of full
-// scans. The string-level API (Tuple, Insert, Tuples, ...) is preserved
-// as a thin view over the interned core, and every enumeration order is
-// unchanged: tuples sort by their rendered string key exactly as
-// before.
+// Storage is interned and columnar: every constant is mapped to a dense
+// uint32 id in a symtab.Table (shared across the instances of one
+// core.System), and each relation keeps its tuples in a packed segment —
+// one flat []symtab.Sym arena plus row offsets — addressed by dense
+// local row ids. Membership goes through a compact open-addressing hash
+// index (tuple content → row id), liveness through a row bitset
+// (deletes tombstone their row; re-inserts revive it), and Clone/
+// Restrict share whole segments copy-on-write: a clone copies nothing
+// until it mutates a relation, which is what makes repair-search
+// candidate states cheap at 10^5–10^6-tuple scale. Each relation
+// additionally carries lazily built read caches — the sorted string
+// view every enumeration is served from and per-column value indexes
+// over it — so constraint matching, grounding and the repair search
+// join through index lookups instead of full scans. The string-level
+// API (Tuple, Insert, Tuples, ...) is preserved as a thin view over the
+// packed core, and every enumeration order is unchanged: tuples sort by
+// their rendered string key exactly as before.
 package relation
 
 import (
@@ -24,7 +31,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/symtab"
 	"repro/internal/term"
 )
@@ -122,7 +131,7 @@ func (s *Schema) Union(t *Schema) *Schema {
 type idTuple []symtab.Sym
 
 // packIDs appends the 4-byte big-endian encoding of each id to dst.
-// The packed form is the canonical map key of the interned tuple.
+// The packed form is the canonical byte key of an interned id vector.
 func packIDs(dst []byte, ids idTuple) []byte {
 	for _, id := range ids {
 		var w [4]byte
@@ -132,19 +141,47 @@ func packIDs(dst []byte, ids idTuple) []byte {
 	return dst
 }
 
-// relData is the interned store of one relation: the tuple set keyed by
-// packed id vectors, plus lazily built read caches — the sorted string
-// view every enumeration is served from, and per-column value indexes
-// over that view. Mutations invalidate the caches; cache builds are
-// guarded by mu so concurrent readers (queries never mutate) stay
-// race-free.
+// relData is the columnar store of one relation. Tuples live in a
+// packed segment: the flat ids arena plus row offsets, so row r spans
+// ids[offs[r]:offs[r+1]] (handles mixed arity, including arity 0, in
+// one code path). Rows are append-only and addressed by dense local
+// ids; the live bitset tracks which rows are present (Delete clears the
+// bit, leaving a tombstoned row that a later identical Insert revives),
+// and slots is an open-addressing hash index from tuple content to
+// row+1 for O(1) membership without byte-string keys.
+//
+// shared marks the segment as referenced by more than one Instance —
+// Clone and Restrict set it and hand out the same *relData. The first
+// mutation through any holder copies first (copy-on-write), and the
+// copy is as shallow as the mutation allows: a liveness change (delete,
+// or re-insert of a tombstoned row) copies only the live bitset and
+// keeps pointing at the parent's arena (privatizeLive, structShared
+// stays set); only appending a genuinely new row copies the arena and
+// slot index (privatizeStruct). A repair-search candidate that deletes
+// one fact from a million-tuple relation therefore copies kilobytes,
+// not megabytes.
 type relData struct {
-	tuples map[string]idTuple
+	ids   []symtab.Sym // packed arena of row contents
+	offs  []uint32     // row offsets; len = rows+1, offs[0] == 0
+	live  bitset.Set   // rows currently present
+	liveN int          // == live.Count(), kept incrementally
+	slots []int32      // hash index: row+1, 0 = empty; len is a power of two
 
-	mu        sync.Mutex
-	sorted    []Tuple                // sorted by Tuple.Key; read-only once built
-	sortedIDs []idTuple              // id tuples aligned with sorted
-	cols      []map[symtab.Sym][]int // column -> value id -> indices into sorted
+	shared       atomic.Bool // any part referenced by another Instance
+	structShared bool        // ids/offs/slots shared with another relData
+
+	// Read caches, built lazily under mu. The rendered sorted view and
+	// the column indexes cover every row ever inserted (tombstones
+	// included) and are positioned over that superset, so liveness-only
+	// mutations keep them: a delete drops just liveAt and sorted, which
+	// rebuild by filtering all — no re-render, no re-sort, no index
+	// rebuild. Only a structural mutation (new row) drops everything.
+	mu      sync.Mutex
+	all     []Tuple                // every row, sorted by Tuple.Key
+	allRows []int32                // row ids aligned with all
+	liveAt  bitset.Set             // positions in all whose row is live
+	sorted  []Tuple                // live rows in sorted order (== all when none dead)
+	cols    []map[symtab.Sym][]int // column -> value id -> positions into all
 	// gen counts the mutations of the relation; hash is the cached
 	// content fingerprint, valid when hashGen == gen (hashGen starts
 	// behind gen so the zero value is invalid). Fingerprint composition
@@ -156,15 +193,159 @@ type relData struct {
 	hashGen uint64
 }
 
-func newRelData() *relData { return &relData{tuples: make(map[string]idTuple), gen: 1} }
+func newRelData() *relData { return &relData{offs: []uint32{0}, gen: 1} }
 
-// invalidate drops the read caches after a mutation and advances the
-// relation's generation.
+func (r *relData) rowCount() int { return len(r.offs) - 1 }
+
+func (r *relData) rowIDs(row int) idTuple { return r.ids[r.offs[row]:r.offs[row+1]] }
+
+// hashIDs fingerprints an id vector for the slot index (FNV-64a over
+// the ids, length-mixed so prefixes of longer rows do not collide).
+func hashIDs(ids idTuple) uint64 {
+	h := fnv64Offset
+	for _, id := range ids {
+		h = (h ^ uint64(id)) * fnv64Prime
+	}
+	return (h ^ uint64(len(ids))) * fnv64Prime
+}
+
+func (r *relData) rowEq(row int, ids idTuple) bool {
+	got := r.rowIDs(row)
+	if len(got) != len(ids) {
+		return false
+	}
+	for i, id := range got {
+		if ids[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// findRow returns the dense row id storing the given tuple content
+// (live or tombstoned), or -1. Probes compare full content, so hash
+// collisions are harmless.
+func (r *relData) findRow(ids idTuple) int {
+	if len(r.slots) == 0 {
+		return -1
+	}
+	mask := uint64(len(r.slots) - 1)
+	for i := hashIDs(ids) & mask; ; i = (i + 1) & mask {
+		s := r.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if r.rowEq(int(s-1), ids) {
+			return int(s - 1)
+		}
+	}
+}
+
+// growIndex rebuilds the slot index with room for want rows at < 3/4
+// load. Tombstoned rows stay indexed: they must remain findable so a
+// re-insert of identical content revives the row instead of storing a
+// duplicate.
+func (r *relData) growIndex(want int) {
+	n := len(r.slots)
+	if n < 16 {
+		n = 16
+	}
+	for want*4 >= n*3 {
+		n *= 2
+	}
+	slots := make([]int32, n)
+	mask := uint64(n - 1)
+	for row := 0; row < r.rowCount(); row++ {
+		for i := hashIDs(r.rowIDs(row)) & mask; ; i = (i + 1) & mask {
+			if slots[i] == 0 {
+				slots[i] = int32(row + 1)
+				break
+			}
+		}
+	}
+	r.slots = slots
+}
+
+// insertRow appends a new row holding ids (copied into the arena) and
+// indexes it. The caller is responsible for liveness.
+func (r *relData) insertRow(ids idTuple) int {
+	if (r.rowCount()+1)*4 >= len(r.slots)*3 {
+		r.growIndex(r.rowCount() + 1)
+	}
+	row := r.rowCount()
+	r.ids = append(r.ids, ids...)
+	r.offs = append(r.offs, uint32(len(r.ids)))
+	mask := uint64(len(r.slots) - 1)
+	for i := hashIDs(ids) & mask; ; i = (i + 1) & mask {
+		if r.slots[i] == 0 {
+			r.slots[i] = int32(row + 1)
+			break
+		}
+	}
+	return row
+}
+
+// privatizeLive returns a copy fit for liveness-only mutations: the
+// live bitset is copied, the arena/offsets/slot index stay shared with
+// the parent (structShared), and the structural read caches — valid for
+// the unchanged structure — are carried over by pointer. The copy
+// carries the generation forward so RelGen stays monotonic along the
+// clone lineage.
+func (r *relData) privatizeLive() *relData {
+	c := &relData{
+		ids:          r.ids,
+		offs:         r.offs,
+		slots:        r.slots,
+		live:         r.live.Clone(),
+		liveN:        r.liveN,
+		structShared: true,
+	}
+	r.mu.Lock()
+	c.all, c.allRows, c.cols = r.all, r.allRows, r.cols
+	c.gen, c.hash, c.hashGen = r.gen, r.hash, r.hashGen
+	r.mu.Unlock()
+	return c
+}
+
+// privatizeStruct returns a fully independent copy, required before
+// appending a new row: in-place appends to a shared arena or slot index
+// would be visible to (or race with) the other holders.
+func (r *relData) privatizeStruct() *relData {
+	c := &relData{
+		ids:   append([]symtab.Sym(nil), r.ids...),
+		offs:  append([]uint32(nil), r.offs...),
+		slots: append([]int32(nil), r.slots...),
+		live:  r.live.Clone(),
+		liveN: r.liveN,
+	}
+	r.mu.Lock()
+	c.all, c.allRows, c.cols = r.all, r.allRows, r.cols
+	c.gen, c.hash, c.hashGen = r.gen, r.hash, r.hashGen
+	r.mu.Unlock()
+	return c
+}
+
+// invalidate drops every read cache after a structural mutation (new
+// row) and advances the relation's generation.
 func (r *relData) invalidate() {
 	r.mu.Lock()
+	r.all = nil
+	r.allRows = nil
+	r.liveAt = nil
 	r.sorted = nil
-	r.sortedIDs = nil
 	r.cols = nil
+	r.gen++
+	r.mu.Unlock()
+}
+
+// invalidateLive drops only the liveness-dependent caches after a
+// delete or revival: the rendered superset view and the column indexes
+// survive, so the rebuild is a bitset refresh plus a pointer filter
+// instead of a full re-render/re-sort/re-index.
+func (r *relData) invalidateLive() {
+	r.mu.Lock()
+	r.liveAt = nil
+	r.sorted = nil
 	r.gen++
 	r.mu.Unlock()
 }
@@ -172,9 +353,11 @@ func (r *relData) invalidate() {
 // Instance is a database instance: for each relation name, a set of
 // tuples. The zero value is not usable; use NewInstance (private table)
 // or NewInstanceIn (table shared with other instances, e.g. per
-// core.System). Mutations must not run concurrently with reads; the
-// lazily built read caches are internally synchronized, so read-only
-// sharing between goroutines is safe.
+// core.System). Mutations must not run concurrently with reads of the
+// same Instance; the lazily built read caches and the copy-on-write
+// segment sharing are internally synchronized, so read-only sharing
+// between goroutines — including reading an instance while a clone of
+// it is mutated elsewhere — is safe.
 type Instance struct {
 	tab  *symtab.Table
 	rels map[string]*relData
@@ -208,19 +391,23 @@ func (in *Instance) Rehome(tab *symtab.Table) {
 	}
 	old := in.tab
 	in.tab = tab
-	for _, r := range in.rels {
-		moved := make(map[string]idTuple, len(r.tuples))
-		var buf []byte
-		for _, ids := range r.tuples {
-			nids := make(idTuple, len(ids))
-			for i, id := range ids {
+	for rel, r := range in.rels {
+		// Rebuild into a fresh private segment (r may be shared with
+		// instances staying on the old table). Tombstoned rows are
+		// dropped along the way.
+		nr := newRelData()
+		nr.gen = r.gen + 1
+		r.live.ForEach(func(row uint32) {
+			oids := r.rowIDs(int(row))
+			nids := make(idTuple, len(oids))
+			for i, id := range oids {
 				nids[i] = tab.Intern(old.Name(id))
 			}
-			buf = packIDs(buf[:0], nids)
-			moved[string(buf)] = nids
-		}
-		r.tuples = moved
-		r.invalidate()
+			nrow := nr.insertRow(nids)
+			nr.live.Set(uint32(nrow))
+			nr.liveN++
+		})
+		in.rels[rel] = nr
 	}
 }
 
@@ -233,19 +420,20 @@ func (in *Instance) intern(t Tuple) idTuple {
 	return ids
 }
 
-// lookupIDs converts a string tuple to ids without interning; ok is
-// false when some constant is unknown to the table (then the tuple
-// cannot be present in any relation of this instance).
-func (in *Instance) lookupIDs(t Tuple) (idTuple, bool) {
-	ids := make(idTuple, len(t))
-	for i, v := range t {
+// lookupInto converts a string tuple to ids without interning,
+// appending to buf (callers pass a stack buffer to keep hot membership
+// probes allocation-free); ok is false when some constant is unknown to
+// the table (then the tuple cannot be present in any relation of this
+// instance).
+func (in *Instance) lookupInto(buf idTuple, t Tuple) (idTuple, bool) {
+	for _, v := range t {
 		id, ok := in.tab.Lookup(v)
 		if !ok {
 			return nil, false
 		}
-		ids[i] = id
+		buf = append(buf, id)
 	}
-	return ids, true
+	return buf, true
 }
 
 // strings renders an id tuple back to a string tuple.
@@ -260,52 +448,83 @@ func (in *Instance) strings(ids idTuple) Tuple {
 // Insert adds a tuple to the named relation. It reports whether the
 // tuple was newly added.
 func (in *Instance) Insert(rel string, t Tuple) bool {
-	return in.insertIDs(rel, in.intern(t))
+	var buf [8]symtab.Sym
+	ids := idTuple(buf[:0])
+	for _, v := range t {
+		ids = append(ids, in.tab.Intern(v))
+	}
+	return in.insertIDs(rel, ids)
 }
 
+// insertIDs adds an id tuple, copying it into the relation's arena. The
+// duplicate probe runs before any copy-on-write, so inserting an
+// already-present tuple into a shared segment copies nothing; reviving
+// a tombstoned row copies only liveness.
 func (in *Instance) insertIDs(rel string, ids idTuple) bool {
 	r, ok := in.rels[rel]
 	if !ok {
 		r = newRelData()
 		in.rels[rel] = r
+	} else if row := r.findRow(ids); row >= 0 {
+		if r.live.Has(uint32(row)) {
+			return false
+		}
+		if r.shared.Load() {
+			r = r.privatizeLive()
+			in.rels[rel] = r
+		}
+		r.live.Set(uint32(row))
+		r.liveN++
+		r.invalidateLive()
+		return true
+	} else if r.shared.Load() || r.structShared {
+		r = r.privatizeStruct()
+		in.rels[rel] = r
 	}
-	key := packIDs(nil, ids)
-	if _, dup := r.tuples[string(key)]; dup {
-		return false
-	}
-	r.tuples[string(key)] = ids
+	row := r.insertRow(ids)
+	r.live.Set(uint32(row))
+	r.liveN++
 	r.invalidate()
 	return true
 }
 
 // InsertAtom adds a ground atom; it panics on non-ground atoms.
 func (in *Instance) InsertAtom(a term.Atom) bool {
-	t := make(Tuple, len(a.Args))
-	for i, arg := range a.Args {
+	var buf [8]symtab.Sym
+	ids := idTuple(buf[:0])
+	for _, arg := range a.Args {
 		if arg.IsVar {
 			panic(fmt.Sprintf("relation: InsertAtom on non-ground atom %s", a))
 		}
-		t[i] = arg.Name
+		ids = append(ids, in.tab.Intern(arg.Name))
 	}
-	return in.Insert(a.Pred, t)
+	return in.insertIDs(a.Pred, ids)
 }
 
 // Delete removes a tuple; it reports whether the tuple was present.
+// The row is tombstoned (live bit cleared), not compacted away, so
+// deletes never move rows; a later identical Insert revives it.
 func (in *Instance) Delete(rel string, t Tuple) bool {
 	r, ok := in.rels[rel]
 	if !ok {
 		return false
 	}
-	ids, ok := in.lookupIDs(t)
+	var buf [8]symtab.Sym
+	ids, ok := in.lookupInto(buf[:0], t)
 	if !ok {
 		return false
 	}
-	key := packIDs(nil, ids)
-	if _, present := r.tuples[string(key)]; !present {
+	row := r.findRow(ids)
+	if row < 0 || !r.live.Has(uint32(row)) {
 		return false
 	}
-	delete(r.tuples, string(key))
-	r.invalidate()
+	if r.shared.Load() {
+		r = r.privatizeLive()
+		in.rels[rel] = r
+	}
+	r.live.Clear(uint32(row))
+	r.liveN--
+	r.invalidateLive()
 	return true
 }
 
@@ -315,14 +534,13 @@ func (in *Instance) Has(rel string, t Tuple) bool {
 	if !ok {
 		return false
 	}
-	ids, ok := in.lookupIDs(t)
+	var buf [8]symtab.Sym
+	ids, ok := in.lookupInto(buf[:0], t)
 	if !ok {
 		return false
 	}
-	var buf [32]byte
-	key := packIDs(buf[:0], ids)
-	_, present := r.tuples[string(key)]
-	return present
+	row := r.findRow(ids)
+	return row >= 0 && r.live.Has(uint32(row))
 }
 
 // HasAtom reports membership of a ground atom.
@@ -331,8 +549,8 @@ func (in *Instance) HasAtom(a term.Atom) bool {
 	if !ok {
 		return false
 	}
-	var buf [32]byte
-	key := buf[:0]
+	var buf [8]symtab.Sym
+	ids := idTuple(buf[:0])
 	for _, arg := range a.Args {
 		if arg.IsVar {
 			return false
@@ -341,38 +559,62 @@ func (in *Instance) HasAtom(a term.Atom) bool {
 		if !known {
 			return false
 		}
-		var w [4]byte
-		binary.BigEndian.PutUint32(w[:], id)
-		key = append(key, w[:]...)
+		ids = append(ids, id)
 	}
-	_, present := r.tuples[string(key)]
-	return present
+	row := r.findRow(ids)
+	return row >= 0 && r.live.Has(uint32(row))
 }
 
-// buildSorted (re)builds the relation's sorted views under r.mu: the
-// string tuples sorted by their canonical key, and the id tuples
-// aligned with that order. Keys are rendered once per tuple, not once
-// per comparison.
-func (in *Instance) buildSorted(r *relData) {
-	if r.sorted != nil || len(r.tuples) == 0 {
+// buildViews (re)builds the relation's read caches under r.mu, each
+// level only if missing: the rendered superset view (every row ever
+// inserted, sorted by canonical key — keys are rendered once per tuple,
+// not once per comparison), the position-liveness bitset over it, and
+// the live sorted view. After a liveness-only mutation the first level
+// is still present, so the rebuild is a bitset refresh plus a pointer
+// filter over already-rendered tuples.
+func (in *Instance) buildViews(r *relData) {
+	if r.all == nil && r.rowCount() > 0 {
+		type rec struct {
+			key string
+			t   Tuple
+			row int32
+		}
+		n := r.rowCount()
+		recs := make([]rec, 0, n)
+		for row := 0; row < n; row++ {
+			t := in.strings(r.rowIDs(row))
+			recs = append(recs, rec{key: t.Key(), t: t, row: int32(row)})
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+		r.all = make([]Tuple, len(recs))
+		r.allRows = make([]int32, len(recs))
+		for i, rc := range recs {
+			r.all[i] = rc.t
+			r.allRows[i] = rc.row
+		}
+	}
+	if r.liveN == 0 {
 		return
 	}
-	type row struct {
-		key string
-		t   Tuple
-		ids idTuple
+	if r.liveAt == nil {
+		la := bitset.New(len(r.all))
+		for i, row := range r.allRows {
+			if r.live.Has(uint32(row)) {
+				la.Set(uint32(i))
+			}
+		}
+		r.liveAt = la
 	}
-	rows := make([]row, 0, len(r.tuples))
-	for _, ids := range r.tuples {
-		t := in.strings(ids)
-		rows = append(rows, row{key: t.Key(), t: t, ids: ids})
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
-	r.sorted = make([]Tuple, len(rows))
-	r.sortedIDs = make([]idTuple, len(rows))
-	for i, rw := range rows {
-		r.sorted[i] = rw.t
-		r.sortedIDs[i] = rw.ids
+	if r.sorted == nil {
+		if r.liveN == len(r.all) {
+			r.sorted = r.all
+		} else {
+			s := make([]Tuple, 0, r.liveN)
+			r.liveAt.ForEach(func(i uint32) {
+				s = append(s, r.all[int(i)])
+			})
+			r.sorted = s
+		}
 	}
 }
 
@@ -380,45 +622,47 @@ func (in *Instance) buildSorted(r *relData) {
 // it on first use. The returned slice and its tuples are read-only.
 func (in *Instance) sortedView(rel string) []Tuple {
 	r, ok := in.rels[rel]
-	if !ok {
+	if !ok || r.liveN == 0 {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	in.buildSorted(r)
+	in.buildViews(r)
 	return r.sorted
 }
 
-// colIndex returns the relation's lazily built per-column indexes over
-// the sorted view. The indexes are built directly from the stored id
-// tuples (no string re-hashing).
-func (in *Instance) colIndex(rel string) ([]map[symtab.Sym][]int, []Tuple) {
+// colIndex returns the relation's lazily built per-column indexes plus
+// the views they are positioned over. The indexes are built directly
+// from the packed segment (no string re-hashing) and cover tombstoned
+// rows too, which is what lets them survive deletes; MatchingTuples
+// filters candidates through liveAt.
+func (in *Instance) colIndex(rel string) (cols []map[symtab.Sym][]int, all, sorted []Tuple, liveAt bitset.Set) {
 	r, ok := in.rels[rel]
-	if !ok {
-		return nil, nil
+	if !ok || r.liveN == 0 {
+		return nil, nil, nil, nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	in.buildSorted(r)
-	if r.cols == nil && len(r.sortedIDs) > 0 {
+	in.buildViews(r)
+	if r.cols == nil && len(r.all) > 0 {
 		arity := 0
-		for _, ids := range r.sortedIDs {
-			if len(ids) > arity {
-				arity = len(ids)
+		for _, row := range r.allRows {
+			if n := len(r.rowIDs(int(row))); n > arity {
+				arity = n
 			}
 		}
 		cols := make([]map[symtab.Sym][]int, arity)
 		for c := range cols {
 			cols[c] = make(map[symtab.Sym][]int)
 		}
-		for i, ids := range r.sortedIDs {
-			for c, id := range ids {
+		for i, row := range r.allRows {
+			for c, id := range r.rowIDs(int(row)) {
 				cols[c][id] = append(cols[c][id], i)
 			}
 		}
 		r.cols = cols
 	}
-	return r.cols, r.sorted
+	return r.cols, r.all, r.sorted, r.liveAt
 }
 
 // Tuples returns the tuples of a relation in deterministic (sorted)
@@ -450,7 +694,20 @@ func (in *Instance) TuplesShared(rel string) []Tuple {
 // Patterns with no ground arguments fall back to the full (shared)
 // view.
 func (in *Instance) MatchingTuples(pat term.Atom) []Tuple {
-	cols, sorted := in.colIndex(pat.Pred)
+	var buf []Tuple
+	return in.MatchingTuplesBuf(pat, &buf)
+}
+
+// MatchingTuplesBuf is MatchingTuples with a caller-supplied result
+// buffer: when the pattern has ground columns the filtered result is
+// appended into *buf (grown as needed and written back), so hot join
+// loops — constraint matching at 10^5-tuple scale — can reuse one
+// buffer per recursion depth instead of allocating per probe. The
+// full-view fall-back leaves *buf untouched and returns the shared
+// sorted view directly; either way the tuples themselves remain shared
+// and read-only.
+func (in *Instance) MatchingTuplesBuf(pat term.Atom, buf *[]Tuple) []Tuple {
+	cols, all, sorted, liveAt := in.colIndex(pat.Pred)
 	if len(sorted) == 0 {
 		return nil
 	}
@@ -478,9 +735,12 @@ func (in *Instance) MatchingTuples(pat term.Atom) []Tuple {
 	if best == -1 {
 		return sorted
 	}
-	out := make([]Tuple, 0, len(bestList))
+	out := (*buf)[:0]
 	for _, idx := range bestList {
-		t := sorted[idx]
+		if !liveAt.Has(uint32(idx)) {
+			continue // tombstoned row still present in the index
+		}
+		t := all[idx]
 		ok := true
 		for c, arg := range pat.Args {
 			if arg.IsVar || c == best {
@@ -495,6 +755,7 @@ func (in *Instance) MatchingTuples(pat term.Atom) []Tuple {
 			out = append(out, t)
 		}
 	}
+	*buf = out
 	return out
 }
 
@@ -528,7 +789,7 @@ func (in *Instance) RelHash(rel string) uint64 {
 	if r.hashGen == r.gen {
 		return r.hash
 	}
-	in.buildSorted(r)
+	in.buildViews(r)
 	h := uint64(fnv64Offset)
 	for _, t := range r.sorted {
 		for i := range t {
@@ -557,7 +818,7 @@ func fnv64Step(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnv64Prime }
 // Count returns the number of tuples in a relation.
 func (in *Instance) Count(rel string) int {
 	if r, ok := in.rels[rel]; ok {
-		return len(r.tuples)
+		return r.liveN
 	}
 	return 0
 }
@@ -566,7 +827,7 @@ func (in *Instance) Count(rel string) int {
 func (in *Instance) Size() int {
 	n := 0
 	for _, r := range in.rels {
-		n += len(r.tuples)
+		n += r.liveN
 	}
 	return n
 }
@@ -575,7 +836,7 @@ func (in *Instance) Size() int {
 func (in *Instance) Relations() []string {
 	out := make([]string, 0, len(in.rels))
 	for name, r := range in.rels {
-		if len(r.tuples) > 0 {
+		if r.liveN > 0 {
 			out = append(out, name)
 		}
 	}
@@ -583,43 +844,36 @@ func (in *Instance) Relations() []string {
 	return out
 }
 
-// Clone deep-copies the instance. The clone shares the (append-only)
-// symbol table, the immutable id tuples and — crucially for the repair
-// search, whose candidate states are clones differing from their
-// parent in a couple of tuples — the parent's already-built read
-// caches: sorted views and column indexes are immutable once built
-// (mutations only drop a relation's own pointers), so a clone reuses
-// them until it mutates that relation itself.
+// Clone returns a copy of the instance. The clone shares the
+// (append-only) symbol table and — copy-on-write — every relation
+// segment, including its already-built read caches (sorted views,
+// column indexes, content hash): cloning is O(#relations) regardless of
+// tuple count, and a segment is physically copied only when one holder
+// first mutates that relation (see relData.privatize). This is what
+// keeps repair-search candidate states, which differ from their parent
+// in a couple of tuples, cheap at large-universe scale.
 func (in *Instance) Clone() *Instance {
 	c := NewInstanceIn(in.tab)
 	for rel, r := range in.rels {
-		cr := newRelData()
-		cr.tuples = make(map[string]idTuple, len(r.tuples))
-		for k, ids := range r.tuples {
-			cr.tuples[k] = ids
-		}
-		r.mu.Lock()
-		cr.sorted, cr.sortedIDs, cr.cols = r.sorted, r.sortedIDs, r.cols
-		cr.gen, cr.hash, cr.hashGen = r.gen, r.hash, r.hashGen
-		r.mu.Unlock()
-		c.rels[rel] = cr
+		r.shared.Store(true)
+		c.rels[rel] = r
 	}
 	return c
 }
 
 // AddAll inserts every tuple of other into the instance (in-place
-// union). When both instances share a symbol table the id tuples are
-// reused directly, without re-interning.
+// union). When both instances share a symbol table the packed id rows
+// are copied arena-to-arena, without re-interning.
 func (in *Instance) AddAll(other *Instance) {
 	for rel, r := range other.rels {
 		if other.tab == in.tab {
-			for _, ids := range r.tuples {
-				in.insertIDs(rel, ids)
-			}
+			r.live.ForEach(func(row uint32) {
+				in.insertIDs(rel, r.rowIDs(int(row)))
+			})
 		} else {
-			for _, ids := range r.tuples {
-				in.Insert(rel, other.strings(ids))
-			}
+			r.live.ForEach(func(row uint32) {
+				in.Insert(rel, other.strings(r.rowIDs(int(row))))
+			})
 		}
 	}
 }
@@ -644,26 +898,18 @@ func (in *Instance) RestrictRels(names map[string]bool) *Instance {
 	return in.restrict(func(rel string) bool { return names[rel] })
 }
 
+// restrict shares the kept relations' segments copy-on-write, exactly
+// like Clone.
 func (in *Instance) restrict(keep func(string) bool) *Instance {
-	r := NewInstanceIn(in.tab)
+	out := NewInstanceIn(in.tab)
 	for rel, rd := range in.rels {
 		if !keep(rel) {
 			continue
 		}
-		cr := newRelData()
-		cr.tuples = make(map[string]idTuple, len(rd.tuples))
-		for k, ids := range rd.tuples {
-			cr.tuples[k] = ids
-		}
-		// Kept relations are copied unchanged, so the restriction can
-		// share the read caches like Clone does.
-		rd.mu.Lock()
-		cr.sorted, cr.sortedIDs, cr.cols = rd.sorted, rd.sortedIDs, rd.cols
-		cr.gen, cr.hash, cr.hashGen = rd.gen, rd.hash, rd.hashGen
-		rd.mu.Unlock()
-		r.rels[rel] = cr
+		rd.shared.Store(true)
+		out.rels[rel] = rd
 	}
-	return r
+	return out
 }
 
 // Equal reports whether two instances contain exactly the same tuples.
@@ -676,23 +922,37 @@ func (in *Instance) Equal(other *Instance) bool {
 		or := other.rels[rel]
 		var on int
 		if or != nil {
-			on = len(or.tuples)
+			on = or.liveN
 		}
-		if len(r.tuples) != on {
+		if r.liveN != on {
 			return false
 		}
+		if r.liveN == 0 {
+			continue
+		}
+		eq := true
 		if sameTab {
-			for k := range r.tuples {
-				if _, ok := or.tuples[k]; !ok {
-					return false
+			r.live.ForEach(func(row uint32) {
+				if !eq {
+					return
 				}
-			}
+				orow := or.findRow(r.rowIDs(int(row)))
+				if orow < 0 || !or.live.Has(uint32(orow)) {
+					eq = false
+				}
+			})
 		} else {
-			for _, ids := range r.tuples {
-				if !other.Has(rel, in.strings(ids)) {
-					return false
+			r.live.ForEach(func(row uint32) {
+				if !eq {
+					return
 				}
-			}
+				if !other.Has(rel, in.strings(r.rowIDs(int(row)))) {
+					eq = false
+				}
+			})
+		}
+		if !eq {
+			return false
 		}
 	}
 	return true
@@ -743,11 +1003,11 @@ func (in *Instance) Atoms() []term.Atom {
 func (in *Instance) ActiveDomain() []string {
 	seen := make(map[symtab.Sym]bool)
 	for _, r := range in.rels {
-		for _, ids := range r.tuples {
-			for _, id := range ids {
+		r.live.ForEach(func(row uint32) {
+			for _, id := range r.rowIDs(int(row)) {
 				seen[id] = true
 			}
-		}
+		})
 	}
 	out := make([]string, 0, len(seen))
 	for id := range seen {
@@ -795,7 +1055,7 @@ func ParseFactIDKey(key string) Fact {
 // SymDiff computes the symmetric difference Δ(r1,r2) of Definition 1:
 // the facts in r1 but not r2, and the facts in r2 but not r1. When both
 // instances share a symbol table (the normal case: repair candidates
-// are clones of the original) membership tests compare packed id keys
+// are clones of the original) membership tests compare packed rows
 // directly.
 func SymDiff(r1, r2 *Instance) []Fact {
 	var out []Fact
@@ -803,11 +1063,13 @@ func SymDiff(r1, r2 *Instance) []Fact {
 	diff := func(a, b *Instance) {
 		for rel, r := range a.rels {
 			br := b.rels[rel]
-			for k, ids := range r.tuples {
+			r.live.ForEach(func(row uint32) {
+				ids := r.rowIDs(int(row))
 				present := false
 				if sameTab {
 					if br != nil {
-						_, present = br.tuples[k]
+						brow := br.findRow(ids)
+						present = brow >= 0 && br.live.Has(uint32(brow))
 					}
 				} else {
 					present = b.Has(rel, a.strings(ids))
@@ -815,7 +1077,7 @@ func SymDiff(r1, r2 *Instance) []Fact {
 				if !present {
 					out = append(out, Fact{rel, a.strings(ids)})
 				}
-			}
+			})
 		}
 	}
 	diff(r1, r2)
@@ -849,8 +1111,9 @@ func SubsetOf(a, b map[string]bool) bool {
 
 // DeltaIDs interns the fact keys of a delta into tab and returns them
 // as a sorted id set: the interned form of DeltaKeySet, compared with
-// SubsetOfIDs merge walks instead of map probes. Both the repair
-// search and the LP minimality filter key their deltas this way.
+// SubsetOfIDs merge walks instead of map probes. The LP minimality
+// filter keys its deltas this way; the repair search goes one step
+// further and stores them as bitset.Set over the same interned ids.
 func DeltaIDs(tab *symtab.Table, delta []Fact) []symtab.Sym {
 	ids := make([]symtab.Sym, len(delta))
 	for i, f := range delta {
@@ -861,10 +1124,7 @@ func DeltaIDs(tab *symtab.Table, delta []Fact) []symtab.Sym {
 }
 
 // XorIDs returns the symmetric difference of two sorted id sets as a
-// new sorted id set (a single merge walk). The repair search derives a
-// child state's delta from its parent's this way: every fact an action
-// touches toggles its membership in the symmetric difference against
-// the original instance.
+// new sorted id set (a single merge walk).
 func XorIDs(a, b []symtab.Sym) []symtab.Sym {
 	out := make([]symtab.Sym, 0, len(a)+len(b))
 	i, j := 0, 0

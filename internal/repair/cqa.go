@@ -37,9 +37,11 @@ func ConsistentAnswers(inst *relation.Instance, deps []*constraint.Dependency, q
 		if ans, done, err := pl.localizedAnswers(q, vars, opt); done {
 			return ans, err
 		}
-		return IntersectAnswersOpt(pl.materialize(opt), q, vars, opt)
+		// The intersection below is order-independent, so the composed
+		// repairs skip the canonical sort (and its per-repair key renders).
+		return IntersectAnswersOpt(pl.materialize(opt, false), q, vars, opt)
 	}
-	reps, err := globalRepairs(inst, deps, opt)
+	reps, err := searchRepairs(inst, deps, opt)
 	if err != nil && err != ErrBound {
 		return nil, err
 	}
@@ -144,23 +146,36 @@ func IntersectAnswersOpt(insts []*relation.Instance, q foquery.Formula, vars []s
 	if err != nil {
 		return nil, err
 	}
-	counts := make(map[string]int)
-	tuples := make(map[string]relation.Tuple)
-	for _, ans := range perInst {
-		seen := make(map[string]bool)
-		for _, t := range ans {
+	// Counting merge over a single map: a tuple is in the intersection
+	// iff it appears in instance 0 and then in every later instance. A
+	// candidate's count reaches i exactly when instances 0..i-1 all
+	// contained it, so incrementing only on count == i both advances
+	// survivors and absorbs duplicate answers within one instance — no
+	// per-instance seen map needed.
+	type cand struct {
+		tup   relation.Tuple
+		count int
+	}
+	cands := make(map[string]cand)
+	for _, t := range perInst[0] {
+		k := t.Key()
+		if _, ok := cands[k]; !ok {
+			cands[k] = cand{tup: t, count: 1}
+		}
+	}
+	for i := 1; i < len(perInst); i++ {
+		for _, t := range perInst[i] {
 			k := t.Key()
-			if !seen[k] {
-				seen[k] = true
-				counts[k]++
-				tuples[k] = t
+			if c, ok := cands[k]; ok && c.count == i {
+				c.count = i + 1
+				cands[k] = c
 			}
 		}
 	}
 	var out []relation.Tuple
-	for k, c := range counts {
-		if c == len(insts) {
-			out = append(out, tuples[k])
+	for _, c := range cands {
+		if c.count == len(insts) {
+			out = append(out, c.tup)
 		}
 	}
 	sortTuples(out)

@@ -1,7 +1,7 @@
 package repair
 
 import (
-	"repro/internal/relation"
+	"repro/internal/bitset"
 	"repro/internal/symtab"
 )
 
@@ -13,10 +13,11 @@ import (
 const frontierShards = 16
 
 // frontier is the pruning state of the repair search: the visited set
-// (states already admitted once, keyed by their packed sorted fact-id
-// delta) and the subsumption set (the deltas of the consistent states
-// found so far). It exists so the sequential and parallel search share
-// one pruning implementation with a fixed check order:
+// (states already admitted once, keyed by the canonical byte encoding
+// of their fact-id delta bitset) and the subsumption set (the deltas of
+// the consistent states found so far). It exists so the sequential and
+// parallel search share one pruning implementation with a fixed check
+// order:
 //
 //  1. visited — a state is admitted at most once, and the visited mark
 //     is recorded even when check 2 then rejects the state;
@@ -31,9 +32,11 @@ const frontierShards = 16
 // frontier_test.go pins the order.
 type frontier struct {
 	visited [frontierShards]map[string]bool
-	// foundDelta holds the sorted fact-id deltas of the consistent
-	// states found so far, in discovery order.
-	foundDelta [][]symtab.Sym
+	// foundDelta holds the fact-id delta bitsets of the consistent
+	// states found so far, in discovery order, with their popcounts
+	// alongside (strict subsumption needs the size comparison).
+	foundDelta []bitset.Set
+	foundN     []int
 	// noSubsume disables check 2 entirely (visited-only pruning). The
 	// per-component searches of the conflict-localized engine run this
 	// way: their bound-exactness argument needs every reachable
@@ -41,6 +44,8 @@ type frontier struct {
 	// through states whose component projection a subsumption prune
 	// would have skipped (see localize.go).
 	noSubsume bool
+
+	keyBuf []byte // reused encoding buffer for admit probes
 }
 
 func newFrontier() *frontier {
@@ -56,24 +61,27 @@ func shardOfKey(key string) int {
 	return int(symtab.Hash32(key) % frontierShards)
 }
 
-// admit reports whether the state identified by delta should be
-// expanded, applying the visited check first and the subsumption check
-// second (see the type comment for why the order matters).
-func (f *frontier) admit(delta []symtab.Sym) bool {
-	key := relation.PackIDKey(delta)
+// admit reports whether the state identified by delta (popcount deltaN)
+// should be expanded, applying the visited check first and the
+// subsumption check second (see the type comment for why the order
+// matters). Only called from the sequential admit pass, so the key
+// buffer reuse is safe.
+func (f *frontier) admit(delta bitset.Set, deltaN int) bool {
+	f.keyBuf = delta.AppendKey(f.keyBuf[:0])
+	key := string(f.keyBuf)
 	sh := f.visited[shardOfKey(key)]
 	if sh[key] {
 		return false
 	}
 	sh[key] = true
-	return f.noSubsume || !f.subsumed(delta)
+	return f.noSubsume || !f.subsumed(delta, deltaN)
 }
 
 // subsumed reports whether delta strictly contains an already-found
 // consistent delta.
-func (f *frontier) subsumed(delta []symtab.Sym) bool {
-	for _, fd := range f.foundDelta {
-		if len(fd) < len(delta) && relation.SubsetOfIDs(fd, delta) {
+func (f *frontier) subsumed(delta bitset.Set, deltaN int) bool {
+	for i, fd := range f.foundDelta {
+		if f.foundN[i] < deltaN && fd.SubsetOf(delta) {
 			return true
 		}
 	}
@@ -82,9 +90,10 @@ func (f *frontier) subsumed(delta []symtab.Sym) bool {
 
 // recordFound adds the delta of a newly found consistent state to the
 // subsumption set (a no-op when subsumption is disabled).
-func (f *frontier) recordFound(delta []symtab.Sym) {
+func (f *frontier) recordFound(delta bitset.Set, deltaN int) {
 	if f.noSubsume {
 		return
 	}
 	f.foundDelta = append(f.foundDelta, delta)
+	f.foundN = append(f.foundN, deltaN)
 }

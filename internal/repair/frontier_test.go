@@ -3,43 +3,58 @@ package repair
 import (
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/symtab"
 )
 
-func syms(ids ...symtab.Sym) []symtab.Sym { return ids }
+// syms builds the delta bitset of the given fact ids, for passing to
+// admit/recordFound together with its popcount via the delta helper.
+func syms(ids ...symtab.Sym) bitset.Set {
+	var s bitset.Set
+	for _, id := range ids {
+		s.Set(id)
+	}
+	return s
+}
+
+// admitN forwards a test delta to admit with its popcount.
+func (f *frontier) admitN(d bitset.Set) bool { return f.admit(d, d.Count()) }
+
+// recordFoundN forwards a test delta to recordFound with its popcount.
+func (f *frontier) recordFoundN(d bitset.Set) { f.recordFound(d, d.Count()) }
 
 func TestFrontierAdmitsFreshState(t *testing.T) {
 	f := newFrontier()
-	if !f.admit(syms()) {
+	if !f.admitN(syms()) {
 		t.Fatal("empty (root) delta must be admitted")
 	}
-	if !f.admit(syms(1, 2)) {
+	if !f.admitN(syms(1, 2)) {
 		t.Fatal("fresh delta must be admitted")
 	}
 }
 
 func TestFrontierVisitedRejectsReAdmission(t *testing.T) {
 	f := newFrontier()
-	if !f.admit(syms(1, 2)) {
+	if !f.admitN(syms(1, 2)) {
 		t.Fatal("first admission must succeed")
 	}
-	if f.admit(syms(1, 2)) {
+	if f.admitN(syms(1, 2)) {
 		t.Fatal("second admission of the same delta must be rejected")
 	}
 }
 
 func TestFrontierSubsumptionRejects(t *testing.T) {
 	f := newFrontier()
-	f.recordFound(syms(1))
-	if f.admit(syms(1, 2)) {
+	f.recordFoundN(syms(1))
+	if f.admitN(syms(1, 2)) {
 		t.Fatal("delta strictly containing a found delta must be rejected")
 	}
-	if !f.admit(syms(2, 3)) {
+	if !f.admitN(syms(2, 3)) {
 		t.Fatal("delta not containing the found delta must be admitted")
 	}
 	// Equal-size deltas are never subsumed (strict containment only):
 	// the found state itself must remain admissible exactly once.
-	if !f.admit(syms(1)) {
+	if !f.admitN(syms(1)) {
 		t.Fatal("the found delta itself is not strictly subsumed")
 	}
 }
@@ -52,13 +67,13 @@ func TestFrontierSubsumptionRejects(t *testing.T) {
 // repairs are found in, which the parallel search must not.)
 func TestFrontierVisitedBeforeSubsumption(t *testing.T) {
 	f := newFrontier()
-	f.recordFound(syms(1))
-	if f.admit(syms(1, 2)) {
+	f.recordFoundN(syms(1))
+	if f.admitN(syms(1, 2)) {
 		t.Fatal("subsumed delta must be rejected")
 	}
 	// Re-admitting the same delta must keep failing on the visited
 	// check, regardless of the subsumption set.
-	if f.admit(syms(1, 2)) {
+	if f.admitN(syms(1, 2)) {
 		t.Fatal("subsumption-rejected delta must have been marked visited")
 	}
 }
@@ -68,12 +83,12 @@ func TestFrontierShardsIndependent(t *testing.T) {
 	// Admit enough distinct deltas that several shards are hit; all
 	// must be tracked independently.
 	for i := symtab.Sym(0); i < 100; i++ {
-		if !f.admit(syms(i, i+1)) {
+		if !f.admitN(syms(i, i+101)) {
 			t.Fatalf("fresh delta %d rejected", i)
 		}
 	}
 	for i := symtab.Sym(0); i < 100; i++ {
-		if f.admit(syms(i, i+1)) {
+		if f.admitN(syms(i, i+101)) {
 			t.Fatalf("visited delta %d re-admitted", i)
 		}
 	}

@@ -34,6 +34,7 @@ package repair
 import (
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/constraint"
 	"repro/internal/parallel"
 	"repro/internal/relation"
@@ -53,9 +54,9 @@ const maxComposedRepairs = 1 << 24
 type component struct {
 	// vios are the indices of the component's root violations.
 	vios []int
-	// deltas are the minimal repair deltas (sorted fact-id sets over the
+	// deltas are the minimal repair deltas (fact-id bitsets over the
 	// plan's shared table); disjoint across components.
-	deltas [][]symtab.Sym
+	deltas []bitset.Set
 	// insts are the matching repaired instances (orig Δ delta).
 	insts []*relation.Instance
 	// deltaPreds are the predicates occurring in any delta — the
@@ -165,12 +166,12 @@ func tryLocalize(inst *relation.Instance, deps []*constraint.Dependency, opt Opt
 	for ci, s := range searchers {
 		insts, kept := minimalByDelta(s.found, s.foundDelta)
 		c := &component{vios: comps[ci], insts: insts, deltaPreds: map[string]bool{}}
-		c.deltas = make([][]symtab.Sym, len(kept))
+		c.deltas = make([]bitset.Set, len(kept))
 		for i, k := range kept {
 			c.deltas[i] = s.foundDelta[k]
-			for _, id := range s.foundDelta[k] {
-				c.deltaPreds[relation.ParseFactIDKey(facts.Name(id)).Rel] = true
-			}
+			s.foundDelta[k].ForEach(func(id uint32) {
+				c.deltaPreds[relation.ParseFactIDKey(facts.Name(symtab.Sym(id))).Rel] = true
+			})
 		}
 		pl.comps[ci] = c
 		if total > 0 {
@@ -184,10 +185,14 @@ func tryLocalize(inst *relation.Instance, deps []*constraint.Dependency, opt Opt
 }
 
 // materialize composes the global minimal repair set: the cross-product
-// of the component repair deltas applied to the original instance,
-// sorted by canonical instance key — byte-identical to the global wave
-// search's output. A component with no repairs makes the product empty.
-func (pl *localPlan) materialize(opt Options) []*relation.Instance {
+// of the component repair deltas applied to the original instance. With
+// ordered set, the result is sorted by canonical instance key —
+// byte-identical to the global wave search's output; answering paths
+// pass false and skip the per-repair key renders (intersection over the
+// repair set is order-independent, and rendering every composed repair
+// is the dominant cost at large-universe scale). A component with no
+// repairs makes the product empty.
+func (pl *localPlan) materialize(opt Options, ordered bool) []*relation.Instance {
 	total := 1
 	for _, c := range pl.comps {
 		total *= len(c.deltas)
@@ -204,22 +209,24 @@ func (pl *localPlan) materialize(opt Options) []*relation.Instance {
 		}
 		return out, nil
 	})
-	sortByKey(insts, opt.Parallelism)
+	if ordered {
+		sortByKey(insts, opt.Parallelism)
+	}
 	return insts
 }
 
 // applyDelta toggles every fact of a delta: a delta is a symmetric
 // difference against the original instance, and component deltas are
 // disjoint, so each fact flips exactly once across the composition.
-func (pl *localPlan) applyDelta(in *relation.Instance, delta []symtab.Sym) {
-	for _, id := range delta {
-		f := relation.ParseFactIDKey(pl.facts.Name(id))
+func (pl *localPlan) applyDelta(in *relation.Instance, delta bitset.Set) {
+	delta.ForEach(func(id uint32) {
+		f := relation.ParseFactIDKey(pl.facts.Name(symtab.Sym(id)))
 		if in.Has(f.Rel, f.Tuple) {
 			in.Delete(f.Rel, f.Tuple)
 		} else {
 			in.Insert(f.Rel, f.Tuple)
 		}
-	}
+	})
 }
 
 // buildComponents partitions the root violations into the connected

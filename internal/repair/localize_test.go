@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/bitset"
 	"repro/internal/constraint"
 	"repro/internal/foquery"
 	"repro/internal/relation"
@@ -298,37 +299,38 @@ func TestCrossProductMinimality(t *testing.T) {
 		// owns ids [c*16, c*16+8); each candidate delta is a subset coded
 		// by the low byte.
 		nc := 2 + int(pick%2)
-		comps := make([][][]symtab.Sym, nc)
+		comps := make([][]bitset.Set, nc)
 		for c := 0; c < nc; c++ {
-			var cands [][]symtab.Sym
+			var cands []bitset.Set
 			for i := 0; i < len(raw) && i < 4; i++ {
-				var delta []symtab.Sym
+				var delta bitset.Set
 				code := uint8(0)
 				if c < len(raw) && i < len(raw[c%len(raw)]) {
 					code = raw[c%len(raw)][i]
 				}
 				for b := 0; b < 8; b++ {
 					if code&(1<<b) != 0 {
-						delta = append(delta, symtab.Sym(c*16+b))
+						delta.Set(uint32(c*16 + b))
 					}
 				}
 				cands = append(cands, delta)
 			}
 			if len(cands) == 0 {
-				cands = [][]symtab.Sym{{symtab.Sym(c * 16)}}
+				cands = []bitset.Set{syms(symtab.Sym(c * 16))}
 			}
 			comps[c] = cands
 		}
-		// Composed candidates: every combination, delta = union.
-		var composed [][]symtab.Sym
-		var walk func(c int, acc []symtab.Sym)
-		walk = func(c int, acc []symtab.Sym) {
+		// Composed candidates: every combination, delta = union
+		// (components are disjoint, so xor is union).
+		var composed []bitset.Set
+		var walk func(c int, acc bitset.Set)
+		walk = func(c int, acc bitset.Set) {
 			if c == nc {
-				composed = append(composed, append([]symtab.Sym(nil), acc...))
+				composed = append(composed, acc.Clone())
 				return
 			}
 			for _, d := range comps[c] {
-				walk(c+1, relation.XorIDs(acc, d))
+				walk(c+1, bitset.Xor(acc, d))
 			}
 		}
 		walk(0, nil)
@@ -336,11 +338,11 @@ func TestCrossProductMinimality(t *testing.T) {
 		_, keptAll := minimalByDelta(dummyAll, composed)
 		wantKeys := map[string]bool{}
 		for _, k := range keptAll {
-			wantKeys[relation.PackIDKey(composed[k])] = true
+			wantKeys[composed[k].Key()] = true
 		}
 		// Factorized: minimal per component, then compose.
 		var gotKeys = map[string]bool{}
-		minPer := make([][][]symtab.Sym, nc)
+		minPer := make([][]bitset.Set, nc)
 		for c := 0; c < nc; c++ {
 			dummy := make([]*relation.Instance, len(comps[c]))
 			_, kept := minimalByDelta(dummy, comps[c])
@@ -348,14 +350,14 @@ func TestCrossProductMinimality(t *testing.T) {
 				minPer[c] = append(minPer[c], comps[c][k])
 			}
 		}
-		var walk2 func(c int, acc []symtab.Sym)
-		walk2 = func(c int, acc []symtab.Sym) {
+		var walk2 func(c int, acc bitset.Set)
+		walk2 = func(c int, acc bitset.Set) {
 			if c == nc {
-				gotKeys[relation.PackIDKey(acc)] = true
+				gotKeys[acc.Key()] = true
 				return
 			}
 			for _, d := range minPer[c] {
-				walk2(c+1, relation.XorIDs(acc, d))
+				walk2(c+1, bitset.Xor(acc, d))
 			}
 		}
 		walk2(0, nil)

@@ -4,12 +4,13 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/constraint"
 	"repro/internal/relation"
 	"repro/internal/symtab"
 )
 
-// TestMinimalByDeltaLargeCandidateSet exercises the sorted-ID subset
+// TestMinimalByDeltaLargeCandidateSet exercises the bitset subset
 // filter with well over 100 candidates: 120 singleton deltas (all
 // minimal), 120 dominated two-element deltas, and duplicates of the
 // singletons. Only the 120 distinct singletons may survive.
@@ -18,23 +19,19 @@ func TestMinimalByDeltaLargeCandidateSet(t *testing.T) {
 	id := func(i int) symtab.Sym { return tab.Intern(fmt.Sprintf("f%03d", i)) }
 
 	var insts []*relation.Instance
-	var deltas [][]symtab.Sym
+	var deltas []bitset.Set
 	mk := func(delta ...symtab.Sym) {
 		in := relation.NewInstance()
 		in.Insert("r", relation.Tuple{fmt.Sprintf("row%d", len(insts))})
 		insts = append(insts, in)
-		deltas = append(deltas, delta)
+		deltas = append(deltas, syms(delta...))
 	}
 	const n = 120
 	for i := 0; i < n; i++ {
 		mk(id(i)) // minimal
 	}
 	for i := 0; i < n; i++ {
-		a, b := id(i), id(n+i) // {i, n+i} ⊇ {i}: dominated
-		if a > b {
-			a, b = b, a
-		}
-		mk(a, b)
+		mk(id(i), id(n+i)) // {i, n+i} ⊇ {i}: dominated
 	}
 	for i := 0; i < n; i++ {
 		mk(id(i)) // duplicate of a minimal delta: deduplicated

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/constraint"
 	"repro/internal/relation"
 	"repro/internal/symtab"
@@ -123,8 +124,10 @@ func TestChildDeltaMatchesSymDiff(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		orig := randomInstance(rng, []string{"r", "s"}, 3, dom)
 		s := &searcher{orig: orig, facts: symtab.New()}
+		sc := s.getScratch()
 		cur := orig.Clone()
-		delta := []symtab.Sym{}
+		var delta bitset.Set
+		deltaN := 0
 		for step := 0; step < 5; step++ {
 			f := relation.Fact{Rel: []string{"r", "s"}[rng.Intn(2)],
 				Tuple: relation.Tuple{dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))]}}
@@ -134,7 +137,7 @@ func TestChildDeltaMatchesSymDiff(t *testing.T) {
 			} else {
 				a = action{inserts: []relation.Fact{f}}
 			}
-			delta = s.childDelta(delta, a)
+			delta, deltaN = s.childDelta(delta, a, sc)
 			a.apply(cur)
 
 			want := relation.SymDiff(orig, cur)
@@ -143,11 +146,14 @@ func TestChildDeltaMatchesSymDiff(t *testing.T) {
 				wantKeys[i] = wf.IDKey()
 			}
 			sort.Strings(wantKeys)
-			gotKeys := make([]string, len(delta))
-			for i, id := range delta {
-				gotKeys[i] = s.facts.Name(id)
-			}
+			gotKeys := make([]string, 0, deltaN)
+			delta.ForEach(func(id uint32) {
+				gotKeys = append(gotKeys, s.facts.Name(symtab.Sym(id)))
+			})
 			sort.Strings(gotKeys)
+			if deltaN != len(wantKeys) {
+				t.Fatalf("trial %d step %d: deltaN %d, SymDiff size %d", trial, step, deltaN, len(wantKeys))
+			}
 			if fmt.Sprint(gotKeys) != fmt.Sprint(wantKeys) {
 				t.Fatalf("trial %d step %d: delta %v, SymDiff %v", trial, step, gotKeys, wantKeys)
 			}

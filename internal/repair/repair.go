@@ -29,7 +29,9 @@ package repair
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/constraint"
 	"repro/internal/parallel"
 	"repro/internal/relation"
@@ -75,17 +77,21 @@ type searcher struct {
 	orig *relation.Instance
 	deps []*constraint.Dependency
 	opt  Options
-	// facts interns fact keys, so deltas are sorted id sets compared by
-	// merge walks instead of string-keyed map probes, and the visited
-	// set is keyed by the packed delta (which, given orig, identifies
-	// the candidate instance) instead of the full instance rendering.
-	// The table is concurrent, so expansion workers intern action facts
-	// directly.
+	// facts interns fact keys, so deltas are bitsets over dense fact
+	// ids — xor/subset/popcount are word operations — and the visited
+	// set is keyed by the packed delta bitset (which, given orig,
+	// identifies the candidate instance) instead of the full instance
+	// rendering. The table is concurrent, so expansion workers intern
+	// action facts directly.
 	facts      *symtab.Table
 	front      *frontier
 	found      []*relation.Instance
-	foundDelta [][]symtab.Sym
+	foundDelta []bitset.Set
 	hitBound   bool
+	// scratch pools the per-expansion working buffers (action toggles,
+	// touched-predicate lists, match trails), so steady-state wave
+	// expansion stops churning the allocator.
+	scratch sync.Pool
 	// maxDeltaSeen is the largest delta size of any state the search
 	// generated (admitted or not). The conflict-localized engine sums it
 	// across components to prove the global engine could not have hit
@@ -103,13 +109,14 @@ type searcher struct {
 	rootVios [][]constraint.Violation
 }
 
-// node is one state of the search, identified by its sorted fact-id
-// delta against the original instance (cur = orig Δ delta). The
-// instance itself is materialized lazily at expansion time from the
-// parent's instance plus the action, so states rejected by the
-// frontier never pay for a clone.
+// node is one state of the search, identified by its fact-id delta
+// bitset against the original instance (cur = orig Δ delta; deltaN
+// caches the popcount). The instance itself is materialized lazily at
+// expansion time from the parent's instance plus the action, so states
+// rejected by the frontier never pay for a clone.
 type node struct {
-	delta  []symtab.Sym
+	delta  bitset.Set
+	deltaN int
 	parent *relation.Instance
 	act    action
 	root   bool
@@ -152,21 +159,31 @@ func Repairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options
 		opt.MaxDelta = inst.Size() + 64
 	}
 	if pl, ok := tryLocalize(inst, deps, opt); ok {
-		return pl.materialize(opt), nil
+		return pl.materialize(opt, true), nil
 	}
 	return globalRepairs(inst, deps, opt)
 }
 
-// globalRepairs is the single global wave search (the seed semantics);
-// the conflict-localized engine falls back to it whenever localization
-// cannot be proven exact.
+// globalRepairs is the single global wave search (the seed semantics)
+// with the canonical sorted output order; the conflict-localized engine
+// falls back to it whenever localization cannot be proven exact.
 func globalRepairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options) ([]*relation.Instance, error) {
+	min, err := searchRepairs(inst, deps, opt)
+	sortByKey(min, opt.Parallelism)
+	return min, err
+}
+
+// searchRepairs runs the global wave search and returns the minimal
+// repairs in discovery order, without the canonical sort. Answering
+// paths use it directly: intersecting answers over the repair set is
+// order-independent, and rendering the canonical key of every repair is
+// the dominant cost at large-universe scale.
+func searchRepairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options) ([]*relation.Instance, error) {
 	s := &searcher{orig: inst, deps: deps, opt: opt, facts: symtab.New(), front: newFrontier()}
 	if err := s.run(); err != nil {
 		return nil, err
 	}
 	min, _ := minimalByDelta(s.found, s.foundDelta)
-	sortByKey(min, s.opt.Parallelism)
 	if s.hitBound {
 		return min, ErrBound
 	}
@@ -215,7 +232,7 @@ func (s *searcher) run() error {
 		pending = pending[:len(pending)-k]
 		admitted = admitted[:0]
 		for _, nd := range wave {
-			if s.front.admit(nd.delta) {
+			if s.front.admit(nd.delta, nd.deltaN) {
 				admitted = append(admitted, nd)
 			}
 		}
@@ -234,7 +251,7 @@ func (s *searcher) run() error {
 			case ev.consistent:
 				s.found = append(s.found, ev.inst)
 				s.foundDelta = append(s.foundDelta, nd.delta)
-				s.front.recordFound(nd.delta)
+				s.front.recordFound(nd.delta, nd.deltaN)
 				if s.opt.MaxRepairs > 0 && len(s.found) >= s.opt.MaxRepairs {
 					return nil
 				}
@@ -242,8 +259,8 @@ func (s *searcher) run() error {
 				s.hitBound = true
 			default:
 				for _, c := range ev.children {
-					if len(c.delta) > s.maxDeltaSeen {
-						s.maxDeltaSeen = len(c.delta)
+					if c.deltaN > s.maxDeltaSeen {
+						s.maxDeltaSeen = c.deltaN
 					}
 				}
 				pending = append(pending, ev.children...)
@@ -253,12 +270,29 @@ func (s *searcher) run() error {
 	return nil
 }
 
+// expandScratch holds one expansion worker's reusable buffers. The
+// searcher pools them (sync.Pool) so steady-state expansion allocates
+// nodes and results, not working memory.
+type expandScratch struct {
+	toggles []symtab.Sym
+	preds   []string
+}
+
+func (s *searcher) getScratch() *expandScratch {
+	if sc, ok := s.scratch.Get().(*expandScratch); ok {
+		return sc
+	}
+	return &expandScratch{}
+}
+
 // expand materializes a node's instance, checks it for violations and
 // enumerates its children. It is a pure function of the node (the
 // shared original instance and symbol table are only read or appended
 // to concurrently-safely), so any number of expansions may run in
 // parallel.
 func (s *searcher) expand(nd node) (expansion, error) {
+	sc := s.getScratch()
+	defer s.scratch.Put(sc)
 	var cur *relation.Instance
 	if nd.root {
 		cur = s.orig.Clone()
@@ -276,7 +310,7 @@ func (s *searcher) expand(nd node) (expansion, error) {
 		// order — the order FirstViolation would use).
 		vios = nd.vios
 		if !nd.root {
-			vios, err = s.recheck(nd.vios, nd.act, cur)
+			vios, err = s.recheck(nd.vios, nd.act, cur, sc)
 			if err != nil {
 				return expansion{}, err
 			}
@@ -296,7 +330,7 @@ func (s *searcher) expand(nd node) (expansion, error) {
 	if v == nil {
 		return expansion{inst: cur, consistent: true}, nil
 	}
-	if len(nd.delta) >= s.opt.MaxDelta {
+	if nd.deltaN >= s.opt.MaxDelta {
 		return expansion{atBound: true}, nil
 	}
 	acts, err := s.actions(cur, v)
@@ -305,7 +339,8 @@ func (s *searcher) expand(nd node) (expansion, error) {
 	}
 	children := make([]node, 0, len(acts))
 	for _, a := range acts {
-		children = append(children, node{delta: s.childDelta(nd.delta, a), parent: cur, act: a, vios: vios})
+		d, n := s.childDelta(nd.delta, a, sc)
+		children = append(children, node{delta: d, deltaN: n, parent: cur, act: a, vios: vios})
 	}
 	return expansion{children: children}, nil
 }
@@ -316,21 +351,25 @@ func (s *searcher) expand(nd node) (expansion, error) {
 // indexed under the action's touched predicates are recomputed (against
 // the current instance, minus the frozen violations of the other
 // conflict components); every other list is shared with the parent.
-func (s *searcher) recheck(parent [][]constraint.Violation, act action, cur *relation.Instance) ([][]constraint.Violation, error) {
-	preds := make([]string, 0, len(act.deletes)+len(act.inserts))
-	seen := map[string]bool{}
-	for _, f := range act.deletes {
-		if !seen[f.Rel] {
-			seen[f.Rel] = true
-			preds = append(preds, f.Rel)
+func (s *searcher) recheck(parent [][]constraint.Violation, act action, cur *relation.Instance, sc *expandScratch) ([][]constraint.Violation, error) {
+	// Actions touch a handful of predicates; dedup by linear scan over
+	// the pooled buffer instead of allocating a map per candidate.
+	preds := sc.preds[:0]
+	addPred := func(rel string) {
+		for _, p := range preds {
+			if p == rel {
+				return
+			}
 		}
+		preds = append(preds, rel)
+	}
+	for _, f := range act.deletes {
+		addPred(f.Rel)
 	}
 	for _, f := range act.inserts {
-		if !seen[f.Rel] {
-			seen[f.Rel] = true
-			preds = append(preds, f.Rel)
-		}
+		addPred(f.Rel)
 	}
+	sc.preds = preds
 	out := make([][]constraint.Violation, len(parent))
 	copy(out, parent)
 	for _, i := range s.depIdx.Affected(preds) {
@@ -349,13 +388,14 @@ func (s *searcher) recheck(parent [][]constraint.Violation, act action, cur *rel
 	return out, nil
 }
 
-// childDelta derives a child state's sorted fact-id delta from its
-// parent's: every fact the action touches toggles its membership in
-// the symmetric difference against the original instance (deletes
-// remove earlier inserts or record new deletions, and vice versa), so
-// no SymDiff over the full instance is needed per state.
-func (s *searcher) childDelta(parent []symtab.Sym, a action) []symtab.Sym {
-	toggles := make([]symtab.Sym, 0, len(a.deletes)+len(a.inserts))
+// childDelta derives a child state's fact-id delta bitset (and its
+// popcount) from its parent's: every fact the action touches toggles
+// its membership in the symmetric difference against the original
+// instance (deletes remove earlier inserts or record new deletions,
+// and vice versa), so no SymDiff over the full instance is needed per
+// state.
+func (s *searcher) childDelta(parent bitset.Set, a action, sc *expandScratch) (bitset.Set, int) {
+	toggles := sc.toggles[:0]
 	for _, f := range a.deletes {
 		toggles = append(toggles, s.facts.Intern(f.IDKey()))
 	}
@@ -365,14 +405,17 @@ func (s *searcher) childDelta(parent []symtab.Sym, a action) []symtab.Sym {
 	sort.Slice(toggles, func(i, j int) bool { return toggles[i] < toggles[j] })
 	// An action may name the same fact twice (two head atoms grounding
 	// to one missing fact); applying it still changes membership once,
-	// so duplicates collapse to a single toggle.
+	// so duplicates collapse to a single toggle (FlipAll would cancel
+	// the pair).
 	uniq := toggles[:0]
 	for i, id := range toggles {
 		if i == 0 || id != toggles[i-1] {
 			uniq = append(uniq, id)
 		}
 	}
-	return relation.XorIDs(parent, uniq)
+	sc.toggles = toggles
+	d := bitset.FlipAll(parent, uniq)
+	return d, d.Count()
 }
 
 // action is a set of simultaneous tuple changes fixing one violation.
@@ -528,30 +571,34 @@ func (s *searcher) witnesses(cur *relation.Instance, d *constraint.Dependency, b
 
 // minimalByDelta filters instances whose delta (vs the original) is
 // ⊆-minimal, returning the kept instances and the indices they were
-// kept from. Deltas are sorted fact-id sets: candidates are examined in
-// ascending delta size, so each instance is only compared against the
-// strictly smaller deltas before it and each comparison is a linear
-// merge walk instead of a string-keyed map probe — the seed's quadratic
-// map-probing collapse point for large candidate sets.
-func minimalByDelta(insts []*relation.Instance, deltas [][]symtab.Sym) ([]*relation.Instance, []int) {
+// kept from. Deltas are fact-id bitsets: candidates are examined in
+// ascending delta size (popcount), so each instance is only compared
+// against the strictly smaller deltas before it and each comparison is
+// a word-wise subset test instead of a string-keyed map probe — the
+// seed's quadratic map-probing collapse point for large candidate sets.
+func minimalByDelta(insts []*relation.Instance, deltas []bitset.Set) ([]*relation.Instance, []int) {
 	order := make([]int, len(insts))
+	counts := make([]int, len(insts))
 	for i := range order {
 		order[i] = i
+		counts[i] = deltas[i].Count()
 	}
-	sort.SliceStable(order, func(a, b int) bool { return len(deltas[order[a]]) < len(deltas[order[b]]) })
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] < counts[order[b]] })
 	var out []*relation.Instance
 	var kept []int
 	seen := make(map[string]bool)
+	var keyBuf []byte
 	for oi, i := range order {
 		minimal := true
 		for _, j := range order[:oi] {
-			if len(deltas[j]) < len(deltas[i]) && relation.SubsetOfIDs(deltas[j], deltas[i]) {
+			if counts[j] < counts[i] && deltas[j].SubsetOf(deltas[i]) {
 				minimal = false
 				break
 			}
 		}
 		if minimal {
-			k := relation.PackIDKey(deltas[i])
+			keyBuf = deltas[i].AppendKey(keyBuf[:0])
+			k := string(keyBuf)
 			if !seen[k] {
 				seen[k] = true
 				out = append(out, insts[i])

@@ -168,6 +168,19 @@ func (s Subst) Apply(a Atom) Atom {
 	return out
 }
 
+// ApplyInto is Apply with a caller-supplied argument buffer: resolved
+// arguments are appended to buf[:0] and the returned atom aliases that
+// buffer. Hot join loops (constraint matching) keep one buffer per
+// recursion depth so pattern application stops allocating per
+// candidate; callers must not use the returned atom after reusing buf.
+func (s Subst) ApplyInto(a Atom, buf []Term) Atom {
+	buf = buf[:0]
+	for _, t := range a.Args {
+		buf = append(buf, s.Lookup(t))
+	}
+	return Atom{Pred: a.Pred, Args: buf}
+}
+
 // ApplyTerm resolves a single term.
 func (s Subst) ApplyTerm(t Term) Term { return s.Lookup(t) }
 

@@ -273,4 +273,51 @@ func DelegationFanout(hubs, rowsPerHub, flaggedPerHub, noisePerLeaf int, seed in
 	return s
 }
 
+// LargeUniverse builds a production-scale universe (10^5-10^6 facts)
+// for the columnar memory plane benchmark (B12). The query-relevant
+// core is a single wide relation: root peer P0 holds coreFacts clean q0
+// tuples plus `conflicts` planted key conflicts against peer PK's k0
+// (same trust, key EGD — each conflict is an independent binary repair
+// choice, and the conflict-localized engine decomposes them). The rest
+// of the universe is bulk: bystander peer PB declares bulkRels
+// relations with bulkFactsPerRel facts each, tied to the root only by a
+// same-trust EGD between its first two relations — repairable but
+// irrelevant to q0, so the query slice drops every bulk relation while
+// the unsliced instance still carries them through every clone. The
+// repair+answer hot path over this universe is dominated by per-tuple
+// storage overhead, which is what the packed-segment storage and
+// copy-on-write cloning attack.
+//
+// Total facts = coreFacts + 2*conflicts + bulkRels*bulkFactsPerRel.
+func LargeUniverse(coreFacts, conflicts, bulkRels, bulkFactsPerRel int, seed int64) *core.System {
+	if bulkRels < 2 {
+		panic("workload: LargeUniverse needs bulkRels >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	root := core.NewPeer("P0").Declare("q0", 2).
+		SetTrust("PK", core.TrustSame).
+		AddDEC("PK", constraint.KeyEGD("egd_core", "q0", "k0"))
+	pk := core.NewPeer("PK").Declare("k0", 2)
+	for i := 0; i < coreFacts; i++ {
+		root.Fact("q0", fmt.Sprintf("k%d", i), val(rng))
+	}
+	for i := 0; i < conflicts; i++ {
+		key := fmt.Sprintf("c%d", i)
+		root.Fact("q0", key, "u")
+		pk.Fact("k0", key, "v")
+	}
+	pb := core.NewPeer("PB")
+	rels := make([]string, bulkRels)
+	for r := 0; r < bulkRels; r++ {
+		rels[r] = fmt.Sprintf("bulk%d", r)
+		pb.Declare(rels[r], 2)
+		for f := 0; f < bulkFactsPerRel; f++ {
+			pb.Fact(rels[r], fmt.Sprintf("bulk%d_k%d", r, f), val(rng))
+		}
+	}
+	root.SetTrust("PB", core.TrustSame)
+	root.AddDEC("PB", constraint.KeyEGD("egd_bulk", rels[0], rels[1]))
+	return core.NewSystem().MustAddPeer(root).MustAddPeer(pk).MustAddPeer(pb)
+}
+
 func val(rng *rand.Rand) string { return fmt.Sprintf("v%d", rng.Intn(1000)) }

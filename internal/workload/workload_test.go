@@ -227,3 +227,50 @@ func TestDelegationFanoutShape(t *testing.T) {
 	}()
 	DelegationFanout(0, 1, 0, 0, 1)
 }
+
+func TestLargeUniverseShape(t *testing.T) {
+	s := LargeUniverse(50, 3, 4, 10, 1)
+	g := s.Global()
+	// Root: coreFacts clean keys + conflicts contested keys.
+	if n := g.Count("q0"); n != 53 {
+		t.Fatalf("q0 = %d, want 50 core + 3 conflict facts", n)
+	}
+	if n := g.Count("k0"); n != 3 {
+		t.Fatalf("k0 = %d, want one fact per conflict", n)
+	}
+	for r := 0; r < 4; r++ {
+		if n := g.Count(fmt.Sprintf("bulk%d", r)); n != 10 {
+			t.Fatalf("bulk%d = %d, want 10", r, n)
+		}
+	}
+	root, ok := s.Peer("P0")
+	if !ok {
+		t.Fatal("missing root peer P0")
+	}
+	if len(root.DECs["PK"]) != 1 || len(root.DECs["PB"]) != 1 {
+		t.Fatalf("root DECs: PK=%d PB=%d, want the core and bulk key constraints",
+			len(root.DECs["PK"]), len(root.DECs["PB"]))
+	}
+	// Each conflict key is contested: present in q0 with value u and in
+	// k0 with value v, so the core EGD fires exactly per conflict.
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("c%d", i)
+		if !g.Has("q0", []string{key, "u"}) || !g.Has("k0", []string{key, "v"}) {
+			t.Fatalf("conflict key %s not contested in both relations", key)
+		}
+	}
+	// Same seed reproduces the universe byte-for-byte; a different seed
+	// must not (the bulk values are the only randomized part).
+	if s.Global().Key() != LargeUniverse(50, 3, 4, 10, 1).Global().Key() {
+		t.Fatal("same seed should be deterministic")
+	}
+	if s.Global().Key() == LargeUniverse(50, 3, 4, 10, 2).Global().Key() {
+		t.Fatal("different seed should change the bulk values")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bulkRels < 2 should panic")
+		}
+	}()
+	LargeUniverse(1, 0, 1, 0, 1)
+}
