@@ -15,7 +15,9 @@ import (
 	"repro/internal/lp/ground"
 	"repro/internal/peernet"
 	"repro/internal/program"
+	"repro/internal/relation"
 	"repro/internal/repair"
+	"repro/internal/serve"
 	"repro/internal/slice"
 	"repro/internal/workload"
 )
@@ -79,6 +81,11 @@ type gateResult struct {
 	// B12LargeNS is the B12 large-universe repair+answer pass — CQA over
 	// the columnar memory plane at 20k core facts (minimum over rounds).
 	B12LargeNS int64 `json:"b12_large_universe_ns"`
+	// B13ServeNS is the B13 serving-plane pass: one sequential client
+	// replaying the mixed read/write stream through a serve.Server over
+	// a warm in-process overlay — admission, snapshot/fingerprint/cache
+	// bookkeeping and the write path (minimum over rounds).
+	B13ServeNS int64 `json:"b13_serve_stream_ns"`
 	// B5Norm..B12Norm are the machine-independent gate metrics: bench
 	// time divided by calibration time.
 	B5Norm  float64 `json:"b5_norm"`
@@ -87,6 +94,7 @@ type gateResult struct {
 	B10Norm float64 `json:"b10_norm"`
 	B11Norm float64 `json:"b11_norm"`
 	B12Norm float64 `json:"b12_norm"`
+	B13Norm float64 `json:"b13_norm"`
 	// *AllocsOp are the per-run heap allocation counts of the same
 	// measured paths (minimum over rounds). Allocation counts are
 	// machine-independent — no calibration needed — and far more stable
@@ -99,6 +107,7 @@ type gateResult struct {
 	B10AllocsOp int64 `json:"b10_localized_scatter_allocs_op"`
 	B11AllocsOp int64 `json:"b11_delegated_fanout_allocs_op"`
 	B12AllocsOp int64 `json:"b12_large_universe_allocs_op"`
+	B13AllocsOp int64 `json:"b13_serve_stream_allocs_op"`
 	// PeakRSSKB is the process's peak resident set size (KB) after all
 	// measurements, as reported by the OS (0 where unsupported).
 	// Recorded for trend inspection, not gated: RSS folds in the Go
@@ -299,6 +308,69 @@ func runGateMeasure(par int) (*gateResult, error) {
 		return nil, err
 	}
 
+	// B13 serving plane: one sequential client replays the mixed
+	// read/write stream of the sustained-throughput benchmark through a
+	// serve.Server over a warm in-process overlay — the admission path,
+	// the snapshot/fingerprint/answer-cache bookkeeping of AnswerQuery
+	// and the UpdateLocal write path. The stream's writes re-insert the
+	// same facts on every replay (idempotent keys), so after the first
+	// pass the fingerprints are stable and the minimum block measures
+	// the warm steady state.
+	s13 := workload.WideUniverse(4, 2, 12, 1, 1)
+	ip13 := peernet.NewInProc()
+	nodes13 := map[core.PeerID]*peernet.Node{}
+	for _, id := range s13.Peers() {
+		p, _ := s13.Peer(id)
+		n := peernet.NewNode(p, ip13, nil)
+		n.Parallelism = par
+		if err := n.Start(":0"); err != nil {
+			return nil, err
+		}
+		defer n.Stop()
+		nodes13[id] = n
+	}
+	for _, n := range nodes13 {
+		for _, m := range nodes13 {
+			if n != m {
+				n.SetNeighbor(m.Peer.ID, m.BoundAddr())
+			}
+		}
+	}
+	nodes13["P0"].CacheTTL = time.Hour
+	srv13 := serve.New(nodes13["P0"], serve.Config{MaxConcurrent: 1, QueryParallelism: par})
+	stream13 := workload.MixedStream(4, 2, 60, 6, 1)
+	parsed13 := map[string]foquery.Formula{}
+	for _, op := range stream13 {
+		if !op.Write {
+			if _, ok := parsed13[op.Query]; !ok {
+				parsed13[op.Query] = foquery.MustParse(op.Query)
+			}
+		}
+	}
+	b13, b13Allocs, err := minOver(gateRounds, gateBlockReps, func() error {
+		for _, op := range stream13 {
+			if op.Write {
+				if op.Peer == "P0" {
+					if e := srv13.Write(op.Rel, op.Tuple); e != nil {
+						return e
+					}
+					continue
+				}
+				nodes13[op.Peer].UpdateLocal(func(p *core.Peer) {
+					p.Inst.Insert(op.Rel, relation.Tuple(op.Tuple))
+				})
+				continue
+			}
+			if _, e := srv13.Answer(parsed13[op.Query], op.Vars, false); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	return &gateResult{
 		Parallelism: par,
 		CalibNS:     calib.Nanoseconds(),
@@ -308,18 +380,21 @@ func runGateMeasure(par int) (*gateResult, error) {
 		B10LocalNS:  b10.Nanoseconds(),
 		B11DelegNS:  b11.Nanoseconds(),
 		B12LargeNS:  b12.Nanoseconds(),
+		B13ServeNS:  b13.Nanoseconds(),
 		B5Norm:      float64(b5.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B1Norm:      float64(b1.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B9Norm:      float64(b9.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B10Norm:     float64(b10.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B11Norm:     float64(b11.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B12Norm:     float64(b12.Nanoseconds()) / float64(calib.Nanoseconds()),
+		B13Norm:     float64(b13.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B5AllocsOp:  b5Allocs,
 		B1AllocsOp:  b1Allocs,
 		B9AllocsOp:  b9Allocs,
 		B10AllocsOp: b10Allocs,
 		B11AllocsOp: b11Allocs,
 		B12AllocsOp: b12Allocs,
+		B13AllocsOp: b13Allocs,
 		PeakRSSKB:   peakRSSKB(),
 	}, nil
 }
@@ -365,6 +440,11 @@ func gateCompare(w io.Writer, cur, base *gateResult, threshold float64) error {
 			return err
 		}
 	}
+	if base.B13Norm > 0 {
+		if err := check("B13 serving stream", cur.B13Norm, base.B13Norm); err != nil {
+			return err
+		}
+	}
 	// Allocation gates: counts, not times, so no calibration — the
 	// ratio is machine-independent and tight by nature. The same
 	// threshold applies; a path that suddenly allocates 25% more per
@@ -379,6 +459,7 @@ func gateCompare(w io.Writer, cur, base *gateResult, threshold float64) error {
 		{"B10 localized allocs/op", cur.B10AllocsOp, base.B10AllocsOp},
 		{"B11 delegated allocs/op", cur.B11AllocsOp, base.B11AllocsOp},
 		{"B12 large-universe allocs/op", cur.B12AllocsOp, base.B12AllocsOp},
+		{"B13 serving allocs/op", cur.B13AllocsOp, base.B13AllocsOp},
 	} {
 		if m.base <= 0 {
 			continue
@@ -397,13 +478,13 @@ func runGate(w io.Writer, outPath, baselinePath string, threshold float64, par i
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "gate measured: calib=%v b5-ground=%v b1-repair=%v b9-sliced=%v b10-localized=%v b11-delegated=%v b12-large=%v (parallelism=%d, min of %d)\n",
+	fmt.Fprintf(w, "gate measured: calib=%v b5-ground=%v b1-repair=%v b9-sliced=%v b10-localized=%v b11-delegated=%v b12-large=%v b13-serve=%v (parallelism=%d, min of %d)\n",
 		time.Duration(cur.CalibNS), time.Duration(cur.B5GroundNS), time.Duration(cur.B1RepairNS),
 		time.Duration(cur.B9SlicedNS), time.Duration(cur.B10LocalNS), time.Duration(cur.B11DelegNS),
-		time.Duration(cur.B12LargeNS), par, gateRounds)
-	fmt.Fprintf(w, "gate allocs/op: b5=%d b1=%d b9=%d b10=%d b11=%d b12=%d peak-rss=%dKB\n",
+		time.Duration(cur.B12LargeNS), time.Duration(cur.B13ServeNS), par, gateRounds)
+	fmt.Fprintf(w, "gate allocs/op: b5=%d b1=%d b9=%d b10=%d b11=%d b12=%d b13=%d peak-rss=%dKB\n",
 		cur.B5AllocsOp, cur.B1AllocsOp, cur.B9AllocsOp, cur.B10AllocsOp, cur.B11AllocsOp,
-		cur.B12AllocsOp, cur.PeakRSSKB)
+		cur.B12AllocsOp, cur.B13AllocsOp, cur.PeakRSSKB)
 	if outPath != "" {
 		data, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/foquery"
@@ -57,6 +58,11 @@ func run(args []string, out io.Writer) error {
 	stats := fs.Bool("stats", false, "print system statistics (peers, tuples, interned symbols) after loading; with -query, also the query-relevance slice statistics (relations/constraints kept vs dropped, answer cache hits/misses)")
 	sliced := fs.Bool("sliced", false, "answer through the query-relevance-sliced pipeline (repair and lp engines): only slice constraints are enforced, only slice relations repaired/grounded, answers cached per slice+data key; answers are identical to the unsliced run")
 	delegate := fs.Bool("delegate", false, "answer through delegated distributed execution: deploy every peer as an in-process node, decompose the query's relevance slice per owning peer and let each repairing neighbour answer its sub-queries itself over OpPCA, composing at the queried node (falls back to the centralized sliced path whenever delegation is not provably exact; answers are identical either way); with -stats, the delegation report is printed")
+	serveMode := fs.Bool("serve", false, "run as a long-lived query server: deploy every peer as an in-process node and serve -peer's peer-consistent answers over HTTP (/query, /write, /metrics, /healthz) until SIGINT/SIGTERM; with -stats, the final metrics are printed on shutdown")
+	httpAddr := fs.String("http", "127.0.0.1:0", "HTTP listen address for -serve")
+	cacheTTL := fs.Duration("cache-ttl", time.Second, "TTL of the serving node's snapshot/spec/relation caches (-serve); local writes invalidate immediately, remote data may be up to this stale")
+	maxConcurrent := fs.Int("max-concurrent", 0, "queries admitted at once in -serve; 0 = GOMAXPROCS")
+	maxQueue := fs.Int("max-queue", 0, "queries queued for admission in -serve before shedding; 0 = 4x max-concurrent")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,6 +132,18 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "S%d = %s\n", i+1, s)
 		}
 		return nil
+	}
+
+	if *serveMode {
+		return runServe(sys, id, out, serveParams{
+			httpAddr:      *httpAddr,
+			cacheTTL:      *cacheTTL,
+			parallelism:   *par,
+			maxConcurrent: *maxConcurrent,
+			maxQueue:      *maxQueue,
+			transitive:    *transitive,
+			stats:         *stats,
+		})
 	}
 
 	if *query == "" || *vars == "" {

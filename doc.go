@@ -289,4 +289,48 @@
 // (cmd/p2pbench -gate) tracks allocs/op per benchmark block (gated,
 // machine-independent) and peak RSS (recorded); -cpuprofile /
 // -memprofile expose the profiles that guided the work.
+//
+// # Serving plane
+//
+// internal/serve turns a peernet.Node into a long-running query server
+// (p2pqa -serve: an HTTP API — /query, /write, /metrics, /healthz —
+// next to the existing peernet transport). Three mechanisms govern a
+// served query:
+//
+//   - Admission. A bounded pool runs at most Config.MaxConcurrent
+//     queries at once; up to Config.MaxQueue more wait for a slot, and
+//     anything beyond is shed immediately (ErrOverloaded, HTTP 503 with
+//     Retry-After) instead of building an unbounded backlog. Each
+//     admitted query runs with an engine parallelism budget of
+//     Config.QueryParallelism (default: GOMAXPROCS divided across the
+//     pool), so one expensive repair search cannot claim every core and
+//     starve the pool.
+//   - Coalescing. Identical concurrent queries are collapsed in flight
+//     (slice.Flight, a hand-rolled singleflight keyed by the same
+//     content-addressed answer key the cache uses): one leader computes,
+//     followers wait and receive deep copies, and the node's accounting
+//     keeps the invariant that every query is exactly one of cache hit,
+//     flight leader, or coalesced follower. Node.NoCoalesce exposes the
+//     uncoalesced path for A/B measurement (benchmark B13 shows a burst
+//     of identical queries computing once instead of once per admitted
+//     query).
+//   - Metrics. internal/metrics is a dependency-free registry of
+//     counters, gauges and exponential-bucket histograms rendered in
+//     text exposition format at /metrics and dumped by -stats on
+//     shutdown: qps, query/write totals, p50/p99 latency, shed count,
+//     queue depth, answer-cache hit rate, coalesce and solver-run
+//     counters, repair-search component statistics.
+//
+// Write visibility is the serving plane's freshness guarantee: local
+// writes go through Server.Write -> Node.UpdateLocal, which invalidates
+// the node's own TTL snapshot cache, so a write is visible to the very
+// next query — no staleness window on the served peer's own data.
+// (Remote peers' data is still read through the TTL caches; that
+// freshness bound is the documented CacheTTL semantics, not a
+// serving-plane artifact.) Queries read snapshot-isolated
+// copy-on-write instance clones throughout, so in-flight queries are
+// unaffected by concurrent writes. Benchmark B13 drives the plane end
+// to end: a sustained mixed read/write stream from concurrent clients,
+// write-visibility and byte-identity checks against one-shot uncached
+// answering, and the coalescing A/B.
 package repro

@@ -43,6 +43,11 @@ type SolveOptions struct {
 	// as single global wave searches. Localization is exact, so this is
 	// an A/B knob, not a semantics switch.
 	NoLocalize bool
+	// RepairStats, when non-nil, accumulates repair-engine counters
+	// (searches, localized engagements, conflict components) across the
+	// stages — the serving plane reads them for its component-count
+	// metrics. Purely observational.
+	RepairStats *repair.Stats
 }
 
 // keeps applies the KeepDep filter (nil keeps everything).
@@ -58,6 +63,7 @@ func (o SolveOptions) repairOptions(fixed map[string]bool) repair.Options {
 		MaxRepairs:  o.MaxRepairs,
 		Parallelism: o.Parallelism,
 		NoLocalize:  o.NoLocalize,
+		Stats:       o.RepairStats,
 	}
 }
 

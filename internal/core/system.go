@@ -113,12 +113,13 @@ func (p *Peer) SetTrust(other PeerID, lvl TrustLevel) *Peer {
 // together with fresh IC/DEC/Trust containers. The *Dependency values
 // themselves are shared — the engines and internal/slice compare
 // dependencies by identity, so a clone participates in slices computed
-// on the original. The schema is shared too: it is only mutated by
-// Declare during construction, never while a peer is being served.
+// on the original. The schema is copied: a served peer may grow its
+// schema through UpdateLocal (Declare), and a clone handed to the
+// snapshot/export paths must not observe that mutation mid-read.
 func (p *Peer) Clone() *Peer {
 	c := &Peer{
 		ID:     p.ID,
-		Schema: p.Schema,
+		Schema: p.Schema.Copy(),
 		Inst:   p.Inst.Clone(),
 		ICs:    append([]*constraint.Dependency(nil), p.ICs...),
 		DECs:   make(map[PeerID][]*constraint.Dependency, len(p.DECs)),

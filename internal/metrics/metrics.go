@@ -1,0 +1,228 @@
+// Package metrics is the serving plane's observability layer: atomic
+// counters and gauges, fixed-bucket latency histograms with approximate
+// quantiles, and an ordered registry that renders everything as plain
+// "name value" text (and serves it over HTTP). Everything is stdlib
+// only and safe for concurrent use; observation paths are lock-free
+// (single atomic adds), so instrumenting a hot path costs nanoseconds.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 level (queue depth, in-flight count).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of exponential histogram buckets: bucket i
+// covers durations up to 1µs<<i, so the top finite bound is about 4.5
+// minutes and the last bucket absorbs everything beyond it.
+const histBuckets = 28
+
+// Histogram accumulates duration observations into fixed exponential
+// buckets (powers of two from 1µs). Quantiles are approximate: the
+// answer is interpolated inside the bucket holding the requested rank,
+// so the error is bounded by the bucket width (a factor of two).
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	bound := time.Microsecond
+	for i := 0; i < histBuckets-1; i++ {
+		if d <= bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return histBuckets - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean reports the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile reports the approximate q-quantile (q in [0,1]) of the
+// observed durations, 0 when empty. The rank is located in the bucket
+// cumulative counts and interpolated linearly inside the bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	lower := time.Duration(0)
+	upper := time.Microsecond
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n > 0 && float64(cum+n) >= rank {
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + time.Duration(frac*float64(upper-lower))
+		}
+		cum += n
+		lower = upper
+		if i < histBuckets-2 {
+			upper <<= 1
+		}
+	}
+	return lower
+}
+
+// Registry names metrics and renders them in registration order. The
+// lookup methods are idempotent: asking for an existing name returns
+// the already-registered metric, so independent components can share
+// counters by name.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	items map[string]any // *Counter | *Gauge | *Histogram | func() float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]any)}
+}
+
+func (r *Registry) lookup(name string, make func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if it, ok := r.items[name]; ok {
+		return it
+	}
+	it := make()
+	r.items[name] = it
+	r.order = append(r.order, name)
+	return it
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	return r.lookup(name, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.lookup(name, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the named histogram, registering it on first use.
+// Rendering expands it into name_count, name_mean_us, name_p50_us and
+// name_p99_us lines.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.lookup(name, func() any { return new(Histogram) }).(*Histogram)
+}
+
+// Func registers a computed metric: fn is evaluated at render time.
+// Use it to surface externally-owned counters (cache stats, derived
+// rates) without copying them into the registry. Re-registering a name
+// keeps the first function.
+func (r *Registry) Func(name string, fn func() float64) {
+	r.lookup(name, func() any { return fn })
+}
+
+// formatValue renders integral floats without a fraction so counters
+// surfaced through Func read like counters.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// Render writes every metric as "name value" lines in registration
+// order.
+func (r *Registry) Render(w io.Writer) {
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	items := make(map[string]any, len(r.items))
+	for k, v := range r.items {
+		items[k] = v
+	}
+	r.mu.Unlock()
+	for _, name := range order {
+		switch it := items[name].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s %d\n", name, it.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s %d\n", name, it.Value())
+		case *Histogram:
+			fmt.Fprintf(w, "%s_count %d\n", name, it.Count())
+			fmt.Fprintf(w, "%s_mean_us %.1f\n", name, float64(it.Mean())/float64(time.Microsecond))
+			fmt.Fprintf(w, "%s_p50_us %.1f\n", name, float64(it.Quantile(0.50))/float64(time.Microsecond))
+			fmt.Fprintf(w, "%s_p99_us %.1f\n", name, float64(it.Quantile(0.99))/float64(time.Microsecond))
+		case func() float64:
+			fmt.Fprintf(w, "%s %s\n", name, formatValue(it()))
+		}
+	}
+}
+
+// Names reports the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP renders the registry as text/plain, so a Registry can be
+// mounted directly as the /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	r.Render(w)
+}

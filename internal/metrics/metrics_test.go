@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var hist Histogram
+	// 90 fast observations and 10 slow ones: p50 must land near the
+	// fast cluster, p99 near the slow one. Quantiles are bucketed, so
+	// assert against bucket-width bounds, not exact values.
+	for i := 0; i < 90; i++ {
+		hist.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		hist.Observe(5 * time.Millisecond)
+	}
+	if hist.Count() != 100 {
+		t.Fatalf("count = %d", hist.Count())
+	}
+	if p50 := hist.Quantile(0.50); p50 > 32*time.Microsecond {
+		t.Fatalf("p50 = %s, want within the fast bucket", p50)
+	}
+	if p99 := hist.Quantile(0.99); p99 < time.Millisecond || p99 > 16*time.Millisecond {
+		t.Fatalf("p99 = %s, want within a factor of two of 5ms", p99)
+	}
+	if m := hist.Mean(); m < 100*time.Microsecond || m > time.Millisecond {
+		t.Fatalf("mean = %s, want ~509µs", m)
+	}
+}
+
+func TestHistogramEmptyAndExtremes(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-time.Second)   // clamped to 0
+	h.Observe(24 * time.Hour) // beyond the top bucket
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(1); q <= 0 {
+		t.Fatalf("max quantile = %s, want positive", q)
+	}
+}
+
+func TestRegistryRenderAndHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(3)
+	r.Gauge("depth").Set(2)
+	r.Histogram("lat").Observe(time.Millisecond)
+	r.Func("derived", func() float64 { return 1.5 })
+	r.Func("integral", func() float64 { return 42 })
+	if same := r.Counter("reqs"); same.Value() != 3 {
+		t.Fatal("Counter lookup must be idempotent")
+	}
+
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"reqs 3\n", "depth 2\n", "lat_count 1\n", "lat_p99_us ", "derived 1.500\n", "integral 42\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if len(r.Names()) != 5 {
+		t.Fatalf("names = %v", r.Names())
+	}
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "reqs 3") {
+		t.Fatalf("http render: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Observe(time.Microsecond)
+				var sb strings.Builder
+				r.Render(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8*200 {
+		t.Fatalf("shared = %d, want %d", got, 8*200)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/program"
 	"repro/internal/relation"
+	"repro/internal/repair"
 	"repro/internal/slice"
 	"repro/internal/sysdsl"
 )
@@ -41,8 +42,15 @@ type Node struct {
 	// Parallelism bounds the concurrent neighbour fetches of Snapshot
 	// and is forwarded to the answering engines (core.SolveOptions /
 	// program.RunOptions). 0 means GOMAXPROCS; 1 restores the fully
-	// sequential seed behaviour. Set before Start.
+	// sequential seed behaviour. Set before Start. The serving plane
+	// overrides it per query via QueryOptions.Parallelism.
 	Parallelism int
+	// NoCoalesce disables in-flight request coalescing in AnswerQuery:
+	// identical concurrent queries then each run the solver. Coalescing
+	// shares only results computed under the same content-addressed key
+	// (identical answers by construction), so this is an A/B measurement
+	// knob, not a semantics switch. Set before the node is shared.
+	NoCoalesce bool
 
 	mu   sync.RWMutex // guards Neighbors, Addr and stop
 	tr   Transport
@@ -78,6 +86,23 @@ type Node struct {
 	// data fingerprint), so they need no invalidation — an update to an
 	// irrelevant relation leaves the key untouched and the entry valid.
 	answers *slice.AnswerCache
+
+	// flights coalesces concurrent AnswerQuery computations under the
+	// same content-addressed answer key (singleflight).
+	flights slice.Flight
+
+	// Serving-plane instrumentation (atomics): TTL cache outcomes,
+	// solver invocations and local writes. Read via CacheStats /
+	// SolverRuns / LocalWrites.
+	snapHits, snapMisses int64
+	relHits, relMisses   int64
+	solverRuns           int64
+	localWrites          int64
+
+	// repairStats accumulates repair-engine counters (conflict
+	// component counts) across the direct-semantics queries this node
+	// answers; the LP path of transitive queries has no repair search.
+	repairStats repair.Stats
 
 	clock func() time.Time // test hook; nil means time.Now
 }
@@ -152,10 +177,28 @@ func (n *Node) Stop() {
 // against concurrent request handling and snapshot cloning. Route every
 // write to a served peer's instance through here; mutating n.Peer
 // directly while the node is serving is a data race.
+//
+// A local write invalidates the node's own TTL snapshot cache: the
+// cached assembled systems embed this peer's (pre-write) data, so the
+// next query within the TTL must rebuild rather than answer from stale
+// facts. snapGen is bumped under the same critical section, so an
+// in-flight Snapshot build that cloned the pre-write instance cannot
+// store its result after the write. The per-peer relation generation
+// advances too, guarding any caller that cached this peer's relations
+// on this node.
 func (n *Node) UpdateLocal(fn func(p *core.Peer)) {
 	n.dataMu.Lock()
 	defer n.dataMu.Unlock()
 	fn(n.Peer)
+	n.cacheMu.Lock()
+	n.snapGen++
+	n.snapCache = nil
+	if n.relGens == nil {
+		n.relGens = make(map[core.PeerID]uint64)
+	}
+	n.relGens[n.Peer.ID]++
+	n.cacheMu.Unlock()
+	atomic.AddInt64(&n.localWrites, 1)
 }
 
 // localClone snapshots the live peer under the data lock: the returned
@@ -226,16 +269,25 @@ func errResp(err error) Response { return Response{Err: err.Error()} }
 func (n *Node) handle(req Request) Response {
 	switch req.Op {
 	case OpRelations:
-		return Response{Relations: n.Peer.Schema.Relations()}
+		// The schema read takes the data lock too: UpdateLocal may grow
+		// the schema (Declare) while the node serves.
+		n.dataMu.RLock()
+		rels := n.Peer.Schema.Relations()
+		n.dataMu.RUnlock()
+		return Response{Relations: rels}
 	case OpFetch:
-		if !n.Peer.Schema.Has(req.Rel) {
-			return errResp(fmt.Errorf("peer %s has no relation %s", n.Peer.ID, req.Rel))
-		}
 		// Normalized to non-nil even when empty, like OpFetchBatch: the
 		// wire contract pins "declared but empty" to an empty slice on
 		// the serving side (gob still drops zero-length slices, so
-		// clients additionally treat a missing field as empty).
+		// clients additionally treat a missing field as empty). The
+		// schema check sits under the same lock as the tuple read, so a
+		// concurrent Declare+Fact write is either fully visible or not
+		// at all.
 		n.dataMu.RLock()
+		if !n.Peer.Schema.Has(req.Rel) {
+			n.dataMu.RUnlock()
+			return errResp(fmt.Errorf("peer %s has no relation %s", n.Peer.ID, req.Rel))
+		}
 		tuples := tupleStrings(n.Peer.Inst.Tuples(req.Rel))
 		n.dataMu.RUnlock()
 		return Response{Tuples: tuples}
@@ -351,10 +403,12 @@ func (n *Node) Snapshot(transitive bool) (*core.System, error) {
 	n.cacheMu.Lock()
 	if e, ok := n.snapCache[transitive]; ok && n.now().Before(e.expires) {
 		n.cacheMu.Unlock()
+		atomic.AddInt64(&n.snapHits, 1)
 		return e.sys, nil
 	}
 	gen := n.snapGen
 	n.cacheMu.Unlock()
+	atomic.AddInt64(&n.snapMisses, 1)
 	// Build outside the lock: the fan-out can take multiple network
 	// round trips and must not serialize concurrent queries (or block
 	// SetNeighbor). Concurrent misses may build duplicate snapshots;
@@ -610,6 +664,19 @@ func (n *Node) SnapshotFor(q foquery.Formula, transitive bool) (*core.System, *s
 	return sys, sl, nil
 }
 
+// QueryOptions tunes one query answered through AnswerQuery — the
+// serving plane's per-query knobs.
+type QueryOptions struct {
+	// Transitive selects the Section 4.3 combined-program semantics;
+	// false is the direct Definition 5 semantics.
+	Transitive bool
+	// Parallelism budgets this query's engine and fan-out work,
+	// overriding the node-wide default: the serving plane divides the
+	// node's budget across its admitted queries so one expensive repair
+	// cannot claim every core. 0 inherits Node.Parallelism.
+	Parallelism int
+}
+
 // PeerConsistentAnswersFor is the sliced counterpart of
 // PeerConsistentAnswers: the snapshot fetches only query-relevant
 // relations (SnapshotFor), the engines enforce only the constraints in
@@ -619,7 +686,22 @@ func (n *Node) SnapshotFor(q foquery.Formula, transitive bool) (*core.System, *s
 // grounding or repair search — and an update to an irrelevant relation
 // does not evict it. Answers are identical to PeerConsistentAnswers.
 func (n *Node) PeerConsistentAnswersFor(q foquery.Formula, vars []string, transitive bool) ([]relation.Tuple, error) {
-	sys, sl, err := n.SnapshotFor(q, transitive)
+	return n.AnswerQuery(q, vars, QueryOptions{Transitive: transitive})
+}
+
+// AnswerQuery is PeerConsistentAnswersFor with per-query options, and
+// the entry point of the serving plane. On top of the content-addressed
+// answer cache it coalesces in-flight work: concurrent queries that
+// miss the cache under the same key join a single solver run
+// (singleflight) instead of repeating it — safe because the key embeds
+// the data fingerprint, so coalesced requests provably compute the same
+// answers. Every caller owns its returned tuples.
+func (n *Node) AnswerQuery(q foquery.Formula, vars []string, opt QueryOptions) ([]relation.Tuple, error) {
+	par := opt.Parallelism
+	if par == 0 {
+		par = n.Parallelism
+	}
+	sys, sl, err := n.SnapshotFor(q, opt.Transitive)
 	if err != nil {
 		return nil, err
 	}
@@ -637,25 +719,38 @@ func (n *Node) PeerConsistentAnswersFor(q foquery.Formula, vars []string, transi
 	if ans, ok := cache.Get(key); ok {
 		return ans, nil
 	}
+	compute := func() ([]relation.Tuple, error) {
+		atomic.AddInt64(&n.solverRuns, 1)
+		if opt.Transitive {
+			return program.PeerConsistentAnswersViaLP(sys, n.Peer.ID, q, vars, program.RunOptions{
+				Transitive:   true,
+				Parallelism:  par,
+				KeepDep:      sl.KeepDep,
+				RelevantRels: sl.RelevantRels(),
+			})
+		}
+		return core.PeerConsistentAnswers(sys, n.Peer.ID, q, vars, core.SolveOptions{
+			Parallelism:  par,
+			KeepDep:      sl.KeepDep,
+			RelevantRels: sl.RelevantRels(),
+			RepairStats:  &n.repairStats,
+		})
+	}
 	var ans []relation.Tuple
-	if transitive {
-		ans, err = program.PeerConsistentAnswersViaLP(sys, n.Peer.ID, q, vars, program.RunOptions{
-			Transitive:   true,
-			Parallelism:  n.Parallelism,
-			KeepDep:      sl.KeepDep,
-			RelevantRels: sl.RelevantRels(),
-		})
+	shared := false
+	if n.NoCoalesce {
+		ans, err = compute()
 	} else {
-		ans, err = core.PeerConsistentAnswers(sys, n.Peer.ID, q, vars, core.SolveOptions{
-			Parallelism:  n.Parallelism,
-			KeepDep:      sl.KeepDep,
-			RelevantRels: sl.RelevantRels(),
-		})
+		ans, shared, err = n.flights.Do(key, compute)
 	}
 	if err != nil {
 		return nil, err
 	}
-	cache.Put(key, ans)
+	if !shared {
+		// Only the computing caller stores: the followers' shared result
+		// is the same entry, and their snapshots may already be stale.
+		cache.Put(key, ans)
+	}
 	return ans, nil
 }
 
@@ -862,6 +957,37 @@ func (n *Node) AnswerCacheStats() (hits, misses int64) {
 	return c.Stats()
 }
 
+// CacheStats reports the TTL cache outcomes: assembled-snapshot cache
+// hits/misses (Snapshot) and per-relation cache hits/misses (the sliced
+// fetch paths). Counters only advance when CacheTTL > 0.
+func (n *Node) CacheStats() (snapHits, snapMisses, relHits, relMisses int64) {
+	return atomic.LoadInt64(&n.snapHits), atomic.LoadInt64(&n.snapMisses),
+		atomic.LoadInt64(&n.relHits), atomic.LoadInt64(&n.relMisses)
+}
+
+// CoalesceStats reports how many AnswerQuery computations ran (leaders)
+// and how many concurrent requests were absorbed into an in-flight
+// computation under the same content-addressed key (coalesced).
+func (n *Node) CoalesceStats() (leaders, coalesced int64) {
+	return n.flights.Stats()
+}
+
+// SolverRuns counts the answering-engine invocations of AnswerQuery —
+// queries that were served neither by the answer cache nor by joining
+// an in-flight computation.
+func (n *Node) SolverRuns() int64 { return atomic.LoadInt64(&n.solverRuns) }
+
+// LocalWrites counts UpdateLocal calls.
+func (n *Node) LocalWrites() int64 { return atomic.LoadInt64(&n.localWrites) }
+
+// RepairStats reports the repair-engine counters accumulated across the
+// direct-semantics queries this node answered: top-level searches,
+// conflict-localized engagements and total conflict components (the
+// transitive LP path performs no repair search).
+func (n *Node) RepairStats() (searches, localized, components int64) {
+	return n.repairStats.Snapshot()
+}
+
 // FetchRelation retrieves a neighbour's relation over the network,
 // serving from the TTL cache when enabled.
 func (n *Node) FetchRelation(id core.PeerID, rel string) ([]relation.Tuple, error) {
@@ -911,6 +1037,8 @@ func (n *Node) fetchRelationsAddr(id core.PeerID, addr string, rels []string) (m
 			}
 		}
 		n.cacheMu.Unlock()
+		atomic.AddInt64(&n.relHits, int64(len(rels)-len(missing)))
+		atomic.AddInt64(&n.relMisses, int64(len(missing)))
 	}
 	if len(missing) == 0 {
 		return out, nil

@@ -99,6 +99,19 @@ func (s *Schema) Add(d RelDecl) {
 	s.decls[d.Name] = d
 }
 
+// Copy returns an independent schema with the same declarations: the
+// snapshot clones of a served peer take one, so a schema-mutating
+// write (UpdateLocal running Declare) cannot race readers of an
+// earlier snapshot.
+func (s *Schema) Copy() *Schema {
+	c := &Schema{decls: make(map[string]RelDecl, len(s.decls)), order: make([]string, len(s.order))}
+	for n, d := range s.decls {
+		c.decls[n] = d
+	}
+	copy(c.order, s.order)
+	return c
+}
+
 // Decl returns the declaration of a relation, if present.
 func (s *Schema) Decl(name string) (RelDecl, bool) {
 	d, ok := s.decls[name]

@@ -34,6 +34,7 @@ func ConsistentAnswers(inst *relation.Instance, deps []*constraint.Dependency, q
 		opt.MaxDelta = inst.Size() + 64
 	}
 	if pl, ok := tryLocalize(inst, deps, opt); ok {
+		opt.Stats.record(len(pl.comps))
 		if ans, done, err := pl.localizedAnswers(q, vars, opt); done {
 			return ans, err
 		}
@@ -41,6 +42,7 @@ func ConsistentAnswers(inst *relation.Instance, deps []*constraint.Dependency, q
 		// repairs skip the canonical sort (and its per-repair key renders).
 		return IntersectAnswersOpt(pl.materialize(opt, false), q, vars, opt)
 	}
+	opt.Stats.record(-1)
 	reps, err := searchRepairs(inst, deps, opt)
 	if err != nil && err != ErrBound {
 		return nil, err

@@ -67,6 +67,10 @@ type Options struct {
 	// results; the flag exists for A/B measurement and the equivalence
 	// tests.
 	NoLocalize bool
+	// Stats, when non-nil, accumulates search counters (top-level
+	// searches, localized engagements, conflict components) across
+	// calls; see Stats. It never changes what is computed.
+	Stats *Stats
 }
 
 // ErrBound reports that the search hit Options.MaxDelta and the set of
@@ -159,8 +163,10 @@ func Repairs(inst *relation.Instance, deps []*constraint.Dependency, opt Options
 		opt.MaxDelta = inst.Size() + 64
 	}
 	if pl, ok := tryLocalize(inst, deps, opt); ok {
+		opt.Stats.record(len(pl.comps))
 		return pl.materialize(opt, true), nil
 	}
+	opt.Stats.record(-1)
 	return globalRepairs(inst, deps, opt)
 }
 

@@ -1,0 +1,37 @@
+package repair
+
+import "sync/atomic"
+
+// Stats aggregates repair-engine counters across searches for the
+// serving plane's observability layer. A single *Stats may be shared by
+// concurrent searches: recording uses atomic adds, reading uses
+// Snapshot. Attach it via Options.Stats; a nil Stats costs nothing.
+type Stats struct {
+	searches   atomic.Int64
+	localized  atomic.Int64
+	components atomic.Int64
+}
+
+// record notes one top-level search; comps is the number of conflict
+// components when the localized engine engaged, -1 when the search ran
+// globally.
+func (s *Stats) record(comps int) {
+	if s == nil {
+		return
+	}
+	s.searches.Add(1)
+	if comps >= 0 {
+		s.localized.Add(1)
+		s.components.Add(int64(comps))
+	}
+}
+
+// Snapshot reports the counters: total top-level searches, how many ran
+// the conflict-localized engine, and the total number of conflict
+// components those localized searches decomposed into.
+func (s *Stats) Snapshot() (searches, localized, components int64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	return s.searches.Load(), s.localized.Load(), s.components.Load()
+}

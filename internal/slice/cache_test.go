@@ -2,6 +2,7 @@ package slice
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -140,4 +141,46 @@ func twoPeerSystem(t *testing.T) *core.System {
 	p := core.NewPeer("P").Declare("a1", 2).Fact("a1", "x", "y")
 	q := core.NewPeer("Q").Declare("b1", 2).Fact("b1", "u", "v")
 	return core.NewSystem().MustAddPeer(p).MustAddPeer(q)
+}
+
+// TestAnswerCacheConcurrent hammers one bounded cache from many
+// goroutines with overlapping keys — parallel Get/Put with constant
+// LRU eviction (the bound is far below the key space). Run under
+// -race; the value checks catch cross-key corruption, the isolation
+// check catches a Get result aliasing the cached entry.
+func TestAnswerCacheConcurrent(t *testing.T) {
+	c := NewAnswerCache(16)
+	const workers, keys, iters = 8, 64, 400
+	valueFor := func(k int) []relation.Tuple {
+		return []relation.Tuple{{fmt.Sprintf("k%d", k), "v"}}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (w*31 + i) % keys
+				key := fmt.Sprintf("key%d", k)
+				if ans, ok := c.Get(key); ok {
+					want := valueFor(k)
+					if len(ans) != 1 || !ans[0].Equal(want[0]) {
+						t.Errorf("key %s returned %v, want %v", key, ans, want)
+						return
+					}
+					ans[0][0] = "scribbled" // must not poison the entry
+				} else {
+					c.Put(key, valueFor(k))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 16 {
+		t.Fatalf("cache grew to %d entries past its bound 16", n)
+	}
+	hits, misses := c.Stats()
+	if hits+misses != workers*iters {
+		t.Fatalf("hits+misses = %d, want %d lookups", hits+misses, workers*iters)
+	}
 }

@@ -1,0 +1,78 @@
+package slice
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// Flight coalesces concurrent answer computations under content-
+// addressed keys (AnswerKey): while a computation for a key is in
+// flight, later callers for the same key wait for it and share its
+// result instead of repeating the repair search (singleflight). The
+// keys embed the data fingerprint, so two requests share a flight only
+// when they would provably compute the same answers — a write to a
+// relevant relation moves the fingerprint and lands on a fresh key.
+//
+// The zero Flight is ready to use.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	leaders   atomic.Int64
+	coalesced atomic.Int64
+}
+
+// flightCall is one in-flight computation. ans/err are written by the
+// leader before done is closed and only read after it, so followers
+// need no extra synchronization; waiters (under Flight.mu) counts the
+// followers currently parked on done.
+type flightCall struct {
+	done    chan struct{}
+	waiters int
+	ans     []relation.Tuple
+	err     error
+}
+
+// Do returns the answers for key, computing them via compute if no
+// computation for key is in flight, and otherwise waiting for the
+// in-flight one. shared reports whether the result came from another
+// caller's computation; shared results are deep copies, so every caller
+// owns its tuples. An error is shared with the followers of the flight
+// that produced it.
+func (f *Flight) Do(key string, compute func() ([]relation.Tuple, error)) (ans []relation.Tuple, shared bool, err error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall)
+	}
+	if c, ok := f.calls[key]; ok {
+		c.waiters++
+		f.mu.Unlock()
+		<-c.done
+		f.coalesced.Add(1)
+		return cloneTuples(c.ans), true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	f.leaders.Add(1)
+	// Deregister before waking the followers even if compute panics:
+	// a stuck entry would coalesce every future request for the key
+	// into a flight that never completes.
+	defer func() {
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(c.done)
+	}()
+	c.ans, c.err = compute()
+	return c.ans, false, c.err
+}
+
+// Stats reports how many computations ran (leaders) and how many
+// requests were absorbed into an in-flight computation (coalesced).
+func (f *Flight) Stats() (leaders, coalesced int64) {
+	return f.leaders.Load(), f.coalesced.Load()
+}

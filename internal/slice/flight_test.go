@@ -1,0 +1,197 @@
+package slice
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// waitForWaiters polls until n followers are parked on the key's
+// in-flight call (white-box: the waiter count lives under f.mu).
+func waitForWaiters(t *testing.T, f *Flight, key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		f.mu.Lock()
+		c := f.calls[key]
+		waiters := 0
+		if c != nil {
+			waiters = c.waiters
+		}
+		f.mu.Unlock()
+		if waiters >= n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("timed out waiting for %d waiters on %q", n, key)
+}
+
+// TestFlightCoalesces proves the coalescing contract deterministically:
+// N identical concurrent requests produce exactly one compute
+// invocation and N identical answers. The leader's compute blocks until
+// every follower is provably parked on the flight, so no scheduling
+// order can sneak a second compute in.
+func TestFlightCoalesces(t *testing.T) {
+	const followers = 8
+	var f Flight
+	var computes atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	want := []relation.Tuple{{"a", "b"}, {"c", "d"}}
+
+	results := make([][]relation.Tuple, followers+1)
+	shareds := make([]bool, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		ans, shared, err := f.Do("k", func() ([]relation.Tuple, error) {
+			computes.Add(1)
+			close(entered)
+			<-release
+			return cloneTuples(want), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results[0], shareds[0] = ans, shared
+	}()
+	<-entered
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ans, shared, err := f.Do("k", func() ([]relation.Tuple, error) {
+				computes.Add(1)
+				return cloneTuples(want), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], shareds[i] = ans, shared
+		}(i)
+	}
+	waitForWaiters(t, &f, "k", followers)
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want exactly 1", got)
+	}
+	if shareds[0] {
+		t.Fatal("leader must not report shared")
+	}
+	for i, ans := range results {
+		if len(ans) != len(want) {
+			t.Fatalf("caller %d: %d answers, want %d", i, len(ans), len(want))
+		}
+		for j := range ans {
+			if !ans[j].Equal(want[j]) {
+				t.Fatalf("caller %d answer %d = %v, want %v", i, j, ans[j], want[j])
+			}
+		}
+		if i > 0 && !shareds[i] {
+			t.Fatalf("follower %d must report shared", i)
+		}
+	}
+	// Followers own deep copies: mutating one result must not leak into
+	// another caller's tuples.
+	results[1][0][0] = "poisoned"
+	if results[2][0][0] != "a" {
+		t.Fatal("follower results alias each other")
+	}
+	leaders, coalesced := f.Stats()
+	if leaders != 1 || coalesced != followers {
+		t.Fatalf("stats = (%d leaders, %d coalesced), want (1, %d)", leaders, coalesced, followers)
+	}
+}
+
+func TestFlightSequentialDoesNotCoalesce(t *testing.T) {
+	var f Flight
+	var computes int
+	for i := 0; i < 3; i++ {
+		_, shared, err := f.Do("k", func() ([]relation.Tuple, error) {
+			computes++
+			return nil, nil
+		})
+		if err != nil || shared {
+			t.Fatalf("run %d: shared=%v err=%v", i, shared, err)
+		}
+	}
+	if computes != 3 {
+		t.Fatalf("computes = %d, want 3 (sequential calls never share)", computes)
+	}
+}
+
+func TestFlightSharesError(t *testing.T) {
+	var f Flight
+	boom := errors.New("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := f.Do("k", func() ([]relation.Tuple, error) {
+			close(entered)
+			<-release
+			return nil, boom
+		})
+		if err != boom {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-entered
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, shared, err := f.Do("k", func() ([]relation.Tuple, error) {
+			t.Error("follower must not compute")
+			return nil, nil
+		})
+		if !shared || err != boom {
+			t.Errorf("follower shared=%v err=%v", shared, err)
+		}
+	}()
+	waitForWaiters(t, &f, "k", 1)
+	close(release)
+	wg.Wait()
+}
+
+func TestFlightDistinctKeysRunIndependently(t *testing.T) {
+	var f Flight
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.Do("a", func() ([]relation.Tuple, error) {
+			close(entered)
+			<-release
+			return nil, nil
+		})
+	}()
+	<-entered
+	// A different key must not join the in-flight "a" computation.
+	done := make(chan struct{})
+	go func() {
+		f.Do("b", func() ([]relation.Tuple, error) { return nil, nil })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key b blocked behind key a")
+	}
+	close(release)
+	wg.Wait()
+	if leaders, coalesced := f.Stats(); leaders != 2 || coalesced != 0 {
+		t.Fatalf("stats = (%d, %d), want (2, 0)", leaders, coalesced)
+	}
+}

@@ -321,3 +321,60 @@ func LargeUniverse(coreFacts, conflicts, bulkRels, bulkFactsPerRel int, seed int
 }
 
 func val(rng *rand.Rand) string { return fmt.Sprintf("v%d", rng.Intn(1000)) }
+
+// StreamOp is one operation of a serving-plane workload stream: a
+// query (Query/Vars) or a fact insert (Peer/Rel/Tuple).
+type StreamOp struct {
+	// Write marks an insert; otherwise the op is a query.
+	Write bool
+	// Peer, Rel and Tuple describe the write target.
+	Peer  core.PeerID
+	Rel   string
+	Tuple []string
+	// Query and Vars describe the read.
+	Query string
+	Vars  []string
+}
+
+// MixedStream derives the deterministic interleaved read/write stream
+// of the sustained-throughput benchmark (B13) over a
+// WideUniverse(width, relsPerPeer, ...) system. Reads cycle randomly
+// through a small set of query shapes over the root's q0 — the repeats
+// are what make the answer cache and in-flight coalescing observable.
+// Every writeEvery-th op is a write, alternating between fresh q0
+// facts at the root (relevant: the fingerprint moves and the fact must
+// be visible to the next read) and fresh facts in the last bystander's
+// last relation (irrelevant to the q0 slice: the content-addressed
+// answer cache must keep serving hits across it). Write keys depend
+// only on the op index, so replaying the stream re-inserts the same
+// facts — an idempotent steady state.
+func MixedStream(width, relsPerPeer, ops, writeEvery int, seed int64) []StreamOp {
+	if width < 1 || relsPerPeer < 2 {
+		panic("workload: MixedStream needs a WideUniverse shape (width >= 1, relsPerPeer >= 2)")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	queries := []StreamOp{
+		{Query: "q0(X,Y)", Vars: []string{"X", "Y"}},
+		{Query: "q0(k0,Y)", Vars: []string{"Y"}},
+		{Query: "q0(X,Y)", Vars: []string{"X"}},
+	}
+	bystander := core.PeerID(fmt.Sprintf("B%d", width-1))
+	bystanderRel := fmt.Sprintf("b%d_r%d", width-1, relsPerPeer-1)
+	out := make([]StreamOp, 0, ops)
+	writes := 0
+	for i := 0; i < ops; i++ {
+		if writeEvery > 0 && i%writeEvery == writeEvery-1 {
+			writes++
+			if writes%2 == 1 {
+				out = append(out, StreamOp{Write: true, Peer: "P0", Rel: "q0",
+					Tuple: []string{fmt.Sprintf("w%d", writes), val(rng)}})
+			} else {
+				out = append(out, StreamOp{Write: true, Peer: bystander, Rel: bystanderRel,
+					Tuple: []string{fmt.Sprintf("bw%d", writes), val(rng)}})
+			}
+			continue
+		}
+		out = append(out, queries[rng.Intn(len(queries))])
+	}
+	return out
+}
