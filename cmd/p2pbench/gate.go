@@ -53,6 +53,10 @@ const (
 	gateRounds    = 5
 	gateBlockReps = 20
 	gateB12Reps   = 2
+	// gateB14Reps: one B14 block replays a full reversible churn pass
+	// (dozens of write+patched-query pairs), so two repetitions
+	// amortize GC while keeping the gate's wall time bounded.
+	gateB14Reps = 2
 )
 
 // gateResult is the BENCH_*.json schema.
@@ -86,6 +90,11 @@ type gateResult struct {
 	// a warm in-process overlay — admission, snapshot/fingerprint/cache
 	// bookkeeping and the write path (minimum over rounds).
 	B13ServeNS int64 `json:"b13_serve_stream_ns"`
+	// B14ChurnNS is the B14 incremental-maintenance pass: a reversible
+	// churn loop (single relevant write, then the hot query answered by
+	// patching the live series) over a warm ChurnUniverse overlay
+	// (minimum over rounds).
+	B14ChurnNS int64 `json:"b14_churn_incr_ns"`
 	// B5Norm..B12Norm are the machine-independent gate metrics: bench
 	// time divided by calibration time.
 	B5Norm  float64 `json:"b5_norm"`
@@ -95,6 +104,7 @@ type gateResult struct {
 	B11Norm float64 `json:"b11_norm"`
 	B12Norm float64 `json:"b12_norm"`
 	B13Norm float64 `json:"b13_norm"`
+	B14Norm float64 `json:"b14_norm"`
 	// *AllocsOp are the per-run heap allocation counts of the same
 	// measured paths (minimum over rounds). Allocation counts are
 	// machine-independent — no calibration needed — and far more stable
@@ -108,6 +118,7 @@ type gateResult struct {
 	B11AllocsOp int64 `json:"b11_delegated_fanout_allocs_op"`
 	B12AllocsOp int64 `json:"b12_large_universe_allocs_op"`
 	B13AllocsOp int64 `json:"b13_serve_stream_allocs_op"`
+	B14AllocsOp int64 `json:"b14_churn_incr_allocs_op"`
 	// PeakRSSKB is the process's peak resident set size (KB) after all
 	// measurements, as reported by the OS (0 where unsupported).
 	// Recorded for trend inspection, not gated: RSS folds in the Go
@@ -371,6 +382,53 @@ func runGateMeasure(par int) (*gateResult, error) {
 		return nil, err
 	}
 
+	// B14 incremental maintenance: a reversible churn loop over a warm
+	// ChurnUniverse deployment — every iteration lands one relevant
+	// single-fact write (the ra0 slice fingerprint moves) and re-asks
+	// the hot query, which the incremental layer answers by patching
+	// its live series instead of recomputing. The second half deletes
+	// the same facts, so every block starts from identical data and the
+	// journal delta never outruns its buffer.
+	d14, err := newChurnDeployment(6, 120, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	defer d14.stop()
+	for _, n := range d14.nodes {
+		n.Parallelism = par
+	}
+	q14 := foquery.MustParse("ra0(X,Y)")
+	vars14 := []string{"X", "Y"}
+	if _, err := d14.root.AnswerQuery(q14, vars14, peernet.QueryOptions{}); err != nil {
+		return nil, err
+	}
+	const b14Steps = 10
+	b14, b14Allocs, err := minOver(gateRounds, gateB14Reps, func() error {
+		for phase := 0; phase < 2; phase++ {
+			for s := 0; s < b14Steps; s++ {
+				rel := fmt.Sprintf("ra%d", 1+s%5)
+				tup := relation.Tuple{fmt.Sprintf("g%d", s), "v"}
+				d14.nodes["A"].UpdateLocal(func(p *core.Peer) {
+					if phase == 0 {
+						p.Inst.Insert(rel, tup)
+					} else {
+						p.Inst.Delete(rel, tup)
+					}
+				})
+				if _, e := d14.root.AnswerQuery(q14, vars14, peernet.QueryOptions{}); e != nil {
+					return e
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if patched, seeded, fallbacks := d14.root.IncrStats(); patched == 0 {
+		return nil, fmt.Errorf("B14 gate loop never patched (seeded=%d fallbacks=%d) — measuring the wrong path", seeded, fallbacks)
+	}
+
 	return &gateResult{
 		Parallelism: par,
 		CalibNS:     calib.Nanoseconds(),
@@ -381,6 +439,7 @@ func runGateMeasure(par int) (*gateResult, error) {
 		B11DelegNS:  b11.Nanoseconds(),
 		B12LargeNS:  b12.Nanoseconds(),
 		B13ServeNS:  b13.Nanoseconds(),
+		B14ChurnNS:  b14.Nanoseconds(),
 		B5Norm:      float64(b5.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B1Norm:      float64(b1.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B9Norm:      float64(b9.Nanoseconds()) / float64(calib.Nanoseconds()),
@@ -388,6 +447,7 @@ func runGateMeasure(par int) (*gateResult, error) {
 		B11Norm:     float64(b11.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B12Norm:     float64(b12.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B13Norm:     float64(b13.Nanoseconds()) / float64(calib.Nanoseconds()),
+		B14Norm:     float64(b14.Nanoseconds()) / float64(calib.Nanoseconds()),
 		B5AllocsOp:  b5Allocs,
 		B1AllocsOp:  b1Allocs,
 		B9AllocsOp:  b9Allocs,
@@ -395,6 +455,7 @@ func runGateMeasure(par int) (*gateResult, error) {
 		B11AllocsOp: b11Allocs,
 		B12AllocsOp: b12Allocs,
 		B13AllocsOp: b13Allocs,
+		B14AllocsOp: b14Allocs,
 		PeakRSSKB:   peakRSSKB(),
 	}, nil
 }
@@ -445,6 +506,11 @@ func gateCompare(w io.Writer, cur, base *gateResult, threshold float64) error {
 			return err
 		}
 	}
+	if base.B14Norm > 0 {
+		if err := check("B14 churn incremental", cur.B14Norm, base.B14Norm); err != nil {
+			return err
+		}
+	}
 	// Allocation gates: counts, not times, so no calibration — the
 	// ratio is machine-independent and tight by nature. The same
 	// threshold applies; a path that suddenly allocates 25% more per
@@ -460,6 +526,7 @@ func gateCompare(w io.Writer, cur, base *gateResult, threshold float64) error {
 		{"B11 delegated allocs/op", cur.B11AllocsOp, base.B11AllocsOp},
 		{"B12 large-universe allocs/op", cur.B12AllocsOp, base.B12AllocsOp},
 		{"B13 serving allocs/op", cur.B13AllocsOp, base.B13AllocsOp},
+		{"B14 churn allocs/op", cur.B14AllocsOp, base.B14AllocsOp},
 	} {
 		if m.base <= 0 {
 			continue
@@ -478,13 +545,13 @@ func runGate(w io.Writer, outPath, baselinePath string, threshold float64, par i
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "gate measured: calib=%v b5-ground=%v b1-repair=%v b9-sliced=%v b10-localized=%v b11-delegated=%v b12-large=%v b13-serve=%v (parallelism=%d, min of %d)\n",
+	fmt.Fprintf(w, "gate measured: calib=%v b5-ground=%v b1-repair=%v b9-sliced=%v b10-localized=%v b11-delegated=%v b12-large=%v b13-serve=%v b14-churn=%v (parallelism=%d, min of %d)\n",
 		time.Duration(cur.CalibNS), time.Duration(cur.B5GroundNS), time.Duration(cur.B1RepairNS),
 		time.Duration(cur.B9SlicedNS), time.Duration(cur.B10LocalNS), time.Duration(cur.B11DelegNS),
-		time.Duration(cur.B12LargeNS), time.Duration(cur.B13ServeNS), par, gateRounds)
-	fmt.Fprintf(w, "gate allocs/op: b5=%d b1=%d b9=%d b10=%d b11=%d b12=%d b13=%d peak-rss=%dKB\n",
+		time.Duration(cur.B12LargeNS), time.Duration(cur.B13ServeNS), time.Duration(cur.B14ChurnNS), par, gateRounds)
+	fmt.Fprintf(w, "gate allocs/op: b5=%d b1=%d b9=%d b10=%d b11=%d b12=%d b13=%d b14=%d peak-rss=%dKB\n",
 		cur.B5AllocsOp, cur.B1AllocsOp, cur.B9AllocsOp, cur.B10AllocsOp, cur.B11AllocsOp,
-		cur.B12AllocsOp, cur.B13AllocsOp, cur.PeakRSSKB)
+		cur.B12AllocsOp, cur.B13AllocsOp, cur.B14AllocsOp, cur.PeakRSSKB)
 	if outPath != "" {
 		data, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {

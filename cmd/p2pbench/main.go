@@ -51,6 +51,7 @@ var experiments = []experiment{
 	{"B11", "Delegation fanout: central pull vs delegated peer answering", runB11},
 	{"B12", "Large universe: columnar memory plane, repair+answer allocs", runB12},
 	{"B13", "Serving plane: sustained mixed load, coalescing, write visibility", runB13},
+	{"B14", "Churn: incremental re-answering vs evict-and-recompute under writes", runB14},
 }
 
 // benchParallelism is the worker-pool bound used by the parallel
@@ -60,7 +61,7 @@ var benchParallelism = 4
 
 func main() {
 	fs := flag.NewFlagSet("p2pbench", flag.ContinueOnError)
-	which := fs.String("experiment", "", "experiment id (E1..E7, B1..B13); empty = all")
+	which := fs.String("experiment", "", "experiment id (E1..E7, B1..B14); empty = all")
 	list := fs.Bool("list", false, "list experiments")
 	fs.IntVar(&benchParallelism, "parallelism", benchParallelism,
 		"worker-pool bound for the parallel benchmark variants; 0 = GOMAXPROCS")

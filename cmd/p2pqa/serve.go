@@ -94,6 +94,11 @@ func runServe(sys *core.System, id core.PeerID, out io.Writer, p serveParams) er
 		return err
 	}
 
+	// Drain the admission pool first — queued queries finish, new
+	// arrivals are shed — then close the HTTP listener.
+	if !srv.Stop() {
+		fmt.Fprintln(out, "p2pqa: drain timeout, queries still running")
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

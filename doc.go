@@ -333,4 +333,64 @@
 // to end: a sustained mixed read/write stream from concurrent clients,
 // write-visibility and byte-identity checks against one-shot uncached
 // answering, and the coalescing A/B.
+//
+// Server.Stop drains before shutdown: new queries are rejected
+// immediately (ErrStopping) while both the in-flight queries and the
+// already-admitted queue are given Config.DrainTimeout to complete, so
+// a restart does not throw away work the server already accepted.
+// Delegated sub-answering coalesces too: a peer answering OpPCA
+// delegate requests runs them through the same in-flight group as its
+// own queries (keyed separately), so a burst of roots delegating the
+// same sub-query costs the delegate one solve.
+//
+// # Incremental maintenance
+//
+// Under write traffic the serving plane's content-addressed caches
+// have a blind spot: any relevant write moves the data fingerprint,
+// every cached answer key goes stale, and the next query pays a full
+// snapshot + repair search + answer intersection even though a
+// single-fact write typically touches one conflict component out of
+// many. Incremental re-answering (internal/relation's journal,
+// internal/repair's IncrState, the series layer in internal/peernet)
+// closes that gap:
+//
+//   - Fact journal. A relation.Journal attached to the peer's live
+//     instance records membership-accurate fact-level changes (dup
+//     inserts and absent deletes are not recorded), with a bounded
+//     buffer and Since(seq) retrieval.
+//   - Delta-driven repair. repair.IncrState keeps, per query series,
+//     the per-dependency violation lists and a cache of solved conflict
+//     components keyed by their violation sets. On a delta it re-checks
+//     only the dependencies whose predicates the delta touches
+//     (constraint.DepIndex.Affected), re-runs the wave search only for
+//     components whose read set the delta intersects, and re-answers
+//     from the patched component repairs. Exactness gates — bounded
+//     searches, deltas that could sum past MaxDelta, queries spanning
+//     two components, non-domain-free queries — report ok=false and the
+//     caller falls back to the byte-identical full recompute.
+//   - Series + cache patching. A peernet.Node keeps an incrSeries per
+//     repeated direct-semantics query: the retained sliced snapshot,
+//     the reduced single-stage repair problem (core.ReduceSingleStage)
+//     and the journal position it reflects. A repeat query replays the
+//     journal delta onto the retained snapshot, asks the IncrState, and
+//     promotes the answer-cache entry to the post-write fingerprint key
+//     in place (slice.AnswerCache.Promote) — the relation hashes are
+//     content-based, so the patched snapshot fingerprints identically
+//     to a freshly assembled one. Validity is re-checked on every hit
+//     (journal identity and availability, spec signature, remote
+//     relation generations, TTL window); any mismatch drops the series
+//     and the full path reseeds it. A series never outlives CacheTTL,
+//     so remote staleness stays at the same TTL grade as the node's
+//     relation caches. Node.NoIncremental exposes the
+//     evict-and-recompute path for A/B measurement.
+//
+// Benchmark B14 (workload.ChurnUniverse + ChurnStream) measures the
+// payoff: on a scattered-component workload whose query slice spans
+// every relation, a single-fact relevant write followed by the hot
+// query is >=5x cheaper answered incrementally than by
+// evict-and-recompute, with every answer pair checked byte-identical
+// while measuring. The churn tests (go test -run 'Churn|Incr') replay
+// randomized interleaved write/query schedules and assert every served
+// answer equals a fresh uncached node's, under -race and at
+// parallelism 1 and 4.
 package repro

@@ -1,0 +1,76 @@
+package core
+
+import "repro/internal/constraint"
+
+// ReduceSingleStage reports whether SolutionsFor for peer id collapses
+// to a single repair problem over the global instance, and returns
+// that problem's dependency set and fixed-predicate set. This is the
+// precondition of the incremental re-answering path (peernet): a
+// series of fact-level deltas can patch one repair problem's component
+// decomposition, but not the two-stage composition of Definition 4.
+//
+// Two shapes reduce:
+//
+//   - no same-trust DECs: SolutionsFor returns the stage-1 repairs
+//     directly, i.e. one search over the less-trust DECs plus local
+//     ICs with every foreign relation fixed;
+//   - same-trust DECs only (no less-trust DECs, no ICs): stage 1
+//     degenerates to the identity (a repair search over no
+//     dependencies returns the instance itself), so the solutions are
+//     exactly the stage-2 repairs of the global instance over the
+//     same-trust DECs with the more-trusted peers' relations fixed.
+//
+// The dependency filter (SolveOptions.KeepDep) is applied exactly as
+// SolutionsFor applies it, so the reduced problem matches what the
+// full path would solve under the same options.
+func ReduceSingleStage(s *System, id PeerID, opt SolveOptions) (deps []*constraint.Dependency, fixed map[string]bool, ok bool) {
+	p, found := s.peers[id]
+	if !found {
+		return nil, nil, false
+	}
+	var lessDeps, sameDeps, ics []*constraint.Dependency
+	for _, q := range s.TrustedPeers(id, TrustLess) {
+		for _, d := range p.DECs[q] {
+			if opt.keeps(d) {
+				lessDeps = append(lessDeps, d)
+			}
+		}
+	}
+	for _, q := range s.TrustedPeers(id, TrustSame) {
+		for _, d := range p.DECs[q] {
+			if opt.keeps(d) {
+				sameDeps = append(sameDeps, d)
+			}
+		}
+	}
+	for _, ic := range p.ICs {
+		if opt.keeps(ic) {
+			ics = append(ics, ic)
+		}
+	}
+
+	switch {
+	case len(sameDeps) == 0:
+		fixed = map[string]bool{}
+		for rel, owner := range s.owner {
+			if owner != id {
+				fixed[rel] = true
+			}
+		}
+		deps = append(append([]*constraint.Dependency{}, lessDeps...), ics...)
+		return deps, fixed, true
+	case len(lessDeps) == 0 && len(ics) == 0:
+		fixed = map[string]bool{}
+		mutableOwners := map[PeerID]bool{id: true}
+		for _, q := range s.TrustedPeers(id, TrustSame) {
+			mutableOwners[q] = true
+		}
+		for rel, owner := range s.owner {
+			if !mutableOwners[owner] {
+				fixed[rel] = true
+			}
+		}
+		return sameDeps, fixed, true
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+)
+
+// TestReduceSingleStage pins the two reducible trust shapes, the
+// non-reducible mixed shape, and the KeepDep filter's effect on which
+// shape applies.
+func TestReduceSingleStage(t *testing.T) {
+	t.Run("less-trust plus IC reduces with foreign rels fixed", func(t *testing.T) {
+		p1 := NewPeer("P1").Declare("r1", 2).
+			SetTrust("P2", TrustLess).
+			AddDEC("P2", constraint.Inclusion("inc", "r2", "r1", 2)).
+			AddIC(constraint.FD("fd", "r1"))
+		p2 := NewPeer("P2").Declare("r2", 2)
+		s := NewSystem().MustAddPeer(p1).MustAddPeer(p2)
+
+		deps, fixed, ok := ReduceSingleStage(s, "P1", SolveOptions{})
+		if !ok {
+			t.Fatal("less-trust + IC shape did not reduce")
+		}
+		if len(deps) != 2 {
+			t.Fatalf("deps = %d, want 2 (DEC + IC)", len(deps))
+		}
+		if !fixed["r2"] || fixed["r1"] {
+			t.Fatalf("fixed = %v, want exactly the foreign relation r2", fixed)
+		}
+	})
+
+	t.Run("same-trust only reduces with same-trust peers mutable", func(t *testing.T) {
+		a := NewPeer("A").Declare("ra", 2).
+			SetTrust("B", TrustSame).
+			AddDEC("B", constraint.KeyEGD("k", "ra", "rb"))
+		b := NewPeer("B").Declare("rb", 2)
+		c := NewPeer("C").Declare("rc", 2)
+		s := NewSystem().MustAddPeer(a).MustAddPeer(b).MustAddPeer(c)
+
+		deps, fixed, ok := ReduceSingleStage(s, "A", SolveOptions{})
+		if !ok {
+			t.Fatal("same-trust-only shape did not reduce")
+		}
+		if len(deps) != 1 || deps[0].Name != "k" {
+			t.Fatalf("deps = %v, want the single same-trust DEC", deps)
+		}
+		if fixed["ra"] || fixed["rb"] || !fixed["rc"] {
+			t.Fatalf("fixed = %v, want only the uninvolved peer's rc", fixed)
+		}
+	})
+
+	t.Run("same-trust mixed with IC does not reduce", func(t *testing.T) {
+		a := NewPeer("A").Declare("ra", 2).
+			SetTrust("B", TrustSame).
+			AddDEC("B", constraint.KeyEGD("k", "ra", "rb")).
+			AddIC(constraint.FD("fd", "ra"))
+		b := NewPeer("B").Declare("rb", 2)
+		s := NewSystem().MustAddPeer(a).MustAddPeer(b)
+
+		if _, _, ok := ReduceSingleStage(s, "A", SolveOptions{}); ok {
+			t.Fatal("same-trust DEC + local IC reduced; two-stage composition required")
+		}
+
+		// Filtering the IC out (as a slice that drops it would) makes
+		// the same system reduce through the same-trust branch.
+		opt := SolveOptions{KeepDep: func(d *constraint.Dependency) bool { return d.Name != "fd" }}
+		deps, fixed, ok := ReduceSingleStage(s, "A", opt)
+		if !ok {
+			t.Fatal("KeepDep-filtered same-trust shape did not reduce")
+		}
+		if len(deps) != 1 || deps[0].Name != "k" {
+			t.Fatalf("deps = %v, want only the same-trust DEC", deps)
+		}
+		if fixed["ra"] || fixed["rb"] {
+			t.Fatalf("fixed = %v, want both same-trust peers mutable", fixed)
+		}
+	})
+
+	t.Run("unknown peer", func(t *testing.T) {
+		s := NewSystem().MustAddPeer(NewPeer("A").Declare("ra", 1))
+		if _, _, ok := ReduceSingleStage(s, "Z", SolveOptions{}); ok {
+			t.Fatal("unknown peer reduced")
+		}
+	})
+}

@@ -51,6 +51,12 @@ type Node struct {
 	// (identical answers by construction), so this is an A/B measurement
 	// knob, not a semantics switch. Set before the node is shared.
 	NoCoalesce bool
+	// NoIncremental disables delta-driven incremental re-answering
+	// (incr.go): repeated queries after local writes then always evict
+	// and recompute from a fresh snapshot. The incremental path is only
+	// taken when provably exact, so this is an A/B measurement knob,
+	// not a semantics switch. Set before the node is shared.
+	NoIncremental bool
 
 	mu   sync.RWMutex // guards Neighbors, Addr and stop
 	tr   Transport
@@ -88,8 +94,19 @@ type Node struct {
 	answers *slice.AnswerCache
 
 	// flights coalesces concurrent AnswerQuery computations under the
-	// same content-addressed answer key (singleflight).
+	// same content-addressed answer key (singleflight). The delegated
+	// OpPCA handler shares it under "deleg"-prefixed keys, so a burst
+	// of identical delegated sub-queries from several querying roots
+	// runs the delegate-side solve once.
 	flights slice.Flight
+
+	// incrSeries holds the live incremental re-answering series, one
+	// per repeated direct query shape (incr.go); the counters feed
+	// IncrStats.
+	incrMu     sync.Mutex
+	incrSeries map[string]*incrSeries
+
+	incrPatched, incrSeeds, incrFallbacks int64
 
 	// Serving-plane instrumentation (atomics): TTL cache outcomes,
 	// solver invocations and local writes. Read via CacheStats /
@@ -125,10 +142,17 @@ type specEntry struct {
 
 // NewNode creates a node for a peer on the given transport. neighbours
 // maps the peers named in the local DECs/trust to their addresses.
+//
+// The peer's instance gets a fact journal attached (if it has none)
+// so the incremental re-answering path can replay write deltas; a
+// second node built over the same peer reuses the existing journal.
 func NewNode(peer *core.Peer, tr Transport, neighbors map[core.PeerID]string) *Node {
 	ns := make(map[core.PeerID]string, len(neighbors))
 	for k, v := range neighbors {
 		ns[k] = v
+	}
+	if peer.Inst != nil && peer.Inst.Journal() == nil {
+		peer.Inst.SetJournal(relation.NewJournal(0))
 	}
 	return &Node{Peer: peer, Neighbors: ns, tr: tr}
 }
@@ -190,6 +214,11 @@ func (n *Node) UpdateLocal(fn func(p *core.Peer)) {
 	n.dataMu.Lock()
 	defer n.dataMu.Unlock()
 	fn(n.Peer)
+	if n.Peer.Inst != nil && n.Peer.Inst.Journal() == nil {
+		// fn replaced the instance wholesale: attach a fresh journal.
+		// Live series detect the new journal object and fall back.
+		n.Peer.Inst.SetJournal(relation.NewJournal(0))
+	}
 	n.cacheMu.Lock()
 	n.snapGen++
 	n.snapCache = nil
@@ -335,8 +364,29 @@ func (n *Node) handle(req Request) Response {
 		var ans []relation.Tuple
 		switch {
 		case req.Delegate:
-			ans, _, err = n.delegatedAnswers(f, req.Vars, req.Transitive,
-				req.HopBudget, appendVisited(req.Visited, n.Peer.ID))
+			// Coalesce identical delegated sub-queries: a burst of
+			// querying roots delegating the same atomic sub-query runs
+			// the delegate-side solve once and shares the answers. The
+			// key ignores the hop budget and visited path — every
+			// delegatedAnswers outcome is byte-identical to the
+			// centralized sliced path for the same (query, vars,
+			// transitive), so followers get exactly what their own run
+			// would have computed. No deadlock: a leader only waits on
+			// delegates whose visited path strictly grows, and a peer
+			// already on the path is answered by fallback, not by a
+			// recursive flight on this node.
+			run := func() ([]relation.Tuple, error) {
+				a, _, derr := n.delegatedAnswers(f, req.Vars, req.Transitive,
+					req.HopBudget, appendVisited(req.Visited, n.Peer.ID))
+				return a, derr
+			}
+			if n.NoCoalesce {
+				ans, err = run()
+			} else {
+				dkey := strings.Join([]string{"deleg", req.Query,
+					strings.Join(req.Vars, ","), fmt.Sprint(req.Transitive)}, "\x00")
+				ans, _, err = n.flights.Do(dkey, run)
+			}
 		case req.Sliced:
 			ans, err = n.PeerConsistentAnswersFor(f, req.Vars, req.Transitive)
 		default:
@@ -701,6 +751,33 @@ func (n *Node) AnswerQuery(q foquery.Formula, vars []string, opt QueryOptions) (
 	if par == 0 {
 		par = n.Parallelism
 	}
+	incr := !opt.Transitive && !n.NoIncremental
+	if incr {
+		if ans, err, handled := n.incrAnswer(q, vars, par); handled {
+			return ans, err
+		}
+	}
+	// Pre-snapshot journal position and relation generations: if both
+	// are unchanged once the answer is in hand, the snapshot provably
+	// corresponds to this journal position and an incremental series
+	// can be seeded from it (seedSeries re-checks).
+	var seedJ *relation.Journal
+	var seedSeq uint64
+	var seedGens map[core.PeerID]uint64
+	if incr && n.CacheTTL > 0 {
+		n.dataMu.RLock()
+		seedJ = n.Peer.Inst.Journal()
+		n.dataMu.RUnlock()
+		if seedJ != nil {
+			seedSeq = seedJ.Seq()
+		}
+		n.cacheMu.Lock()
+		seedGens = make(map[core.PeerID]uint64, len(n.relGens))
+		for k, v := range n.relGens {
+			seedGens[k] = v
+		}
+		n.cacheMu.Unlock()
+	}
 	sys, sl, err := n.SnapshotFor(q, opt.Transitive)
 	if err != nil {
 		return nil, err
@@ -710,13 +787,11 @@ func (n *Node) AnswerQuery(q foquery.Formula, vars []string, opt QueryOptions) (
 		return nil, err
 	}
 	key := slice.AnswerKey(q.String(), vars, sl, fp)
-	n.cacheMu.Lock()
-	if n.answers == nil {
-		n.answers = slice.NewAnswerCache(0)
-	}
-	cache := n.answers
-	n.cacheMu.Unlock()
+	cache := n.answersCache()
 	if ans, ok := cache.Get(key); ok {
+		if incr {
+			n.seedSeries(q, vars, sys, sl, key, seedJ, seedSeq, seedGens)
+		}
 		return ans, nil
 	}
 	compute := func() ([]relation.Tuple, error) {
@@ -750,6 +825,9 @@ func (n *Node) AnswerQuery(q foquery.Formula, vars []string, opt QueryOptions) (
 		// Only the computing caller stores: the followers' shared result
 		// is the same entry, and their snapshots may already be stale.
 		cache.Put(key, ans)
+	}
+	if incr {
+		n.seedSeries(q, vars, sys, sl, key, seedJ, seedSeq, seedGens)
 	}
 	return ans, nil
 }

@@ -374,6 +374,10 @@ func (r *relData) invalidateLive() {
 type Instance struct {
 	tab  *symtab.Table
 	rels map[string]*relData
+	// journal, when attached (SetJournal), records every membership
+	// change. Derived instances (Clone, Union, Restrict) get fresh
+	// structs and therefore no journal — see journal.go.
+	journal *Journal
 }
 
 // NewInstance returns an empty instance with a fresh symbol table.
@@ -489,6 +493,9 @@ func (in *Instance) insertIDs(rel string, ids idTuple) bool {
 		r.live.Set(uint32(row))
 		r.liveN++
 		r.invalidateLive()
+		if in.journal != nil {
+			in.journal.record(Fact{Rel: rel, Tuple: in.strings(ids)}, true)
+		}
 		return true
 	} else if r.shared.Load() || r.structShared {
 		r = r.privatizeStruct()
@@ -498,6 +505,9 @@ func (in *Instance) insertIDs(rel string, ids idTuple) bool {
 	r.live.Set(uint32(row))
 	r.liveN++
 	r.invalidate()
+	if in.journal != nil {
+		in.journal.record(Fact{Rel: rel, Tuple: in.strings(ids)}, true)
+	}
 	return true
 }
 
@@ -538,6 +548,9 @@ func (in *Instance) Delete(rel string, t Tuple) bool {
 	r.live.Clear(uint32(row))
 	r.liveN--
 	r.invalidateLive()
+	if in.journal != nil {
+		in.journal.record(Fact{Rel: rel, Tuple: t.Clone()}, false)
+	}
 	return true
 }
 

@@ -233,8 +233,12 @@ func (pl *localPlan) applyDelta(in *relation.Instance, delta bitset.Set) {
 // components of the conflict graph, returned as ascending violation
 // index lists ordered by first violation.
 func buildComponents(inst *relation.Instance, deps []*constraint.Dependency, vios []constraint.Violation, fixed map[string]bool) [][]int {
-	infos := violationInfos(inst, deps, vios, fixed)
+	return buildComponentsFrom(vios, violationInfos(inst, deps, vios, fixed))
+}
 
+// buildComponentsFrom is the union-find core of buildComponents over
+// precomputed interaction signatures.
+func buildComponentsFrom(vios []constraint.Violation, infos []vioInfo) [][]int {
 	uf := newUnionFind(len(vios))
 	// Fact-level edges: violations whose touchable facts overlap.
 	owner := map[string]int{}
@@ -280,37 +284,61 @@ func buildComponents(inst *relation.Instance, deps []*constraint.Dependency, vio
 	return comps
 }
 
-// violationInfos computes each root violation's interaction signature.
-func violationInfos(inst *relation.Instance, deps []*constraint.Dependency, vios []constraint.Violation, fixed map[string]bool) []vioInfo {
+// depInteraction is the dependency-interaction context of
+// violationInfos, split out so the incremental layer (incr.go) can
+// maintain its instance-dependent part (witnessFacts) across deltas
+// instead of re-enumerating every full TGD's body matches per call.
+type depInteraction struct {
 	// witnessDeps[key] lists the full TGDs some body match of which
 	// grounds a head atom to the fact: deleting that fact can un-witness
 	// the match, creating a new violation of the dependency.
-	witnessDeps := map[string][]int{}
+	witnessDeps map[string][]int
 	// exHeadDeps[pred] lists the existential TGDs with the predicate in
 	// their head: any fact of the predicate is potentially a witness.
-	exHeadDeps := map[string][]int{}
+	exHeadDeps map[string][]int
 	// bodyPreds are the predicates read by any dependency body: an
 	// insertion there can create new matches, hence new violations over
 	// arbitrary existing facts.
-	bodyPreds := map[string]bool{}
-	for di, d := range deps {
+	bodyPreds map[string]bool
+}
+
+// newDepInteraction computes the interaction context from scratch:
+// the structural maps plus the per-instance full-TGD witness facts.
+func newDepInteraction(inst *relation.Instance, deps []*constraint.Dependency) *depInteraction {
+	di := &depInteraction{
+		witnessDeps: map[string][]int{},
+		exHeadDeps:  map[string][]int{},
+		bodyPreds:   map[string]bool{},
+	}
+	for i, d := range deps {
 		for _, a := range d.Body {
-			bodyPreds[a.Pred] = true
+			di.bodyPreds[a.Pred] = true
 		}
 		if !d.IsTGD() {
 			continue
 		}
 		if len(d.ExVars) > 0 {
 			for _, h := range d.Head {
-				exHeadDeps[h.Pred] = append(exHeadDeps[h.Pred], di)
+				di.exHeadDeps[h.Pred] = append(di.exHeadDeps[h.Pred], i)
 			}
 			continue
 		}
 		for _, g := range fullTGDHeadFacts(inst, d) {
-			witnessDeps[g] = append(witnessDeps[g], di)
+			di.witnessDeps[g] = append(di.witnessDeps[g], i)
 		}
 	}
+	return di
+}
 
+// violationInfos computes each root violation's interaction signature.
+func violationInfos(inst *relation.Instance, deps []*constraint.Dependency, vios []constraint.Violation, fixed map[string]bool) []vioInfo {
+	return violationInfosWith(inst, deps, vios, fixed, newDepInteraction(inst, deps))
+}
+
+// violationInfosWith is violationInfos over a caller-supplied
+// interaction context (which must be current for inst).
+func violationInfosWith(inst *relation.Instance, deps []*constraint.Dependency, vios []constraint.Violation, fixed map[string]bool, ctx *depInteraction) []vioInfo {
+	witnessDeps, exHeadDeps, bodyPreds := ctx.witnessDeps, ctx.exHeadDeps, ctx.bodyPreds
 	infos := make([]vioInfo, len(vios))
 	for i, v := range vios {
 		inf := vioInfo{factSet: map[string]bool{}, factPreds: map[string]bool{}}

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -41,6 +42,11 @@ import (
 // ErrOverloaded reports a shed query: the pool and the admission queue
 // were both full. Clients should back off and retry.
 var ErrOverloaded = errors.New("serve: overloaded, query shed (admission queue full)")
+
+// ErrStopping reports a query rejected because the server is draining:
+// Stop was called, and new arrivals are shed while the admitted and
+// queued requests run to completion.
+var ErrStopping = errors.New("serve: stopping, new queries rejected")
 
 // Config tunes a Server. The zero value serves with sensible defaults.
 type Config struct {
@@ -60,6 +66,11 @@ type Config struct {
 	// not specify one (the HTTP API's per-request "transitive" param
 	// overrides it).
 	Transitive bool
+	// DrainTimeout bounds how long Stop waits for the admitted and
+	// queued queries to complete before giving up. 0 means a 5s
+	// default; negative means Stop does not wait at all (it still
+	// sheds new arrivals).
+	DrainTimeout time.Duration
 }
 
 // withDefaults resolves the zero-value knobs.
@@ -79,6 +90,12 @@ func (c Config) withDefaults() Config {
 			c.QueryParallelism = 1
 		}
 	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout < 0 {
+		c.DrainTimeout = 0
+	}
 	return c
 }
 
@@ -90,6 +107,10 @@ type Server struct {
 	reg   *metrics.Registry
 	sem   chan struct{}
 	start time.Time
+
+	// stopping is set (atomically) by Stop: admit sheds new arrivals
+	// while the already admitted and queued queries drain.
+	stopping int32
 
 	queries  *metrics.Counter
 	errs     *metrics.Counter
@@ -152,9 +173,14 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 func (s *Server) Config() Config { return s.cfg }
 
 // admit claims a pool slot, waiting in the bounded queue when the pool
-// is full; it reports false (shed) when the queue is full too. release
-// must be called after a true return.
+// is full; it reports false (shed) when the queue is full too, or when
+// the server is draining (a query that reached the queue before Stop
+// still completes — only new arrivals are shed). release must be
+// called after a true return.
 func (s *Server) admit() bool {
+	if atomic.LoadInt32(&s.stopping) != 0 {
+		return false
+	}
 	select {
 	case s.sem <- struct{}{}:
 		s.inflight.Add(1)
@@ -171,8 +197,11 @@ func (s *Server) admit() bool {
 	// right trade.
 	s.queued.Add(1)
 	s.sem <- struct{}{}
-	s.queued.Add(-1)
+	// Flip the gauges in claim-then-release order so queued+inflight
+	// never reads zero for a request that is still moving between the
+	// queue and the pool (Stop polls that sum to decide drained).
 	s.inflight.Add(1)
+	s.queued.Add(-1)
 	return true
 }
 
@@ -181,12 +210,39 @@ func (s *Server) release() {
 	<-s.sem
 }
 
+// Stop drains the server gracefully: new arrivals are shed immediately
+// (ErrStopping), while every query already admitted to the pool or
+// waiting in the queue runs to completion. It returns true when the
+// server drained inside Config.DrainTimeout, false when queries were
+// still running at the deadline (they keep running — Stop abandons
+// the wait, it does not cancel work). Safe to call more than once and
+// concurrently; every caller performs its own bounded wait.
+func (s *Server) Stop() bool {
+	atomic.StoreInt32(&s.stopping, 1)
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for {
+		if s.inflight.Value() == 0 && s.queued.Value() == 0 {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return s.inflight.Value() == 0 && s.queued.Value() == 0
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Stopping reports whether Stop has been called.
+func (s *Server) Stopping() bool { return atomic.LoadInt32(&s.stopping) != 0 }
+
 // Answer runs one peer-consistent query through admission, the node's
 // cache/coalescing path and the metrics layer. It returns ErrOverloaded
 // without touching the engines when the query is shed.
 func (s *Server) Answer(q foquery.Formula, vars []string, transitive bool) ([]relation.Tuple, error) {
 	if !s.admit() {
 		s.shed.Inc()
+		if atomic.LoadInt32(&s.stopping) != 0 {
+			return nil, ErrStopping
+		}
 		return nil, ErrOverloaded
 	}
 	defer s.release()

@@ -324,3 +324,122 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		t.Fatalf("node writes = %d", node.LocalWrites())
 	}
 }
+
+// TestStopDrainsQueuedIncr: Stop lets both the in-flight query and a
+// request still waiting in the admission queue complete, then reports
+// drained; arrivals after Stop are shed with ErrStopping.
+func TestStopDrainsQueuedIncr(t *testing.T) {
+	sys := core.Example1System()
+	tr := peernet.NewInProc()
+	tr.Latency = 20 * time.Millisecond // remote fan-out makes the first query slow
+	nodes := map[core.PeerID]*peernet.Node{}
+	for _, id := range sys.Peers() {
+		p, _ := sys.Peer(id)
+		n := peernet.NewNode(p, tr, nil)
+		if err := n.Start(":0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Stop)
+		nodes[id] = n
+	}
+	for _, n := range nodes {
+		for _, m := range nodes {
+			if n != m {
+				n.SetNeighbor(m.Peer.ID, m.Addr)
+			}
+		}
+	}
+	srv := New(nodes["P1"], Config{MaxConcurrent: 1, MaxQueue: 4, DrainTimeout: 5 * time.Second})
+
+	q := foquery.MustParse("r1(X,Y)")
+	vars := []string{"X", "Y"}
+	type result struct {
+		ans []relation.Tuple
+		err error
+	}
+	results := make(chan result, 2)
+	run := func() {
+		ans, err := srv.Answer(q, vars, false)
+		results <- result{ans, err}
+	}
+	go run() // slow leader: occupies the MaxConcurrent=1 pool
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.inflight.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go run() // follower: waits in the admission queue
+	for srv.queued.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if !srv.Stop() {
+		t.Fatal("Stop reported a drain timeout")
+	}
+	if !srv.Stopping() {
+		t.Fatal("Stopping() should report true after Stop")
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("drained query %d failed: %v", i, r.err)
+		}
+		if len(r.ans) == 0 {
+			t.Fatalf("drained query %d returned no answers", i)
+		}
+	}
+
+	// New arrivals after Stop are shed with the draining error.
+	if _, err := srv.Answer(q, vars, false); !errors.Is(err, ErrStopping) {
+		t.Fatalf("post-Stop query: err = %v, want ErrStopping", err)
+	}
+}
+
+// TestStopDrainTimeoutIncr: a query slower than DrainTimeout makes
+// Stop return false without cancelling the work.
+func TestStopDrainTimeoutIncr(t *testing.T) {
+	sys := core.Example1System()
+	tr := peernet.NewInProc()
+	tr.Latency = 150 * time.Millisecond
+	nodes := map[core.PeerID]*peernet.Node{}
+	for _, id := range sys.Peers() {
+		p, _ := sys.Peer(id)
+		n := peernet.NewNode(p, tr, nil)
+		if err := n.Start(":0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Stop)
+		nodes[id] = n
+	}
+	for _, n := range nodes {
+		for _, m := range nodes {
+			if n != m {
+				n.SetNeighbor(m.Peer.ID, m.Addr)
+			}
+		}
+	}
+	srv := New(nodes["P1"], Config{MaxConcurrent: 1, DrainTimeout: 10 * time.Millisecond})
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Answer(foquery.MustParse("r1(X,Y)"), []string{"X", "Y"}, false)
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.inflight.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Stop() {
+		t.Fatal("Stop should have timed out with the query still running")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("the slow query must still complete: %v", err)
+	}
+}

@@ -91,6 +91,47 @@ func (c *AnswerCache) Put(key string, ans []relation.Tuple) {
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, ans: cp})
 }
 
+// Promote re-keys a hot entry in place: the incremental maintenance
+// path (peernet) patches a cached answer after a relevant-relation
+// write, moving it from the pre-write fingerprint's key to the
+// post-write one without growing the cache or losing the entry's LRU
+// position. When oldKey is absent (evicted, or the first write of a
+// series), it degrades to a plain Put. A pre-existing entry under
+// newKey is replaced.
+func (c *AnswerCache) Promote(oldKey, newKey string, ans []relation.Tuple) {
+	cp := cloneTuples(ans)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[oldKey]
+	if !ok {
+		if other, dup := c.entries[newKey]; dup {
+			other.Value.(*cacheEntry).ans = cp
+			c.order.MoveToFront(other)
+			return
+		}
+		for len(c.entries) >= c.max {
+			last := c.order.Back()
+			if last == nil {
+				break
+			}
+			c.order.Remove(last)
+			delete(c.entries, last.Value.(*cacheEntry).key)
+		}
+		c.entries[newKey] = c.order.PushFront(&cacheEntry{key: newKey, ans: cp})
+		return
+	}
+	if other, dup := c.entries[newKey]; dup && other != el {
+		c.order.Remove(other)
+		delete(c.entries, newKey)
+	}
+	delete(c.entries, oldKey)
+	ent := el.Value.(*cacheEntry)
+	ent.key = newKey
+	ent.ans = cp
+	c.entries[newKey] = el
+	c.order.MoveToFront(el)
+}
+
 // Len returns the number of cached entries.
 func (c *AnswerCache) Len() int {
 	c.mu.Lock()

@@ -184,3 +184,110 @@ func TestAnswerCacheConcurrent(t *testing.T) {
 		t.Fatalf("hits+misses = %d, want %d lookups", hits+misses, workers*iters)
 	}
 }
+
+// TestAnswerCachePromoteIncrRekeys: Promote moves an entry to its new
+// key in place — the old key is gone, the new key serves the patched
+// answers, and the cache does not grow.
+func TestAnswerCachePromoteIncrRekeys(t *testing.T) {
+	c := NewAnswerCache(4)
+	c.Put("old", []relation.Tuple{{"a"}})
+	c.Put("other", []relation.Tuple{{"o"}})
+	c.Promote("old", "new", []relation.Tuple{{"b"}})
+	if _, ok := c.Get("old"); ok {
+		t.Fatal("old key must be gone after Promote")
+	}
+	ans, ok := c.Get("new")
+	if !ok || len(ans) != 1 || ans[0][0] != "b" {
+		t.Fatalf("new key = %v ok=%v, want patched answers", ans, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (re-key must not grow)", c.Len())
+	}
+}
+
+// TestAnswerCachePromoteIncrKeepsLRUPosition: a promoted entry is most
+// recently used — the incremental path keeps hot entries hot.
+func TestAnswerCachePromoteIncrKeepsLRUPosition(t *testing.T) {
+	c := NewAnswerCache(2)
+	c.Put("hot", []relation.Tuple{{"h"}})
+	c.Put("cold", []relation.Tuple{{"c"}})
+	c.Promote("hot", "hot2", []relation.Tuple{{"h2"}})
+	// Inserting one more evicts the LRU entry, which must be "cold".
+	c.Put("newer", []relation.Tuple{{"n"}})
+	if _, ok := c.Get("hot2"); !ok {
+		t.Fatal("promoted entry should have been most recently used")
+	}
+	if _, ok := c.Get("cold"); ok {
+		t.Fatal("cold entry should have been evicted")
+	}
+}
+
+// TestAnswerCachePromoteIncrMissingOldKey: without the old entry
+// (evicted, or a fresh series), Promote degrades to a plain Put.
+func TestAnswerCachePromoteIncrMissingOldKey(t *testing.T) {
+	c := NewAnswerCache(2)
+	c.Promote("never-existed", "new", []relation.Tuple{{"x"}})
+	ans, ok := c.Get("new")
+	if !ok || len(ans) != 1 || ans[0][0] != "x" {
+		t.Fatalf("Promote with absent old key should Put: %v ok=%v", ans, ok)
+	}
+	// Same with an empty old key and a pre-existing new key.
+	c.Promote("", "new", []relation.Tuple{{"y"}})
+	ans, _ = c.Get("new")
+	if len(ans) != 1 || ans[0][0] != "y" {
+		t.Fatalf("Promote onto existing new key should update: %v", ans)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// TestAnswerCachePromoteIncrCollision: when both the old and the new
+// key exist, the new key's stale entry is dropped, not duplicated.
+func TestAnswerCachePromoteIncrCollision(t *testing.T) {
+	c := NewAnswerCache(4)
+	c.Put("old", []relation.Tuple{{"a"}})
+	c.Put("new", []relation.Tuple{{"stale"}})
+	c.Promote("old", "new", []relation.Tuple{{"fresh"}})
+	ans, ok := c.Get("new")
+	if !ok || len(ans) != 1 || ans[0][0] != "fresh" {
+		t.Fatalf("collision Promote = %v ok=%v, want fresh", ans, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1 after collision", c.Len())
+	}
+}
+
+// TestAnswerCachePromoteIncrCopies: Promote stores a copy — mutating
+// the caller's slice afterwards cannot poison the entry.
+func TestAnswerCachePromoteIncrCopies(t *testing.T) {
+	c := NewAnswerCache(2)
+	ans := []relation.Tuple{{"v"}}
+	c.Promote("", "k", ans)
+	ans[0][0] = "mutated"
+	got, _ := c.Get("k")
+	if got[0][0] != "v" {
+		t.Fatal("Promote did not deep-copy the answers")
+	}
+}
+
+// TestAnswerKeyComponents: the canonical cache key is deterministic
+// and distinguishes every component — query text, answer variables,
+// slice signature, data fingerprint.
+func TestAnswerKeyComponents(t *testing.T) {
+	sl := &Slice{Signature: "sigA"}
+	base := AnswerKey("q(X)", []string{"X"}, sl, "fp1")
+	if AnswerKey("q(X)", []string{"X"}, sl, "fp1") != base {
+		t.Fatal("AnswerKey is not deterministic")
+	}
+	for name, other := range map[string]string{
+		"query":       AnswerKey("p(X)", []string{"X"}, sl, "fp1"),
+		"vars":        AnswerKey("q(X)", []string{"Y"}, sl, "fp1"),
+		"fingerprint": AnswerKey("q(X)", []string{"X"}, sl, "fp2"),
+		"signature":   AnswerKey("q(X)", []string{"X"}, &Slice{Signature: "sigB"}, "fp1"),
+	} {
+		if other == base {
+			t.Fatalf("AnswerKey ignores the %s component", name)
+		}
+	}
+}

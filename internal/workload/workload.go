@@ -158,6 +158,29 @@ func ScatteredConflicts(k, cleanPerRel int, seed int64) *core.System {
 	return core.NewSystem().MustAddPeer(pa).MustAddPeer(pb)
 }
 
+// ChurnUniverse is the incremental-maintenance benchmark workload
+// (B14): ScatteredConflicts plus a chain of never-violated link EGDs
+// ln_i between ra_i and rb_{i+1} (the key spaces are disjoint by
+// construction, so the links add no violations and no repair work).
+// The links matter at the spec level only: the query slice for
+// ra0(X,Y) walks them and pulls in every relation pair, so a write to
+// ANY ra_i moves the ra0 slice fingerprint and forces the
+// content-addressed answer cache to evict — while the conflict
+// components stay pairwise scattered, so the incremental engine
+// re-searches only the touched component and reuses the rest. This is
+// exactly the regime where delta-driven repair beats
+// evict-and-recompute; in plain ScatteredConflicts the slice prunes
+// foreign writes away and the answer cache alone absorbs them.
+func ChurnUniverse(k, cleanPerRel int, seed int64) *core.System {
+	s := ScatteredConflicts(k, cleanPerRel, seed)
+	pa, _ := s.Peer("A")
+	for i := 0; i+1 < k; i++ {
+		pa.AddDEC("B", constraint.KeyEGD(fmt.Sprintf("ln%d", i),
+			fmt.Sprintf("ra%d", i), fmt.Sprintf("rb%d", i+1)))
+	}
+	return s
+}
+
 // WideUniverse builds an overlay whose query-relevant core is tiny
 // while the universe is wide — the workload where query-relevance
 // slicing (internal/slice) pays off. Root peer P0 declares q0 (the
@@ -334,6 +357,32 @@ type StreamOp struct {
 	// Query and Vars describe the read.
 	Query string
 	Vars  []string
+}
+
+// ChurnStream derives the deterministic write/query lockstep schedule
+// of the incremental re-answering benchmark (B14) over a
+// ScatteredConflicts(k, ...) system: step i inserts one fresh-keyed
+// fact into root relation ra{1 + i mod (k-1)} and then re-issues the
+// fixed query ra0(X,Y). Every write moves the data fingerprint of the
+// query's slice — evicting a purely content-addressed answer cache —
+// but touches only a conflict component disjoint from the queried
+// relation, which is exactly the shape the delta-driven incremental
+// path patches instead of recomputing. Keys depend only on the step
+// index, so replaying the stream is deterministic.
+func ChurnStream(k, steps int, seed int64) []StreamOp {
+	if k < 2 {
+		panic("workload: ChurnStream needs a ScatteredConflicts shape (k >= 2)")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]StreamOp, 0, 2*steps)
+	for i := 0; i < steps; i++ {
+		rel := fmt.Sprintf("ra%d", 1+i%(k-1))
+		out = append(out,
+			StreamOp{Write: true, Peer: "A", Rel: rel,
+				Tuple: []string{fmt.Sprintf("w%d", i), val(rng)}},
+			StreamOp{Query: "ra0(X,Y)", Vars: []string{"X", "Y"}})
+	}
+	return out
 }
 
 // MixedStream derives the deterministic interleaved read/write stream
